@@ -1,0 +1,66 @@
+"""Ablation — adjacent-duplicate trace coalescing (DESIGN.md choice #2).
+
+Replaying a coalesced trace must produce identical miss counts at lower
+cost; this bench measures both sides of that claim on a synthetic trace
+with heavy immediate reuse (the pattern Algorithm 1's inner loop
+produces, where the element of ``A`` is touched once per multiply-add).
+"""
+
+from repro.cache.block import block_key, MAT_A, MAT_B, MAT_C
+from repro.cache.hierarchy import LRUHierarchy
+from repro.cache.trace import AccessTrace
+
+
+def _trace() -> AccessTrace:
+    t = AccessTrace()
+    for step in range(2000):
+        core = step & 3
+        a = block_key(MAT_A, step % 17, 0)
+        for j in range(4):
+            t.record(core, a)  # re-touched per inner iteration
+            t.record(core, block_key(MAT_B, step % 13, j))
+            t.record(core, block_key(MAT_C, step % 11, j), write=True)
+    return t
+
+
+def bench_replay_full(benchmark):
+    trace = _trace()
+
+    def run():
+        h = LRUHierarchy(p=4, cs=64, cd=5)
+        trace.replay(h)
+        return h.snapshot().ms
+
+    benchmark(run)
+
+
+def bench_replay_coalesced(benchmark):
+    coalesced = _trace().coalesced()
+
+    def run():
+        h = LRUHierarchy(p=4, cs=64, cd=5)
+        coalesced.replay(h)
+        return h.snapshot().ms
+
+    benchmark(run)
+
+
+def bench_counts_identical(benchmark, out_dir):
+    trace = _trace()
+    coalesced = trace.coalesced()
+
+    def run():
+        h1 = LRUHierarchy(p=4, cs=64, cd=5)
+        h2 = LRUHierarchy(p=4, cs=64, cd=5)
+        trace.replay(h1)
+        coalesced.replay(h2)
+        return h1.snapshot(), h2.snapshot()
+
+    s1, s2 = benchmark.pedantic(run, rounds=1, iterations=1)
+    (out_dir / "ablation_coalescing.txt").write_text(
+        f"entries full={len(trace)} coalesced={len(coalesced)}\n"
+        f"MS full={s1.ms} coalesced={s2.ms}\n"
+        f"MD full={s1.md_per_core} coalesced={s2.md_per_core}\n"
+    )
+    assert s1.ms == s2.ms
+    assert s1.md_per_core == s2.md_per_core

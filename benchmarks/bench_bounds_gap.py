@@ -1,0 +1,45 @@
+"""Bound-gap table — §2.3 lower bounds vs every algorithm's IDEAL counts.
+
+Produces the table behind the paper's "close to the lower bound"
+statements: for each algorithm, the ratio of its IDEAL MS/MD to the
+corresponding Loomis–Whitney bound.  Artifact: out/bounds_gap.txt.
+"""
+
+from repro.algorithms.registry import ALGORITHMS
+from repro.experiments.io import render_rows
+from repro.model.bounds import (
+    distributed_misses_lower_bound,
+    shared_misses_lower_bound,
+)
+from repro.model.machine import preset
+from repro.sim.runner import run_experiment
+
+ORDER = 60  # 2x lambda for exact tiling on q32
+
+
+def bench_bounds_gap(benchmark, out_dir):
+    machine = preset("q32")
+
+    def run():
+        ms_bound = shared_misses_lower_bound(machine, ORDER, ORDER, ORDER)
+        md_bound = distributed_misses_lower_bound(machine, ORDER, ORDER, ORDER)
+        rows = []
+        for name in ALGORITHMS:
+            r = run_experiment(name, machine, ORDER, ORDER, ORDER, "ideal")
+            rows.append(
+                {
+                    "algorithm": name,
+                    "MS/bound": round(r.ms / ms_bound, 2),
+                    "MD/bound": round(r.md / md_bound, 2),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    (out_dir / "bounds_gap.txt").write_text(render_rows(rows))
+    by_name = {row["algorithm"]: row for row in rows}
+    # the paper's two near-bound results
+    assert by_name["shared-opt"]["MS/bound"] < 2.0
+    assert by_name["distributed-opt"]["MD/bound"] < 1.5
+    # and the baselines are nowhere near
+    assert by_name["outer-product"]["MS/bound"] > 10.0

@@ -1,0 +1,37 @@
+"""Lineage bench — the single-level Maximum Reuse story (§3 recap).
+
+Reproduces the comparison the multicore paper inherits from [7]:
+Maximum Reuse vs Toledo's equal thirds on one bounded memory, CCR
+against the ``√(27/8M)`` bound.  Artifact: out/lineage_singlelevel.txt.
+"""
+
+from repro.experiments.io import render_rows
+from repro.singlelevel.runner import run_single_level
+
+MEMORY = 91  # mu = 9 (1+9+81), t = 5 (3*25 = 75)
+ORDER = 45  # divisible by both tile sides
+
+
+def bench_single_level_ccr(benchmark, out_dir):
+    def run():
+        rows = []
+        for name in ("single-max-reuse", "single-equal"):
+            r = run_single_level(name, MEMORY, ORDER, ORDER, ORDER)
+            rows.append(
+                {
+                    "schedule": name,
+                    "M": MEMORY,
+                    "loads": r.loads,
+                    "CCR": round(r.ccr, 4),
+                    "CCR bound": round(r.ccr_lower_bound(), 4),
+                    "peak": r.peak,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    (out_dir / "lineage_singlelevel.txt").write_text(render_rows(rows))
+    max_reuse, equal = rows
+    # [7]'s claim: max reuse beats the equal split and nears the bound
+    assert max_reuse["loads"] < equal["loads"]
+    assert max_reuse["CCR"] < 2.0 * max_reuse["CCR bound"]

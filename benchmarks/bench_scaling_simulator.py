@@ -1,0 +1,48 @@
+"""Simulator scaling — evidence for the scale-reduction argument.
+
+DESIGN.md §4 reduces the paper's matrix orders because pure-Python LRU
+simulation costs Θ(mnz) block touches.  This bench measures the
+constant: touches per second of a full Shared Opt. LRU run across
+orders, and checks the cost is indeed linear in the touch count (so
+results at order 96 extrapolate to the paper's 1100 — only wall-clock,
+never shape, changes).  Artifact: out/scaling_simulator.txt.
+"""
+
+import time
+
+from repro.experiments.io import render_rows
+from repro.model.machine import preset
+from repro.sim.runner import run_experiment
+
+ORDERS = (16, 32, 48)
+
+
+def bench_lru_scaling(benchmark, out_dir):
+    machine = preset("q32")
+
+    def run():
+        rows = []
+        for order in ORDERS:
+            start = time.perf_counter()
+            result = run_experiment(
+                "shared-opt", machine, order, order, order, "lru-50"
+            )
+            elapsed = time.perf_counter() - start
+            touches = 3 * order**3
+            rows.append(
+                {
+                    "order": order,
+                    "touches": touches,
+                    "seconds": round(elapsed, 4),
+                    "touches/s": int(touches / elapsed),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    (out_dir / "scaling_simulator.txt").write_text(render_rows(rows))
+    # linearity: throughput varies by < 4x across a 27x work range
+    rates = [r["touches/s"] for r in rows]
+    assert max(rates) < 4 * min(rates)
+    # and it is fast enough for the shipped sweeps (>= 0.5M touches/s)
+    assert rates[-1] > 500_000

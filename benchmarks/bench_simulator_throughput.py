@@ -1,0 +1,69 @@
+"""Micro-benchmarks of the simulator substrate itself.
+
+These measure the raw cost of the hot operations — block touches in LRU
+mode and explicit loads in IDEAL mode — which determine how large a
+matrix order the harness can sweep.  They are the scaling ablation
+called out in DESIGN.md.
+"""
+
+from repro.cache.block import block_key, MAT_A, MAT_B, MAT_C
+from repro.cache.hierarchy import IdealHierarchy, LRUHierarchy
+
+N = 4096
+
+
+def _fma_keys(n):
+    keys = []
+    for t in range(n):
+        i, j, k = (t * 7) % 64, (t * 11) % 64, (t * 13) % 64
+        keys.append(
+            (
+                block_key(MAT_A, i, k),
+                block_key(MAT_B, k, j),
+                block_key(MAT_C, i, j),
+            )
+        )
+    return keys
+
+
+def bench_lru_compute_touches(benchmark):
+    """Throughput of the inlined LRU fast path (3 touches per call)."""
+    keys = _fma_keys(N)
+
+    def run():
+        h = LRUHierarchy(p=4, cs=977, cd=21)
+        touches = h.compute_touches
+        for idx, (ka, kb, kc) in enumerate(keys):
+            touches(idx & 3, ka, kb, kc)
+        return h.snapshot().ms
+
+    assert benchmark(run) > 0
+
+
+def bench_lru_generic_touch(benchmark):
+    """Throughput of the generic (policy-agnostic) touch path."""
+    keys = _fma_keys(N)
+
+    def run():
+        h = LRUHierarchy(p=4, cs=977, cd=21, policy="fifo")  # generic path
+        for idx, (ka, kb, kc) in enumerate(keys):
+            h.compute_touches(idx & 3, ka, kb, kc)
+        return h.snapshot().ms
+
+    assert benchmark(run) > 0
+
+
+def bench_ideal_load_evict(benchmark):
+    """Throughput of checked IDEAL load/evict pairs."""
+    keys = [block_key(MAT_A, t % 64, t // 64) for t in range(N)]
+
+    def run():
+        h = IdealHierarchy(p=4, cs=977, cd=21, check=True)
+        for key in keys:
+            h.load_shared(key)
+            h.load_distributed(0, key)
+            h.evict_distributed(0, key)
+            h.evict_shared(key)
+        return h.ms
+
+    assert benchmark(run) == N

@@ -1,0 +1,62 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every ``bench_figNN`` module regenerates one figure of the paper: the
+benchmarked callable *is* the full figure computation, and the rendered
+series (the same rows/curves the paper plots) are written to
+``benchmarks/out/<figid>.txt`` plus one CSV per panel, so a benchmark
+run leaves the complete reproduction artifacts behind.
+
+Scale is controlled by ``REPRO_BENCH_SCALE``:
+
+* ``quick`` (default) — orders up to 32, a couple of minutes for the
+  whole suite;
+* ``full``  — orders up to 96 (and order 96 for the ratio sweep),
+  closer to the paper's sweep shape; expect tens of minutes.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Sequence
+
+import pytest
+
+#: Square matrix orders (blocks) swept by the figure benches.
+QUICK_ORDERS: Sequence[int] = (8, 16, 24, 32)
+FULL_ORDERS: Sequence[int] = (16, 32, 48, 64, 80, 96)
+
+QUICK_RATIO_ORDER = 24
+FULL_RATIO_ORDER = 48
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+
+@pytest.fixture(scope="session")
+def orders() -> Sequence[int]:
+    """Matrix orders for the order sweeps, per REPRO_BENCH_SCALE."""
+    return FULL_ORDERS if bench_scale() == "full" else QUICK_ORDERS
+
+
+@pytest.fixture(scope="session")
+def ratio_order() -> int:
+    """Matrix order for the Fig. 12 bandwidth sweep."""
+    return FULL_RATIO_ORDER if bench_scale() == "full" else QUICK_RATIO_ORDER
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> Path:
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
+    return OUT_DIR
+
+
+def save_figure(figure, directory: Path) -> None:
+    """Persist a regenerated figure: ASCII tables + per-panel CSV."""
+    from repro.experiments.io import figure_to_csv, render_figure
+
+    (directory / f"{figure.id}.txt").write_text(render_figure(figure))
+    figure_to_csv(figure, directory)

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Compare all six algorithms against the communication lower bounds.
+
+Reproduces, at one matrix order, the comparison behind the paper's
+Figs. 7–9: every algorithm is run under both the LRU-50 and the IDEAL
+settings, and its misses are put side by side with the Loomis–Whitney
+lower bounds of §2.3.
+
+Usage::
+
+    python examples/compare_algorithms.py [order] [preset]
+"""
+
+import sys
+
+from repro import (
+    ALGORITHMS,
+    distributed_misses_lower_bound,
+    preset,
+    run_experiment,
+    shared_misses_lower_bound,
+    tdata_lower_bound,
+)
+
+
+def main() -> None:
+    order = int(sys.argv[1]) if len(sys.argv) > 1 else 48
+    machine = preset(sys.argv[2] if len(sys.argv) > 2 else "q32")
+    print(f"machine: {machine.name}   matrix order: {order} blocks\n")
+
+    ms_bound = shared_misses_lower_bound(machine, order, order, order)
+    md_bound = distributed_misses_lower_bound(machine, order, order, order)
+
+    for setting in ("lru-50", "ideal"):
+        print(f"--- setting: {setting} ---")
+        header = (
+            f"{'algorithm':18s} {'MS':>10s} {'vs bound':>9s} "
+            f"{'MD':>10s} {'vs bound':>9s} {'Tdata':>12s}"
+        )
+        print(header)
+        rows = []
+        for name in ALGORITHMS:
+            r = run_experiment(name, machine, order, order, order, setting)
+            rows.append((r.tdata, name, r))
+        for _, name, r in sorted(rows):
+            print(
+                f"{name:18s} {r.ms:10d} {r.ms / ms_bound:8.2f}x "
+                f"{r.md:10d} {r.md / md_bound:8.2f}x {r.tdata:12.0f}"
+            )
+        print(
+            f"{'(lower bound)':18s} {ms_bound:10.0f} {'1.00x':>9s} "
+            f"{md_bound:10.0f} {'1.00x':>9s} "
+            f"{tdata_lower_bound(machine, order, order, order):12.0f}\n"
+        )
+
+
+if __name__ == "__main__":
+    main()

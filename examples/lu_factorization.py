@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Extension — blocked LU factorization on the cache model.
+
+The paper's future work names LU factorization as the next kernel; this
+example runs the two shipped LU schedules (eager right-looking vs lazy
+left-looking) through the LRU-50 cache model, verifies both numerically
+(``L·U = A`` on a diagonally dominant random matrix) and shows the
+shared-miss crossover: the lazy schedule wins while the active block
+column and its history panels fit in the shared cache.
+
+Usage::
+
+    python examples/lu_factorization.py [max_order]
+"""
+
+import sys
+
+from repro.lu import LU_SCHEDULES, run_lu, verify_lu_schedule
+from repro.model.machine import preset
+
+
+def main() -> None:
+    max_order = int(sys.argv[1]) if len(sys.argv) > 1 else 48
+    machine = preset("q32")
+
+    print("numeric verification (n=6 blocks of 4x4):")
+    for name, cls in LU_SCHEDULES.items():
+        verify_lu_schedule(cls(machine, 6), q=4)
+        print(f"  {name}: L*U = A exact")
+
+    print(f"\ncache behaviour on {machine.name} (LRU-50):")
+    header = (
+        f"{'order':>6s} {'MS right-looking':>17s} {'MS left-looking':>16s} "
+        f"{'ratio':>6s} {'MD right':>9s} {'MD left':>8s}"
+    )
+    print(header)
+    print("-" * len(header))
+    order = 16
+    while order <= max_order:
+        rl = run_lu("right-looking-lu", machine, order, "lru-50")
+        ll = run_lu("left-looking-lu", machine, order, "lru-50")
+        ratio = rl.ms / ll.ms if ll.ms else float("inf")
+        print(
+            f"{order:6d} {rl.ms:17d} {ll.ms:16d} {ratio:5.1f}x "
+            f"{rl.md:9d} {ll.md:8d}"
+        )
+        order += 8
+    print(
+        "\nThe lazy (left-looking) schedule pins each block column while"
+        "\nabsorbing all its pending updates — the Maximum-Reuse idea"
+        "\ntransposed to LU.  Its advantage peaks while column + history"
+        "\npanels fit in the shared cache and fades once nothing fits."
+    )
+
+
+if __name__ == "__main__":
+    main()

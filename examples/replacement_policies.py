@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""How much of LRU's loss could any replacement policy recover?
+
+Records the reference stream of each Maximum-Reuse algorithm once and
+decomposes its distributed-cache misses into three exact layers:
+
+* **cold** — compulsory misses no policy avoids;
+* **OPT** — Belady's offline-optimal replacement, the floor for every
+  *reactive* policy;
+* **LRU** — what the real hierarchy pays.
+
+The remaining distance from OPT down to the paper's IDEAL counts is
+what only explicit cache control (prefetching/pinning — the ideal cache
+model) can recover, which is the quantitative case for the paper's
+model choice.  Also prints the full LRU/OPT miss curve from a single
+stack-distance pass.
+
+Usage::
+
+    python examples/replacement_policies.py [order]
+"""
+
+import sys
+
+from repro.analysis.policies import miss_curve_rows, replacement_gap
+from repro.model.machine import preset
+
+
+def main() -> None:
+    order = int(sys.argv[1]) if len(sys.argv) > 1 else 16
+    machine = preset("q32")
+    print(f"machine: {machine.name}   order: {order} blocks\n")
+
+    header = f"{'algorithm':18s} {'cache':>15s} {'cold':>7s} {'OPT':>7s} {'LRU':>7s} {'LRU/OPT':>8s}"
+    print(header)
+    print("-" * len(header))
+    for name in ("shared-opt", "distributed-opt", "tradeoff"):
+        rows = replacement_gap(name, machine, order, order, order)
+        for row in (rows[0], rows[-1]):  # core 0 + shared-alone view
+            ratio = row["lru"] / row["opt"] if row["opt"] else 1.0
+            print(
+                f"{name:18s} {row['cache']:>15s} {row['cold']:7d} "
+                f"{row['opt']:7d} {row['lru']:7d} {ratio:7.2f}x"
+            )
+
+    print("\nLRU vs OPT miss curve (shared-opt trace, one stack-distance pass):")
+    print(f"{'capacity':>9s} {'LRU':>9s} {'OPT':>9s}")
+    for row in miss_curve_rows("shared-opt", machine, order, order, order):
+        print(f"{row['capacity']:9d} {row['lru']:9d} {row['opt']:9d}")
+    print(
+        "\nDistributed Opt. sizes its tile to fill the cache, so plain LRU"
+        "\nthrashes it (the Fig. 5 effect) — exactly why the paper evaluates"
+        "\nunder the LRU-50 setting, leaving half the cache to the policy."
+    )
+
+
+if __name__ == "__main__":
+    main()

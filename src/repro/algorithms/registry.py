@@ -1,0 +1,72 @@
+"""Registry of the six algorithms, keyed by their stable names.
+
+The registry is the single source of truth for "which algorithms exist"
+used by the CLI, the experiment harness and the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.algorithms.base import MatmulAlgorithm
+from repro.algorithms.distributed_opt import DistributedOpt
+from repro.algorithms.equal import DistributedEqual, SharedEqual
+from repro.algorithms.outer_product import OuterProduct
+from repro.algorithms.shared_opt import SharedOpt
+from repro.algorithms.tradeoff import Tradeoff
+from repro.exceptions import ConfigurationError
+
+#: All algorithms in the paper's presentation order.
+ALGORITHMS: Dict[str, Type[MatmulAlgorithm]] = {
+    cls.name: cls
+    for cls in (
+        SharedOpt,
+        DistributedOpt,
+        Tradeoff,
+        OuterProduct,
+        SharedEqual,
+        DistributedEqual,
+    )
+}
+
+#: The paper's three contributions (the Multicore Maximum Reuse family).
+MAXIMUM_REUSE = ("shared-opt", "distributed-opt", "tradeoff")
+
+#: The two reference baselines (three names, Equal comes in two flavours).
+BASELINES = ("outer-product", "shared-equal", "distributed-equal")
+
+
+def _extra_algorithms() -> Dict[str, Type[MatmulAlgorithm]]:
+    # Imported lazily to keep the paper's six-algorithm registry free of
+    # extension imports at module load.
+    from repro.algorithms.cannon import Cannon
+    from repro.algorithms.nested import NestedMaxReuse
+
+    return {Cannon.name: Cannon, NestedMaxReuse.name: NestedMaxReuse}
+
+
+#: Extensions beyond the paper's evaluation set (e.g. Cannon's algorithm).
+EXTRA_ALGORITHMS: Dict[str, Type[MatmulAlgorithm]] = _extra_algorithms()
+
+
+def get_algorithm(name: str) -> Type[MatmulAlgorithm]:
+    """Look an algorithm class up by its stable name (extras included)."""
+    try:
+        return ALGORITHMS[name]
+    except KeyError:
+        pass
+    try:
+        return EXTRA_ALGORITHMS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown algorithm {name!r}; valid names: "
+            f"{sorted(ALGORITHMS) + sorted(EXTRA_ALGORITHMS)}"
+        ) from None
+
+
+def algorithm_names(include_extras: bool = False) -> List[str]:
+    """Stable names of every registered algorithm, presentation order."""
+    names = list(ALGORITHMS)
+    if include_extras:
+        names += list(EXTRA_ALGORITHMS)
+    return names

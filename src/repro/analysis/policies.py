@@ -1,0 +1,123 @@
+"""Replacement-policy gap analysis: LRU vs OPT vs compulsory traffic.
+
+How much of an algorithm's LRU miss count is *inherent* (compulsory,
+or unavoidable even by Belady's optimal replacement) and how much is
+the LRU heuristic's fault?  This module records an algorithm's
+reference stream once (:class:`~repro.sim.contexts.RecordingContext`)
+and answers with exact trace analyses:
+
+* per-core **distributed-cache** gaps — each private cache sees exactly
+  its core's subtrace, so stack-distance LRU counts and OPT counts are
+  exact for the real two-level system;
+* **shared-cache-alone** gaps — the full interleaved trace against a
+  single cache of ``CS`` blocks.  (In the two-level system the shared
+  cache only sees distributed *misses*; the single-cache view is the
+  upper-level limit and is how the paper's single-processor lower bound
+  is phrased.)
+
+Used by the ``analyze`` CLI command and the policy-gap bench.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.algorithms.registry import get_algorithm
+from repro.cache.opt import opt_misses
+from repro.cache.stackdist import distance_histogram, misses_for_capacity
+from repro.model.machine import MulticoreMachine
+from repro.sim.contexts import RecordingContext
+
+
+def record_trace(
+    algorithm: str,
+    machine: MulticoreMachine,
+    m: int,
+    n: int,
+    z: int,
+    **params: Any,
+) -> RecordingContext:
+    """Run a schedule once, recording its reference stream."""
+    alg = get_algorithm(algorithm)(machine, m, n, z, **params)
+    ctx = RecordingContext(machine.p)
+    alg.run(ctx)
+    return ctx
+
+
+def replacement_gap(
+    algorithm: str,
+    machine: MulticoreMachine,
+    m: int,
+    n: int,
+    z: int,
+    **params: Any,
+) -> List[Dict[str, Any]]:
+    """LRU / OPT / compulsory miss counts per cache of the hierarchy.
+
+    Returns one row per distributed cache plus one for the shared cache
+    viewed alone.  ``lru`` comes from the exact stack-distance
+    histogram, ``opt`` from Belady's algorithm, ``cold`` is the number
+    of distinct blocks (compulsory misses no policy avoids).
+    """
+    ctx = record_trace(algorithm, machine, m, n, z, **params)
+    rows: List[Dict[str, Any]] = []
+    for core, subtrace in enumerate(ctx.trace.per_core()):
+        keys = [key for _, key, _ in subtrace]
+        hist = distance_histogram(keys)
+        rows.append(
+            {
+                "cache": f"distributed[{core}]",
+                "capacity": machine.cd,
+                "references": len(keys),
+                "lru": misses_for_capacity(hist, machine.cd),
+                "opt": opt_misses(keys, machine.cd),
+                "cold": len(set(keys)),
+            }
+        )
+    keys = ctx.keys()
+    hist = distance_histogram(keys)
+    rows.append(
+        {
+            "cache": "shared (alone)",
+            "capacity": machine.cs,
+            "references": len(keys),
+            "lru": misses_for_capacity(hist, machine.cs),
+            "opt": opt_misses(keys, machine.cs),
+            "cold": len(set(keys)),
+        }
+    )
+    return rows
+
+
+def miss_curve_rows(
+    algorithm: str,
+    machine: MulticoreMachine,
+    m: int,
+    n: int,
+    z: int,
+    capacities: Optional[List[int]] = None,
+    **params: Any,
+) -> List[Dict[str, Any]]:
+    """LRU and OPT miss counts of the full trace across capacities.
+
+    One stack-distance pass yields every LRU point; OPT is re-simulated
+    per capacity.  Default capacities: powers of two up to ``CS``.
+    """
+    ctx = record_trace(algorithm, machine, m, n, z, **params)
+    keys = ctx.keys()
+    hist = distance_histogram(keys)
+    if capacities is None:
+        capacities = []
+        c = 4
+        while c < machine.cs:
+            capacities.append(c)
+            c *= 2
+        capacities.append(machine.cs)
+    return [
+        {
+            "capacity": capacity,
+            "lru": misses_for_capacity(hist, capacity),
+            "opt": opt_misses(keys, capacity),
+        }
+        for capacity in capacities
+    ]

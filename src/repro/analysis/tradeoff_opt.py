@@ -1,0 +1,119 @@
+"""Continuous optimization of the Tradeoff parameters (paper §3.3).
+
+For large matrices, choosing the Tradeoff tile side ``α`` amounts to
+minimizing
+
+    F(α) = 2 / (σS · α)  +  2α / (p · σD · (CS − α²)),
+
+the per-multiply-add data time once ``β`` is expressed through the
+capacity constraint ``β ≤ (CS − α²) / (2α)`` and the ``µ`` term (which
+does not depend on ``α``) is dropped.  Setting ``F'(α) = 0`` yields the
+paper's closed form
+
+    α_num = sqrt( CS · (1 + 2ρ − sqrt(1 + 8ρ)) / (2(ρ − 1)) ),
+    ρ = p σD / σS,
+
+with the removable singularity ``α_num = sqrt(CS / 3)`` at ``ρ = 1``.
+The implemented parameters are then
+
+    α = min(α_max, max(√p·µ, α_num)),   α_max = sqrt(CS + 1) − 1,
+    β = max(⌊(CS − α²) / (2α)⌋, 1).
+
+Limiting regimes (paper §3.3, sanity-checked by tests):
+
+* ``σD ≫ σS`` (ρ → ∞): ``α_num → sqrt(CS)``, i.e. ``α = α_max`` and
+  ``β = 1`` — Tradeoff degenerates to Shared Opt.;
+* ``σS ≫ σD`` (ρ → 0): ``α_num`` → imaginary/zero — the max clamp gives
+  ``α = √p·µ``, Tradeoff degenerates to Distributed Opt.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.exceptions import ParameterError
+from repro.model.machine import MulticoreMachine
+from repro.model.params import (
+    TradeoffParameters,
+    alpha_max,
+    beta_for_alpha,
+    mu_param,
+)
+
+#: ρ values this close to 1 take the removable-singularity branch.
+_RHO_EPS = 1e-9
+
+
+def objective(alpha: float, machine: MulticoreMachine) -> float:
+    """The reduced objective ``F(α)`` (per-multiply-add data time)."""
+    cs, p = machine.cs, machine.p
+    if not 0.0 < alpha < math.sqrt(cs):
+        raise ParameterError(f"alpha must lie in (0, sqrt(CS)), got {alpha}")
+    return 2.0 / (machine.sigma_s * alpha) + 2.0 * alpha / (
+        p * machine.sigma_d * (cs - alpha * alpha)
+    )
+
+
+def objective_derivative(alpha: float, machine: MulticoreMachine) -> float:
+    """``F'(α)``; the optimizer's root (used by property tests)."""
+    cs, p = machine.cs, machine.p
+    if not 0.0 < alpha < math.sqrt(cs):
+        raise ParameterError(f"alpha must lie in (0, sqrt(CS)), got {alpha}")
+    return 2.0 * (cs + alpha * alpha) / (
+        p * machine.sigma_d * (cs - alpha * alpha) ** 2
+    ) - 2.0 / (machine.sigma_s * alpha * alpha)
+
+
+def alpha_num(machine: MulticoreMachine) -> float:
+    """Closed-form unconstrained minimizer of ``F`` (paper's ``α_num``)."""
+    cs = machine.cs
+    rho = machine.p * machine.sigma_d / machine.sigma_s
+    if abs(rho - 1.0) < _RHO_EPS:
+        return math.sqrt(cs / 3.0)
+    inner = (1.0 + 2.0 * rho - math.sqrt(1.0 + 8.0 * rho)) / (2.0 * (rho - 1.0))
+    # ``inner`` is provably in (0, 1) for every ρ > 0, but guard against
+    # floating-point slop near the singularity.
+    inner = min(max(inner, 0.0), 1.0)
+    return math.sqrt(cs * inner)
+
+
+def optimal_parameters(
+    machine: MulticoreMachine, mu: int | None = None
+) -> TradeoffParameters:
+    """The clamped integer ``(α, β)`` the Tradeoff algorithm runs with.
+
+    ``α`` is rounded *down* to a multiple of ``√p·µ`` (so the C tile
+    tiles evenly over the core grid in ``µ×µ`` sub-blocks) and shrunk
+    until ``α² + 2α ≤ CS`` holds, guaranteeing a feasible ``β ≥ 1``.
+
+    Raises
+    ------
+    ParameterError
+        If the machine cannot host even the minimal ``α = √p·µ`` tile
+        with ``µ`` reduced to 1 (then the shared cache is genuinely too
+        small relative to ``p``, which :class:`MulticoreMachine` should
+        already have rejected).
+    """
+    side = machine.grid_side  # raises for non-square p
+    if mu is None:
+        mu = mu_param(machine.cd)
+    target = alpha_num(machine)
+    a_hi = alpha_max(machine.cs)
+    while mu >= 1:
+        unit = side * mu
+        alpha = max(unit, int(min(a_hi, max(unit, target))) // unit * unit)
+        while alpha > unit and alpha * (alpha + 2) > machine.cs:
+            alpha -= unit
+        if alpha * (alpha + 2) <= machine.cs:
+            return TradeoffParameters(
+                alpha=alpha,
+                beta=beta_for_alpha(machine.cs, alpha),
+                mu=mu,
+                alpha_num=target,
+            )
+        mu -= 1
+    raise ParameterError(
+        f"no feasible tradeoff tile for p={machine.p}, CS={machine.cs}, "
+        f"CD={machine.cd}"
+    )

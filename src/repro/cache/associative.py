@@ -1,0 +1,185 @@
+"""Set-associative caches and tree pseudo-LRU — hardware-realism ablations.
+
+The paper's model assumes *fully associative* caches ("can store any
+data from main memory").  Real L1/L2 caches are set-associative with a
+pseudo-LRU replacement heuristic, so a reproduction that wants to say
+anything about real hardware needs both on hand:
+
+* :class:`SetAssociativeCache` — ``sets × ways`` organization; a block
+  maps to exactly one set (by a multiplicative hash of its id) and
+  competes only within it.  Conflict misses appear that the fully
+  associative model cannot see.
+* :class:`TreePLRU` — the classic tree pseudo-LRU heuristic used per
+  set (or standalone): one bit per internal node of a binary tree over
+  the ways points toward the *less* recently used half; victims follow
+  the bits from the root.  Exact LRU for 2 ways, an approximation
+  beyond.
+
+Both implement :class:`~repro.cache.policy.ReplacementPolicy`, so they
+drop into :class:`~repro.cache.cache.Cache` and the LRU hierarchy
+unchanged (the hierarchy falls back to its generic path automatically).
+``make_policy`` in :mod:`repro.cache.lru` accepts the spec strings
+``"plru"``, ``"assoc<W>"`` and ``"assoc<W>-plru"``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator, List, Optional, Tuple
+
+from repro.cache.policy import ReplacementPolicy
+from repro.exceptions import ConfigurationError
+
+#: Knuth's multiplicative hash constant (golden-ratio derived).
+_HASH_MULT = 2654435761
+_HASH_MASK = (1 << 32) - 1
+
+
+def _set_index(key: int, n_sets: int) -> int:
+    """Map a block id to its set (multiplicative hashing)."""
+    return ((key * _HASH_MULT) & _HASH_MASK) % n_sets
+
+
+class TreePLRU(ReplacementPolicy):
+    """Tree pseudo-LRU over ``capacity`` ways (power of two).
+
+    Internal nodes hold one bit each: 0 = the LRU side is the left
+    subtree, 1 = the right.  An access flips the bits on its path to
+    point *away* from the accessed way; a victim is found by following
+    the bits from the root.
+    """
+
+    __slots__ = ("capacity", "_bits", "_ways", "_slot_of")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1 or capacity & (capacity - 1):
+            raise ConfigurationError(
+                f"tree PLRU needs a power-of-two capacity, got {capacity}"
+            )
+        self.capacity = capacity
+        self._bits = [0] * max(capacity - 1, 1)
+        self._ways: List[Optional[int]] = [None] * capacity
+        self._slot_of: dict = {}
+
+    def _touch_slot(self, slot: int) -> None:
+        """Point every node on the path away from ``slot``."""
+        node = 0
+        lo, hi = 0, self.capacity
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if slot < mid:
+                self._bits[node] = 1  # LRU side is now the right half
+                node = 2 * node + 1
+                hi = mid
+            else:
+                self._bits[node] = 0
+                node = 2 * node + 2
+                lo = mid
+        # leaf reached
+
+    def _victim_slot(self) -> int:
+        """Follow the PLRU bits to the victim way."""
+        node = 0
+        lo, hi = 0, self.capacity
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if self._bits[node] == 0:
+                node = 2 * node + 1
+                hi = mid
+            else:
+                node = 2 * node + 2
+                lo = mid
+        return lo
+
+    def access(self, key: int) -> Tuple[bool, Optional[int]]:
+        slot = self._slot_of.get(key)
+        if slot is not None:
+            self._touch_slot(slot)
+            return True, None
+        # free way first
+        for idx, resident in enumerate(self._ways):
+            if resident is None:
+                slot = idx
+                victim = None
+                break
+        else:
+            slot = self._victim_slot()
+            victim = self._ways[slot]
+            del self._slot_of[victim]
+        self._ways[slot] = key
+        self._slot_of[key] = slot
+        self._touch_slot(slot)
+        return False, victim
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._slot_of
+
+    def __len__(self) -> int:
+        return len(self._slot_of)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._slot_of)
+
+    def discard(self, key: int) -> bool:
+        slot = self._slot_of.pop(key, None)
+        if slot is None:
+            return False
+        self._ways[slot] = None
+        return True
+
+    def clear(self) -> None:
+        self._bits = [0] * max(self.capacity - 1, 1)
+        self._ways = [None] * self.capacity
+        self._slot_of.clear()
+
+
+class SetAssociativeCache(ReplacementPolicy):
+    """``sets × ways`` cache; replacement is per-set (LRU or PLRU).
+
+    ``capacity`` must be a multiple of ``ways``.  ``ways == capacity``
+    degenerates to a single fully associative set.
+    """
+
+    __slots__ = ("capacity", "ways", "n_sets", "_sets", "_plru")
+
+    def __init__(self, capacity: int, ways: int, plru: bool = False) -> None:
+        if ways < 1 or capacity < 1:
+            raise ConfigurationError(
+                f"invalid geometry capacity={capacity}, ways={ways}"
+            )
+        if capacity % ways != 0:
+            raise ConfigurationError(
+                f"capacity {capacity} is not a multiple of ways {ways}"
+            )
+        self.capacity = capacity
+        self.ways = ways
+        self.n_sets = capacity // ways
+        self._plru = plru
+        if plru:
+            self._sets: List[ReplacementPolicy] = [
+                TreePLRU(ways) for _ in range(self.n_sets)
+            ]
+        else:
+            from repro.cache.lru import LRUCache
+
+            self._sets = [LRUCache(ways) for _ in range(self.n_sets)]
+
+    def access(self, key: int) -> Tuple[bool, Optional[int]]:
+        return self._sets[_set_index(key, self.n_sets)].access(key)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._sets[_set_index(key, self.n_sets)]
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def __iter__(self) -> Iterator[int]:
+        for s in self._sets:
+            yield from s
+
+    def discard(self, key: int) -> bool:
+        return self._sets[_set_index(key, self.n_sets)].discard(key)
+
+    def clear(self) -> None:
+        for s in self._sets:
+            s.clear()

@@ -1,0 +1,175 @@
+"""N-level cache hierarchies — the paper's "clusters of multicores" outlook.
+
+The paper's conclusion anticipates "yet another level of hierarchy (or
+tiling)" for clusters of multicore processors.  This module generalizes
+the two-level LRU hierarchy to an arbitrary *tree* of caches: a root
+(backed by memory) whose leaves are the per-core private caches, with
+any number of intermediate levels (e.g. memory → node cache → socket
+cache → core cache).
+
+Topology is described by a :class:`LevelSpec` list, root first.  Each
+level divides the cores evenly among its caches, so level ``i`` with
+``count`` caches serves ``p / count`` cores per cache; counts must
+divide ``p`` and grow down the tree (every child cache has exactly one
+parent).
+
+Semantics mirror :class:`repro.cache.hierarchy.LRUHierarchy`: a core's
+reference walks up from its leaf cache until it hits, loading the block
+into every cache on the path back down (inclusive fill).  Statistics
+are kept per cache and per level; the two-level special case is
+bit-for-bit equivalent to ``LRUHierarchy`` (property-tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.cache.cache import Cache
+from repro.cache.stats import CacheStats
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LevelSpec:
+    """One level of the tree: how many caches, how big, how fast.
+
+    ``count`` caches of ``capacity`` blocks each; ``bandwidth`` is used
+    by :meth:`MultiLevelHierarchy.tdata` to weigh this level's misses
+    (the fill cost of loading *into* this level from above).
+    """
+
+    count: int
+    capacity: int
+    bandwidth: float = 1.0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ConfigurationError(f"level needs >= 1 cache, got {self.count}")
+        if self.capacity < 1:
+            raise ConfigurationError(
+                f"cache capacity must be positive, got {self.capacity}"
+            )
+        if self.bandwidth <= 0:
+            raise ConfigurationError(
+                f"bandwidth must be positive, got {self.bandwidth}"
+            )
+
+
+class MultiLevelHierarchy:
+    """A tree of LRU caches serving ``p`` cores.
+
+    Parameters
+    ----------
+    p:
+        Number of cores.  The last level must have exactly ``p`` caches
+        (one private cache per core).
+    levels:
+        Root-first level specs.  ``levels[0]`` faces memory; each
+        ``count`` must divide ``p`` and divide the next level's count.
+    policy:
+        Replacement policy name for every cache.
+    """
+
+    def __init__(
+        self, p: int, levels: Sequence[LevelSpec], policy: str = "lru"
+    ) -> None:
+        if p < 1:
+            raise ConfigurationError(f"need at least one core, got p={p}")
+        if not levels:
+            raise ConfigurationError("need at least one cache level")
+        if levels[-1].count != p:
+            raise ConfigurationError(
+                f"the leaf level must have one cache per core: "
+                f"{levels[-1].count} != p={p}"
+            )
+        prev = 1
+        for idx, spec in enumerate(levels):
+            if spec.count % prev != 0:
+                raise ConfigurationError(
+                    f"level {idx} count {spec.count} must be a multiple of "
+                    f"its parent level's count {prev}"
+                )
+            if p % spec.count != 0:
+                raise ConfigurationError(
+                    f"level {idx} count {spec.count} must divide p={p}"
+                )
+            prev = spec.count
+        self.p = p
+        self.levels = list(levels)
+        self.caches: List[List[Cache]] = [
+            [
+                Cache(f"{spec.name or f'L{idx}'}[{c}]", spec.capacity, policy)
+                for c in range(spec.count)
+            ]
+            for idx, spec in enumerate(self.levels)
+        ]
+        # cores_per_cache[idx]: how many cores each cache at level idx serves
+        self._cores_per_cache = [p // spec.count for spec in self.levels]
+
+    def cache_of(self, level: int, core: int) -> Cache:
+        """The cache at ``level`` on ``core``'s path to memory."""
+        return self.caches[level][core // self._cores_per_cache[level]]
+
+    def touch(self, core: int, key: int, write: bool = False) -> int:
+        """One reference by ``core``; returns the number of levels missed.
+
+        0 means a hit in the core's private cache; ``len(levels)`` means
+        the block came all the way from memory.
+        """
+        missed = 0
+        for level in range(len(self.levels) - 1, -1, -1):
+            cache = self.cache_of(level, core)
+            hit, _ = cache.access(key, write=(write and level == len(self.levels) - 1))
+            if hit:
+                return missed
+            missed += 1
+        return missed
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def level_stats(self, level: int) -> List[CacheStats]:
+        """Per-cache stats snapshot of one level."""
+        return [c.stats() for c in self.caches[level]]
+
+    def level_misses(self, level: int) -> int:
+        """Max misses across the caches of one level (concurrent fills)."""
+        return max(c.misses for c in self.caches[level])
+
+    def total_misses(self, level: int) -> int:
+        """Sum of misses across the caches of one level."""
+        return sum(c.misses for c in self.caches[level])
+
+    def tdata(self) -> float:
+        """Generalized data access time: Σ_level max-misses / bandwidth."""
+        return sum(
+            self.level_misses(idx) / spec.bandwidth
+            for idx, spec in enumerate(self.levels)
+        )
+
+    def check_inclusion(self) -> bool:
+        """Every block in a child cache is present in its parent."""
+        for level in range(1, len(self.levels)):
+            ratio = self.levels[level].count // self.levels[level - 1].count
+            for c, cache in enumerate(self.caches[level]):
+                parent = self.caches[level - 1][c // ratio]
+                for key in cache.policy:
+                    if key not in parent:
+                        return False
+        return True
+
+    def reset(self) -> None:
+        for row in self.caches:
+            for cache in row:
+                cache.reset()
+
+
+def two_level(p: int, cs: int, cd: int, policy: str = "lru") -> MultiLevelHierarchy:
+    """The paper's topology as a tree: shared root + p private leaves."""
+    return MultiLevelHierarchy(
+        p,
+        [LevelSpec(1, cs, name="shared"), LevelSpec(p, cd, name="distributed")],
+        policy=policy,
+    )

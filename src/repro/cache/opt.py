@@ -1,0 +1,78 @@
+"""Belady's OPT: offline-optimal replacement over a recorded trace.
+
+The paper's IDEAL mode is *omniscient and explicit* — the algorithm
+plans every movement.  Belady's MIN/OPT is the reactive counterpart:
+demand-fetch like LRU, but evict the block whose next use is farthest
+in the future.  OPT is the provably optimal reactive policy, so it
+separates how much of the LRU-vs-IDEAL gap is the *replacement
+heuristic* (recoverable by a smarter policy) from how much is the
+demand-fetch discipline itself (recoverable only by explicit planning,
+i.e. the paper's IDEAL mode).
+
+OPT needs the whole future, so it is a trace analysis, not a
+:class:`~repro.cache.policy.ReplacementPolicy`: record a trace (or take
+any key sequence), call :func:`opt_misses`.
+
+Implementation: the classic two-pass algorithm — precompute next-use
+indices, then simulate keeping the resident set with a max-heap of
+(next use, key); lazily invalidated heap entries keep it
+``O(N log N)``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Sequence
+
+from repro.exceptions import ConfigurationError
+
+#: Next-use sentinel for "never referenced again".
+_NEVER = float("inf")
+
+
+def next_use_indices(keys: Sequence[int]) -> List[float]:
+    """For each position, the index of the key's next reference.
+
+    ``inf`` when the key never occurs again.  (First pass of OPT.)
+    """
+    next_use: List[float] = [_NEVER] * len(keys)
+    last_seen: Dict[int, int] = {}
+    for idx in range(len(keys) - 1, -1, -1):
+        key = keys[idx]
+        next_use[idx] = last_seen.get(key, _NEVER)
+        last_seen[key] = idx
+    return next_use
+
+
+def opt_misses(keys: Iterable[int], capacity: int) -> int:
+    """Miss count of Belady's optimal replacement on a key sequence."""
+    if capacity < 1:
+        raise ConfigurationError(f"capacity must be positive, got {capacity}")
+    trace = list(keys)
+    next_use = next_use_indices(trace)
+    resident: Dict[int, float] = {}  # key -> its current next-use
+    heap: List[tuple] = []  # (-next_use, key), lazily invalidated
+    misses = 0
+    for idx, key in enumerate(trace):
+        future = next_use[idx]
+        if key in resident:
+            resident[key] = future
+            heapq.heappush(heap, (-future, key))
+            continue
+        misses += 1
+        if len(resident) >= capacity:
+            # evict the resident block used farthest in the future
+            while True:
+                neg_use, victim = heapq.heappop(heap)
+                if resident.get(victim) == -neg_use:
+                    del resident[victim]
+                    break
+        resident[key] = future
+        heapq.heappush(heap, (-future, key))
+    return misses
+
+
+def opt_miss_curve(keys: Iterable[int], capacities: Iterable[int]) -> Dict[int, int]:
+    """OPT miss counts for several capacities (one simulation each)."""
+    trace = list(keys)
+    return {z: opt_misses(trace, z) for z in capacities}

@@ -1,0 +1,59 @@
+"""Replacement-policy interface.
+
+The paper's simulator offers LRU and IDEAL modes.  LRU (and the FIFO
+extension used in ablations) are *reactive* policies implementing this
+interface; IDEAL is not a policy at all — replacement decisions come
+from the algorithm — and lives in
+:class:`repro.cache.hierarchy.IdealHierarchy` instead.
+
+A policy is a bounded container of block keys.  ``access`` is the single
+hot-path operation: it records a reference and reports whether it hit.
+On a miss the policy inserts the key, evicting a victim if full, and
+reports the victim so the owning :class:`repro.cache.cache.Cache` can
+account write-backs and (optionally) back-invalidate inner caches.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterator, Optional, Tuple
+
+
+class ReplacementPolicy(ABC):
+    """Bounded key container with a replacement discipline."""
+
+    #: Capacity in blocks; set by concrete constructors.
+    capacity: int
+
+    @abstractmethod
+    def access(self, key: int) -> Tuple[bool, Optional[int]]:
+        """Reference ``key``; return ``(hit, evicted_key_or_None)``.
+
+        On a hit the policy updates its recency metadata and returns
+        ``(True, None)``.  On a miss it inserts ``key``; if the
+        container was full it evicts and returns the victim.
+        """
+
+    @abstractmethod
+    def __contains__(self, key: int) -> bool:
+        """Whether ``key`` currently resides in the container."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of resident keys."""
+
+    @abstractmethod
+    def __iter__(self) -> Iterator[int]:
+        """Iterate over resident keys (eviction order unspecified)."""
+
+    @abstractmethod
+    def discard(self, key: int) -> bool:
+        """Remove ``key`` if present; return whether it was resident.
+
+        Used for back-invalidation when an outer cache enforces
+        inclusivity.
+        """
+
+    @abstractmethod
+    def clear(self) -> None:
+        """Empty the container (statistics live in the owning cache)."""

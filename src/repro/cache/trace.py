@@ -1,0 +1,85 @@
+"""Access traces: recording, replay and coalescing.
+
+An :class:`AccessTrace` is a flat sequence of ``(core, key, write)``
+references — the raw material of LRU simulation.  Traces let us:
+
+* replay the exact same reference stream against different hierarchies
+  (policies, capacities, inclusive or not) for ablations;
+* *coalesce* adjacent duplicate references, a pure speed optimization:
+  re-referencing the most recently used block is a guaranteed hit under
+  LRU and leaves the cache state unchanged, so dropping immediate
+  repeats preserves every miss count (proved by
+  ``tests/cache/test_trace.py`` property tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Tuple
+
+from repro.cache.hierarchy import LRUHierarchy
+
+#: One reference: (core, block key, is-write).
+TraceEntry = Tuple[int, int, bool]
+
+
+@dataclass
+class AccessTrace:
+    """A recorded stream of cache references."""
+
+    entries: List[TraceEntry] = field(default_factory=list)
+
+    def record(self, core: int, key: int, write: bool = False) -> None:
+        """Append one reference."""
+        self.entries.append((core, key, write))
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[TraceEntry]:
+        return iter(self.entries)
+
+    def replay(self, hierarchy: LRUHierarchy) -> None:
+        """Feed every reference to ``hierarchy`` in order."""
+        touch = hierarchy.touch
+        for core, key, write in self.entries:
+            touch(core, key, write)
+
+    def per_core(self) -> List["AccessTrace"]:
+        """Split into one trace per core (order preserved within cores)."""
+        ncores = max((core for core, _, _ in self.entries), default=-1) + 1
+        split: List[AccessTrace] = [AccessTrace() for _ in range(ncores)]
+        for core, key, write in self.entries:
+            split[core].entries.append((core, key, write))
+        return split
+
+    def coalesced(self) -> "AccessTrace":
+        """Return a copy with per-core adjacent duplicates removed.
+
+        A reference is dropped when the same core's *immediately
+        preceding* reference (ignoring interleaved references by other
+        cores, which touch other distributed caches) named the same
+        block; a dropped write keeps the surviving entry's write flag
+        sticky so dirtiness is preserved.
+        """
+        out = AccessTrace()
+        last_by_core: dict = {}
+        last_index_by_core: dict = {}
+        for core, key, write in self.entries:
+            if last_by_core.get(core) == key:
+                if write:
+                    idx = last_index_by_core[core]
+                    c, k, w = out.entries[idx]
+                    if not w:
+                        out.entries[idx] = (c, k, True)
+                continue
+            last_by_core[core] = key
+            last_index_by_core[core] = len(out.entries)
+            out.entries.append((core, key, write))
+        return out
+
+
+def coalesce(entries: Iterable[TraceEntry]) -> List[TraceEntry]:
+    """Functional form of :meth:`AccessTrace.coalesced` over any iterable."""
+    trace = AccessTrace(list(entries))
+    return trace.coalesced().entries

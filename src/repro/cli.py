@@ -1,0 +1,306 @@
+"""Command-line interface: ``python -m repro`` / ``repro-mmm``.
+
+Subcommands
+-----------
+``list``
+    Show registered algorithms, machine presets and simulation settings.
+``params``
+    Derived tile parameters (λ, µ, α, β) for a machine.
+``run``
+    One experiment: algorithm × machine × dimensions × setting.
+``sweep``
+    Square-order sweep for one or more algorithms.
+``figure``
+    Regenerate a paper figure (``fig4`` … ``fig12``) as ASCII tables
+    and optionally CSV files.
+``verify``
+    Numerically prove an algorithm's schedule computes ``A·B``.
+``tables``
+    The §4.1 cache-configuration and parameter tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.algorithms.registry import algorithm_names, get_algorithm
+from repro.exceptions import ReproError
+from repro.experiments.figures import FIGURES, get_figure
+from repro.experiments.io import (
+    figure_to_csv,
+    render_figure,
+    render_rows,
+)
+from repro.experiments.tables import cache_configuration_table, parameter_table
+from repro.model.machine import PRESETS, MulticoreMachine, preset
+from repro.model.params import lambda_param, mu_param
+from repro.analysis.tradeoff_opt import optimal_parameters
+from repro.numerics.executor import verify_schedule
+from repro.sim.runner import run_experiment
+from repro.sim.settings import SETTINGS
+from repro.sim.sweep import order_sweep
+
+
+def _machine_from_args(args: argparse.Namespace) -> MulticoreMachine:
+    if args.preset:
+        machine = preset(args.preset)
+    else:
+        machine = MulticoreMachine(
+            p=args.cores, cs=args.cs, cd=args.cd, q=args.q
+        )
+    if args.sigma_s != 1.0 or args.sigma_d != 1.0:
+        machine = MulticoreMachine(
+            p=machine.p,
+            cs=machine.cs,
+            cd=machine.cd,
+            sigma_s=args.sigma_s,
+            sigma_d=args.sigma_d,
+            q=machine.q,
+            name=machine.name,
+        )
+    return machine
+
+
+def _add_machine_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("machine")
+    group.add_argument("--preset", choices=sorted(PRESETS), default=None)
+    group.add_argument("--cores", "-p", type=int, default=4)
+    group.add_argument("--cs", type=int, default=977, help="shared capacity (blocks)")
+    group.add_argument("--cd", type=int, default=21, help="distributed capacity")
+    group.add_argument("--q", type=int, default=32, help="block side")
+    group.add_argument("--sigma-s", type=float, default=1.0)
+    group.add_argument("--sigma-d", type=float, default=1.0)
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("algorithms (paper):")
+    for name in algorithm_names():
+        print(f"  {name:18s} {get_algorithm(name).label}")
+    print("algorithms (extensions):")
+    for name in algorithm_names(include_extras=True):
+        if name not in algorithm_names():
+            print(f"  {name:18s} {get_algorithm(name).label}")
+    print("presets:")
+    for key, machine in PRESETS.items():
+        print(f"  {key:18s} {machine.name}")
+    print("settings:", ", ".join(sorted(SETTINGS)))
+    print("figures:", ", ".join(FIGURES))
+    return 0
+
+
+def _cmd_params(args: argparse.Namespace) -> int:
+    machine = _machine_from_args(args)
+    print(f"machine: p={machine.p} CS={machine.cs} CD={machine.cd}")
+    print(f"lambda (Shared Opt.):      {lambda_param(machine.cs)}")
+    print(f"mu (Distributed Opt.):     {mu_param(machine.cd)}")
+    if machine.is_square_grid:
+        params = optimal_parameters(machine)
+        print(
+            f"tradeoff: alpha={params.alpha} beta={params.beta} "
+            f"mu={params.mu} (alpha_num={params.alpha_num:.2f})"
+        )
+    else:
+        print("tradeoff: n/a (core count is not a perfect square)")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    machine = _machine_from_args(args)
+    result = run_experiment(
+        args.algorithm,
+        machine,
+        args.m,
+        args.n if args.n else args.m,
+        args.z if args.z else args.m,
+        args.setting,
+        check=args.check,
+        inclusive=args.inclusive,
+        policy=args.policy,
+    )
+    print(render_rows([result.to_row()]))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    machine = _machine_from_args(args)
+    entries = [(alg, args.setting) for alg in args.algorithms]
+    sweep = order_sweep(entries, machine, args.orders, policy=args.policy)
+    rows = []
+    for label, results in sweep.series.items():
+        for result in results:
+            rows.append(result.to_row())
+    print(render_rows(rows))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    kwargs = {}
+    if args.fig_id == "fig12":
+        if args.orders:
+            kwargs["order"] = args.orders[0]
+    elif args.orders:
+        kwargs["orders"] = args.orders
+    figure = get_figure(args.fig_id, **kwargs)
+    print(render_figure(figure))
+    if args.csv:
+        paths = figure_to_csv(figure, args.csv)
+        print("wrote:", ", ".join(str(p) for p in paths))
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    machine = _machine_from_args(args)
+    cls = get_algorithm(args.algorithm)
+    alg = cls(machine, args.m, args.n if args.n else args.m, args.z if args.z else args.m)
+    verify_schedule(alg, q=args.block, seed=args.seed)
+    print(
+        f"{alg.name}: schedule for m={alg.m}, n={alg.n}, z={alg.z} computes "
+        "A*B exactly (numeric verification passed)"
+    )
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis.policies import miss_curve_rows, replacement_gap
+
+    machine = _machine_from_args(args)
+    size = args.m
+    print(f"replacement gap for {args.algorithm} at order {size}:")
+    print(render_rows(replacement_gap(args.algorithm, machine, size, size, size)))
+    if args.curve:
+        print("LRU/OPT miss curve of the full trace:")
+        print(render_rows(miss_curve_rows(args.algorithm, machine, size, size, size)))
+    return 0
+
+
+def _cmd_lu(args: argparse.Namespace) -> int:
+    from repro.lu.numeric import verify_lu_schedule
+    from repro.lu.runner import run_lu
+    from repro.lu.schedules import LU_SCHEDULES
+
+    machine = _machine_from_args(args)
+    rows = []
+    for name, cls in LU_SCHEDULES.items():
+        if args.verify:
+            verify_lu_schedule(cls(machine, min(args.n, 6)), q=4)
+        result = run_lu(name, machine, args.n, args.setting)
+        rows.append(
+            {
+                "schedule": name,
+                "n": args.n,
+                "MS": result.ms,
+                "MD": result.md,
+                "Tdata": result.tdata,
+                "updates": sum(result.ops.update),
+                "trsms": sum(result.ops.trsm),
+            }
+        )
+    print(render_rows(rows))
+    if args.verify:
+        print("numeric verification passed for both schedules")
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    print("Cache configurations (paper 4.1):")
+    print(render_rows(cache_configuration_table()))
+    print("Derived algorithm parameters:")
+    print(render_rows(parameter_table()))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mmm",
+        description="Matrix product on multicore architectures (ICPP 2009) "
+        "— reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list algorithms/presets/settings")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_params = sub.add_parser("params", help="derived tile parameters")
+    _add_machine_args(p_params)
+    p_params.set_defaults(func=_cmd_params)
+
+    p_run = sub.add_parser("run", help="run one experiment")
+    _add_machine_args(p_run)
+    p_run.add_argument("algorithm", choices=algorithm_names(include_extras=True))
+    p_run.add_argument("-m", type=int, required=True, help="order (blocks)")
+    p_run.add_argument("-n", type=int, default=0)
+    p_run.add_argument("-z", type=int, default=0)
+    p_run.add_argument("--setting", choices=sorted(SETTINGS), default="lru-50")
+    p_run.add_argument("--check", action="store_true", help="verify IDEAL mode")
+    p_run.add_argument("--inclusive", action="store_true")
+    p_run.add_argument("--policy", choices=("lru", "fifo"), default="lru")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_sweep = sub.add_parser("sweep", help="square-order sweep")
+    _add_machine_args(p_sweep)
+    p_sweep.add_argument("algorithms", nargs="+", choices=algorithm_names(include_extras=True))
+    p_sweep.add_argument(
+        "--orders", type=int, nargs="+", default=[16, 32, 48, 64]
+    )
+    p_sweep.add_argument("--setting", choices=sorted(SETTINGS), default="lru-50")
+    p_sweep.add_argument("--policy", choices=("lru", "fifo"), default="lru")
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_fig = sub.add_parser("figure", help="regenerate a paper figure")
+    p_fig.add_argument("fig_id", choices=list(FIGURES))
+    p_fig.add_argument("--orders", type=int, nargs="+", default=None)
+    p_fig.add_argument("--csv", default=None, help="directory for CSV output")
+    p_fig.set_defaults(func=_cmd_figure)
+
+    p_verify = sub.add_parser("verify", help="numeric schedule verification")
+    _add_machine_args(p_verify)
+    p_verify.add_argument("algorithm", choices=algorithm_names(include_extras=True))
+    p_verify.add_argument("-m", type=int, default=12)
+    p_verify.add_argument("-n", type=int, default=0)
+    p_verify.add_argument("-z", type=int, default=0)
+    p_verify.add_argument("--block", type=int, default=4, help="numeric q")
+    p_verify.add_argument("--seed", type=int, default=0)
+    p_verify.set_defaults(func=_cmd_verify)
+
+    p_tables = sub.add_parser("tables", help="cache configuration tables")
+    p_tables.set_defaults(func=_cmd_tables)
+
+    p_analyze = sub.add_parser(
+        "analyze", help="LRU vs OPT vs compulsory misses for one schedule"
+    )
+    _add_machine_args(p_analyze)
+    p_analyze.add_argument("algorithm", choices=algorithm_names(include_extras=True))
+    p_analyze.add_argument("-m", type=int, default=16, help="square order (blocks)")
+    p_analyze.add_argument(
+        "--curve", action="store_true", help="also print the LRU/OPT miss curve"
+    )
+    p_analyze.set_defaults(func=_cmd_analyze)
+
+    p_lu = sub.add_parser("lu", help="blocked LU extension (paper future work)")
+    _add_machine_args(p_lu)
+    p_lu.add_argument("-n", type=int, default=24, help="matrix order (blocks)")
+    p_lu.add_argument(
+        "--setting", choices=("lru", "lru-50", "lru-2x"), default="lru-50"
+    )
+    p_lu.add_argument(
+        "--verify", action="store_true", help="also verify L*U = A numerically"
+    )
+    p_lu.set_defaults(func=_cmd_lu)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,66 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the common failure families.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid machine/algorithm configuration was supplied.
+
+    Raised, e.g., for non-positive cache sizes, a shared cache smaller
+    than the union of the distributed caches, or a core count that an
+    algorithm cannot handle (Algorithm 2 requires a square core count).
+    """
+
+
+class CapacityError(ReproError):
+    """An IDEAL-mode load would exceed the capacity of a cache.
+
+    The ideal cache model puts the algorithm in charge of replacement;
+    overflowing a cache is therefore an *algorithm bug*, not a miss, and
+    the simulator refuses to mask it.
+    """
+
+
+class InclusionError(ReproError):
+    """An IDEAL-mode operation would violate cache inclusivity.
+
+    The paper's model mandates that the shared cache contain every block
+    held by any distributed cache.  Loading a block into a distributed
+    cache while it is absent from the shared cache — or evicting a block
+    from the shared cache while a distributed cache still holds it — is
+    rejected in checked mode.
+    """
+
+
+class PresenceError(ReproError):
+    """A compute step touched a block that IDEAL mode never loaded.
+
+    Only raised when presence checking is enabled (``check=True`` on the
+    ideal hierarchy); it signals that the algorithm's explicit load
+    schedule does not cover its compute schedule.
+    """
+
+
+class ScheduleError(ReproError):
+    """An algorithm emitted an inconsistent or incomplete schedule.
+
+    For instance, a numeric execution that never writes some block of
+    ``C``, or a block multiply-add with mismatched operand coordinates.
+    """
+
+
+class ParameterError(ReproError, ValueError):
+    """No feasible algorithm parameter exists for the given machine.
+
+    Typical cause: a distributed cache too small to hold even the three
+    blocks (one of each matrix) needed for a single multiply-add.
+    """

@@ -1,0 +1,53 @@
+"""Experiment harness: one entry point per paper table/figure.
+
+:mod:`repro.experiments.figures` regenerates each of the paper's
+Figures 4–12 as structured :class:`~repro.experiments.figures.Figure`
+objects; :mod:`repro.experiments.tables` reproduces the §4.1 cache
+configuration table; :mod:`repro.experiments.io` renders either as
+ASCII tables, CSV or Markdown.
+"""
+
+from repro.experiments.figures import (
+    Figure,
+    Panel,
+    FIGURES,
+    get_figure,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+)
+from repro.experiments.tables import cache_configuration_table, parameter_table
+from repro.experiments.io import (
+    render_panel,
+    render_figure,
+    panel_to_csv,
+    figure_to_csv,
+)
+
+__all__ = [
+    "Figure",
+    "Panel",
+    "FIGURES",
+    "get_figure",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+    "figure12",
+    "cache_configuration_table",
+    "parameter_table",
+    "render_panel",
+    "render_figure",
+    "panel_to_csv",
+    "figure_to_csv",
+]

@@ -1,0 +1,40 @@
+"""Blocked LU factorization on the multicore cache model (extension).
+
+The paper's conclusion names LU factorization as the next kernel to
+tackle on the two-level cache model.  This subpackage carries the
+reproduction one step into that future work:
+
+* :mod:`repro.lu.ops` — the block-operation contexts (counting and
+  numeric) for the four LU block kernels: ``factor`` (diagonal LU),
+  ``trsm_u`` / ``trsm_l`` (triangular solves producing a row of ``U`` /
+  a column of ``L``) and ``update`` (the trailing GEMM);
+* :mod:`repro.lu.schedules` — two schedules over those kernels:
+  :class:`~repro.lu.schedules.RightLookingLU` (the classic eager
+  variant, which re-touches the whole trailing submatrix at every step
+  — the Outer-Product analogue) and
+  :class:`~repro.lu.schedules.LeftLookingLU` (the lazy variant that
+  pins each block column in the shared cache while every pending update
+  is applied to it — the Maximum-Reuse analogue);
+* :mod:`repro.lu.numeric` — numpy execution of the same schedules and
+  end-to-end verification ``L · U = A`` (no pivoting; verification uses
+  diagonally dominant matrices, for which pivot-free LU is stable);
+* :mod:`repro.lu.runner` — one-call counting runs mirroring
+  :func:`repro.sim.runner.run_experiment`.
+"""
+
+from repro.lu.ops import LUCountingContext, LUOpCounts
+from repro.lu.schedules import LeftLookingLU, RightLookingLU, LU_SCHEDULES
+from repro.lu.numeric import LUNumericContext, verify_lu_schedule
+from repro.lu.runner import LUResult, run_lu
+
+__all__ = [
+    "LUCountingContext",
+    "LUOpCounts",
+    "LeftLookingLU",
+    "RightLookingLU",
+    "LU_SCHEDULES",
+    "LUNumericContext",
+    "verify_lu_schedule",
+    "LUResult",
+    "run_lu",
+]

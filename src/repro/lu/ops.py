@@ -1,0 +1,132 @@
+"""Block-operation contexts for LU schedules.
+
+An LU schedule factors a single ``n × n`` block matrix *in place*, so
+all blocks live in one matrix; block ``(i, j)`` is addressed with the
+``MAT_A`` tag of :mod:`repro.cache.block`.  Four block kernels exist:
+
+=========== ================= ====================== ==================
+kernel      reads             writes                 flop weight (q³)
+=========== ================= ====================== ==================
+``factor``  (k,k)             (k,k)                  1/3
+``trsm_u``  (k,k), (k,j)      (k,j)                  1/2
+``trsm_l``  (k,k), (i,k)      (i,k)                  1/2
+``update``  (i,k), (k,j)      (i,j) (read-modify)    1
+=========== ================= ====================== ==================
+
+The *flop weight* column normalizes the communication-to-computation
+ratios: an ``update`` is one full block GEMM (2q³ flops, weight 1); the
+triangular solves cost q³ (weight ½) and the in-place diagonal LU
+2q³/3 (weight ⅓).
+
+:class:`LUCountingContext` maps each kernel onto LRU-hierarchy touches
+(the LU analogue of :class:`repro.sim.contexts.LRUContext`); numeric
+execution lives in :mod:`repro.lu.numeric`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.cache.block import block_key, MAT_A
+from repro.cache.hierarchy import LRUHierarchy
+from repro.exceptions import ConfigurationError
+
+#: Flop weights (units of q³ multiply-adds) per kernel.
+FACTOR_WEIGHT = 1.0 / 3.0
+TRSM_WEIGHT = 0.5
+UPDATE_WEIGHT = 1.0
+
+
+def lu_key(i: int, j: int) -> int:
+    """Block id of the in-place matrix's block ``(i, j)``."""
+    return block_key(MAT_A, i, j)
+
+
+@dataclass
+class LUOpCounts:
+    """How many of each kernel a schedule emitted (per core)."""
+
+    factor: List[int] = field(default_factory=list)
+    trsm: List[int] = field(default_factory=list)
+    update: List[int] = field(default_factory=list)
+
+    @classmethod
+    def zeros(cls, p: int) -> "LUOpCounts":
+        return cls(factor=[0] * p, trsm=[0] * p, update=[0] * p)
+
+    def weighted_total(self) -> float:
+        """Total work in block-GEMM units across all cores."""
+        return (
+            FACTOR_WEIGHT * sum(self.factor)
+            + TRSM_WEIGHT * sum(self.trsm)
+            + UPDATE_WEIGHT * sum(self.update)
+        )
+
+    def totals(self) -> dict:
+        return {
+            "factor": sum(self.factor),
+            "trsm": sum(self.trsm),
+            "update": sum(self.update),
+        }
+
+
+class LUContext(ABC):
+    """Interpreter of an LU schedule's kernel stream."""
+
+    def __init__(self, p: int) -> None:
+        if p < 1:
+            raise ConfigurationError(f"need at least one core, got p={p}")
+        self.p = p
+        self.ops = LUOpCounts.zeros(p)
+
+    @abstractmethod
+    def factor(self, core: int, k: int) -> None:
+        """In-place LU of diagonal block ``(k, k)``."""
+
+    @abstractmethod
+    def trsm_u(self, core: int, k: int, j: int) -> None:
+        """``(k, j) ← L(k,k)⁻¹ · (k, j)`` — a block of ``U``."""
+
+    @abstractmethod
+    def trsm_l(self, core: int, i: int, k: int) -> None:
+        """``(i, k) ← (i, k) · U(k,k)⁻¹`` — a block of ``L``."""
+
+    @abstractmethod
+    def update(self, core: int, i: int, j: int, k: int) -> None:
+        """``(i, j) ← (i, j) − L(i,k) · U(k,j)`` — trailing GEMM."""
+
+
+class LUCountingContext(LUContext):
+    """Count cache misses of an LU schedule on an LRU hierarchy.
+
+    Touch order per kernel follows the read-then-write convention of
+    the matmul contexts: reads first, then the read-modify-write
+    operand (marked dirty).
+    """
+
+    def __init__(self, hierarchy: LRUHierarchy) -> None:
+        super().__init__(hierarchy.p)
+        self.hierarchy = hierarchy
+        self._touch = hierarchy.touch
+
+    def factor(self, core: int, k: int) -> None:
+        self._touch(core, lu_key(k, k), write=True)
+        self.ops.factor[core] += 1
+
+    def trsm_u(self, core: int, k: int, j: int) -> None:
+        self._touch(core, lu_key(k, k))
+        self._touch(core, lu_key(k, j), write=True)
+        self.ops.trsm[core] += 1
+
+    def trsm_l(self, core: int, i: int, k: int) -> None:
+        self._touch(core, lu_key(k, k))
+        self._touch(core, lu_key(i, k), write=True)
+        self.ops.trsm[core] += 1
+
+    def update(self, core: int, i: int, j: int, k: int) -> None:
+        self._touch(core, lu_key(i, k))
+        self._touch(core, lu_key(k, j))
+        self._touch(core, lu_key(i, j), write=True)
+        self.ops.update[core] += 1

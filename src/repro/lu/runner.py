@@ -1,0 +1,88 @@
+"""One-call counting runs for LU schedules (mirrors repro.sim.runner)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Type, Union
+
+from repro.cache.hierarchy import LRUHierarchy
+from repro.cache.stats import HierarchyStats
+from repro.exceptions import ConfigurationError
+from repro.lu.ops import LUCountingContext, LUOpCounts
+from repro.lu.schedules import LU_SCHEDULES, LUSchedule
+from repro.model.machine import MulticoreMachine
+from repro.sim.settings import Setting, get_setting
+
+
+@dataclass
+class LUResult:
+    """Outcome of one LU counting run."""
+
+    schedule: str
+    setting: str
+    machine: MulticoreMachine
+    n: int
+    stats: HierarchyStats
+    ops: LUOpCounts
+
+    @property
+    def ms(self) -> int:
+        return self.stats.ms
+
+    @property
+    def md(self) -> int:
+        return self.stats.md
+
+    @property
+    def tdata(self) -> float:
+        return self.stats.tdata(self.machine.sigma_s, self.machine.sigma_d)
+
+    @property
+    def ccr_s(self) -> float:
+        """Shared misses per block-GEMM-equivalent of work."""
+        return self.ms / self.ops.weighted_total()
+
+
+def run_lu(
+    schedule: Union[str, Type[LUSchedule]],
+    machine: MulticoreMachine,
+    n: int,
+    setting: Union[str, Setting] = "lru",
+    *,
+    policy: str = "lru",
+    inclusive: bool = False,
+) -> LUResult:
+    """Run one LU schedule through the LRU hierarchy and count misses.
+
+    Only the LRU-family settings apply (the LU schedules carry no
+    explicit IDEAL cache directives — they are counting/numeric
+    schedules, per the extension's scope).
+    """
+    if isinstance(schedule, str):
+        try:
+            schedule = LU_SCHEDULES[schedule]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown LU schedule {schedule!r}; valid: {sorted(LU_SCHEDULES)}"
+            ) from None
+    if isinstance(setting, str):
+        setting = get_setting(setting)
+    if setting.is_ideal:
+        raise ConfigurationError(
+            "LU schedules support the LRU-family settings only"
+        )
+    simulated = setting.simulated(machine)
+    hierarchy = LRUHierarchy(
+        machine.p, simulated.cs, simulated.cd, policy=policy, inclusive=inclusive
+    )
+    ctx = LUCountingContext(hierarchy)
+    sched = schedule(setting.declared(machine), n)
+    sched.run(ctx)
+    return LUResult(
+        schedule=sched.name,
+        setting=setting.key,
+        machine=machine,
+        n=n,
+        stats=hierarchy.snapshot(),
+        ops=ctx.ops,
+    )

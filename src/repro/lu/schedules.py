@@ -1,0 +1,106 @@
+"""LU schedules: right-looking (eager) vs left-looking (lazy).
+
+Both factor an ``n × n`` block matrix in place without pivoting,
+emitting the four kernels of :mod:`repro.lu.ops` in a dependency-valid
+order; they differ only in *when* trailing updates are applied:
+
+* :class:`RightLookingLU` applies every update as soon as the panel of
+  step ``k`` is ready — the whole trailing submatrix is re-touched at
+  every step, the access pattern of the Outer-Product matmul baseline.
+* :class:`LeftLookingLU` delays updates: each block column is processed
+  once, receiving *all* its pending updates while it is hot in the
+  cache — the Maximum-Reuse idea transposed to LU.
+
+Work is dealt to cores round-robin over the independent kernel
+instances of each phase (trailing rows for right-looking, update rows
+within the active column for left-looking).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, ClassVar, Dict
+
+from repro.exceptions import ConfigurationError
+from repro.lu.ops import LUContext
+from repro.model.machine import MulticoreMachine
+
+
+class LUSchedule(ABC):
+    """Base class of the blocked LU schedules."""
+
+    name: ClassVar[str] = "abstract-lu"
+    label: ClassVar[str] = "Abstract LU"
+
+    def __init__(self, machine: MulticoreMachine, n: int) -> None:
+        if n < 1:
+            raise ConfigurationError(f"matrix order must be positive, got {n}")
+        self.machine = machine
+        self.n = n
+
+    @abstractmethod
+    def run(self, ctx: LUContext) -> None:
+        """Emit the full factorization of the ``n × n`` block matrix."""
+
+    def parameters(self) -> Dict[str, Any]:
+        return {}
+
+    @property
+    def update_total(self) -> int:
+        """Number of trailing-update GEMMs any correct schedule emits.
+
+        ``Σ_k (n-1-k)² = n(n-1)(2n-1)/6``.
+        """
+        n = self.n
+        return n * (n - 1) * (2 * n - 1) // 6
+
+    @property
+    def trsm_total(self) -> int:
+        """Number of triangular solves: ``2 Σ_k (n-1-k) = n(n-1)``."""
+        return self.n * (self.n - 1)
+
+
+class RightLookingLU(LUSchedule):
+    """Eager blocked LU: factor, solve panels, update everything."""
+
+    name = "right-looking-lu"
+    label = "Right-looking LU"
+
+    def run(self, ctx: LUContext) -> None:
+        n = self.n
+        p = ctx.p
+        for k in range(n):
+            ctx.factor(0, k)
+            for j in range(k + 1, n):
+                ctx.trsm_u((j - k - 1) % p, k, j)
+            for i in range(k + 1, n):
+                ctx.trsm_l((i - k - 1) % p, i, k)
+            # trailing updates: rows dealt to cores
+            for i in range(k + 1, n):
+                core = (i - k - 1) % p
+                for j in range(k + 1, n):
+                    ctx.update(core, i, j, k)
+
+
+class LeftLookingLU(LUSchedule):
+    """Lazy blocked LU: each block column absorbs all its updates at once."""
+
+    name = "left-looking-lu"
+    label = "Left-looking LU"
+
+    def run(self, ctx: LUContext) -> None:
+        n = self.n
+        p = ctx.p
+        for j in range(n):
+            # replay history: panels k = 0 .. j-1 hit column j once each
+            for k in range(j):
+                ctx.trsm_u(k % p, k, j)
+                for i in range(k + 1, n):
+                    ctx.update((i - k - 1) % p, i, j, k)
+            ctx.factor(0, j)
+            for i in range(j + 1, n):
+                ctx.trsm_l((i - j - 1) % p, i, j)
+
+
+#: Registry of LU schedules by stable name.
+LU_SCHEDULES = {cls.name: cls for cls in (RightLookingLU, LeftLookingLU)}

@@ -1,0 +1,119 @@
+"""Communication lower bounds (paper §2.3).
+
+The paper extends the Irony–Toledo–Tiskin bound, itself built on the
+Loomis–Whitney inequality, to the two-level hierarchy.  For a computing
+system with a cache of ``Z`` blocks, any conventional matrix-product
+schedule has a communication-to-computation ratio (both in block units)
+
+    CCR ≥ sqrt(27 / (8 Z)).
+
+Specialized to the two levels, with ``K = mnz`` elementary block
+multiply-adds overall:
+
+* shared level:       ``MS ≥ mnz · sqrt(27 / (8 CS))``
+* distributed level:  ``MD ≥ (mnz / p) · sqrt(27 / (8 CD))``
+  (for algorithms whose work and misses are balanced across cores, the
+  regime of every algorithm in the paper),
+* data access time:   ``Tdata ≥ mnz · ( sqrt(27/(8 CS))/σS
+  + sqrt(27/(8 CD))/(p σD) )``.
+
+These are exactly the "Lower Bound" series plotted in Figs. 7–12.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import NamedTuple
+
+from repro.exceptions import ConfigurationError
+from repro.model.machine import MulticoreMachine
+
+
+class LoomisWhitneyOptimum(NamedTuple):
+    """Solution of the paper's §2.3.1 optimization problem.
+
+    Maximize ``k`` subject to ``k ≤ √(ηνξ)`` and ``η + ν + ξ ≤ 2``: the
+    most computation ``Z`` cache misses can feed, per matrix share.
+    """
+
+    eta: float
+    nu: float
+    xi: float
+    k: float
+
+
+def loomis_whitney_optimum() -> LoomisWhitneyOptimum:
+    """The closed-form optimum: ``η = ν = ξ = 2/3``, ``k = √(8/27)``.
+
+    By AM–GM, ``ηνξ`` under ``η+ν+ξ ≤ 2`` is maximized at the symmetric
+    point; :func:`loomis_whitney_optimum_numeric` cross-checks this with
+    a numeric optimizer in the tests.
+    """
+    share = 2.0 / 3.0
+    return LoomisWhitneyOptimum(share, share, share, math.sqrt(8.0 / 27.0))
+
+
+def loomis_whitney_optimum_numeric() -> LoomisWhitneyOptimum:
+    """Solve the §2.3.1 program numerically (scipy), as a cross-check."""
+    from scipy.optimize import minimize
+
+    def neg_k(v):
+        eta, nu, xi = v
+        return -math.sqrt(max(eta * nu * xi, 0.0))
+
+    result = minimize(
+        neg_k,
+        x0=[0.5, 0.5, 0.5],
+        bounds=[(0.0, 2.0)] * 3,
+        constraints=[
+            {"type": "ineq", "fun": lambda v: 2.0 - (v[0] + v[1] + v[2])}
+        ],
+        method="SLSQP",
+    )
+    eta, nu, xi = result.x
+    return LoomisWhitneyOptimum(eta, nu, xi, -result.fun)
+
+
+def ccr_lower_bound(z: int) -> float:
+    """Lower bound on the CCR for a cache of ``z`` blocks: ``sqrt(27/(8z))``."""
+    if z < 1:
+        raise ConfigurationError(f"cache size must be positive, got {z}")
+    return math.sqrt(27.0 / (8.0 * z))
+
+
+def shared_misses_lower_bound(machine: MulticoreMachine, m: int, n: int, z: int) -> float:
+    """Lower bound on shared-cache misses ``MS`` for ``C = A×B``.
+
+    ``m``, ``n``, ``z`` are the matrix dimensions in blocks; the bound is
+    ``mnz · sqrt(27 / (8 CS))``.
+    """
+    _check_dims(m, n, z)
+    return m * n * z * ccr_lower_bound(machine.cs)
+
+
+def distributed_misses_lower_bound(
+    machine: MulticoreMachine, m: int, n: int, z: int
+) -> float:
+    """Lower bound on the max per-core distributed misses ``MD``.
+
+    Valid for schedules whose computation and misses are balanced over
+    the ``p`` cores: ``(mnz/p) · sqrt(27 / (8 CD))``.
+    """
+    _check_dims(m, n, z)
+    return m * n * z / machine.p * ccr_lower_bound(machine.cd)
+
+
+def tdata_lower_bound(machine: MulticoreMachine, m: int, n: int, z: int) -> float:
+    """Lower bound on ``Tdata = MS/σS + MD/σD`` (balanced schedules)."""
+    _check_dims(m, n, z)
+    return (
+        shared_misses_lower_bound(machine, m, n, z) / machine.sigma_s
+        + distributed_misses_lower_bound(machine, m, n, z) / machine.sigma_d
+    )
+
+
+def _check_dims(m: int, n: int, z: int) -> None:
+    if m < 1 or n < 1 or z < 1:
+        raise ConfigurationError(
+            f"matrix dimensions must be positive, got m={m}, n={n}, z={z}"
+        )

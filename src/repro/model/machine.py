@@ -1,0 +1,234 @@
+"""The multicore machine model of the paper (§2.1).
+
+A :class:`MulticoreMachine` describes the platform every algorithm and
+simulation runs against:
+
+* ``p`` identical cores;
+* one *shared* cache of capacity ``cs`` blocks with bandwidth
+  ``sigma_s`` (blocks per time unit, memory → shared cache);
+* ``p`` *distributed* (private) caches of capacity ``cd`` blocks with
+  bandwidth ``sigma_d`` each (shared → distributed);
+* a block size of ``q × q`` matrix coefficients — the atomic unit of
+  both data movement and computation.
+
+Capacities are expressed in *blocks*, exactly as in the paper, so that
+cache-fitting parameters (``λ``, ``µ``, ``α``, ``β``) read off directly.
+
+The module also ships the cache configurations of the paper's §4.1
+(quad-core, 8 MB shared cache, four 256 KB private caches, 8-byte
+coefficients) as :data:`PRESETS`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+from repro.exceptions import ConfigurationError
+
+#: Bytes per matrix coefficient assumed by the paper's configurations
+#: (double precision).
+COEFFICIENT_BYTES = 8
+
+
+@dataclass(frozen=True)
+class MulticoreMachine:
+    """Immutable description of a multicore platform.
+
+    Parameters
+    ----------
+    p:
+        Number of cores (``p >= 1``).  Algorithm 2 and Tradeoff lay the
+        cores out on a ``√p × √p`` grid and therefore require a square
+        ``p``; the machine itself does not.
+    cs:
+        Shared-cache capacity in blocks.
+    cd:
+        Distributed-cache capacity in blocks (per core).
+    sigma_s:
+        Bandwidth of the shared cache in blocks per time unit.
+    sigma_d:
+        Bandwidth of each distributed cache in blocks per time unit.
+    q:
+        Side of the square coefficient blocks (informational; every
+        quantity in the simulator is already in block units).
+    name:
+        Optional human-readable label used in reports.
+    """
+
+    p: int
+    cs: int
+    cd: int
+    sigma_s: float = 1.0
+    sigma_d: float = 1.0
+    q: int = 32
+    name: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.p < 1:
+            raise ConfigurationError(f"need at least one core, got p={self.p}")
+        if self.cs < 1 or self.cd < 1:
+            raise ConfigurationError(
+                f"cache capacities must be positive, got cs={self.cs}, cd={self.cd}"
+            )
+        if self.cs < self.p * self.cd:
+            raise ConfigurationError(
+                "inclusive hierarchy requires cs >= p*cd, got "
+                f"cs={self.cs} < p*cd={self.p * self.cd}"
+            )
+        if self.cd < 3:
+            raise ConfigurationError(
+                "a distributed cache needs room for one block of each of "
+                f"A, B and C (cd >= 3), got cd={self.cd}"
+            )
+        if self.sigma_s <= 0 or self.sigma_d <= 0:
+            raise ConfigurationError(
+                f"bandwidths must be positive, got sigma_s={self.sigma_s}, "
+                f"sigma_d={self.sigma_d}"
+            )
+        if self.q < 1:
+            raise ConfigurationError(f"block side must be positive, got q={self.q}")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def grid_side(self) -> int:
+        """Side of the ``√p × √p`` core grid, if ``p`` is a perfect square.
+
+        Raises
+        ------
+        ConfigurationError
+            If ``p`` is not a perfect square (needed by Algorithm 2 and
+            the Tradeoff algorithm).
+        """
+        side = math.isqrt(self.p)
+        if side * side != self.p:
+            raise ConfigurationError(
+                f"a square core grid requires a perfect-square p, got p={self.p}"
+            )
+        return side
+
+    @property
+    def is_square_grid(self) -> bool:
+        """Whether the cores can form a square ``√p × √p`` grid."""
+        side = math.isqrt(self.p)
+        return side * side == self.p
+
+    @property
+    def block_bytes(self) -> int:
+        """Size of one ``q × q`` coefficient block in bytes."""
+        return self.q * self.q * COEFFICIENT_BYTES
+
+    @property
+    def shared_bytes(self) -> int:
+        """Shared-cache capacity in bytes."""
+        return self.cs * self.block_bytes
+
+    @property
+    def distributed_bytes(self) -> int:
+        """Per-core distributed-cache capacity in bytes."""
+        return self.cd * self.block_bytes
+
+    @property
+    def r(self) -> float:
+        """Bandwidth ratio ``r = σS / (σS + σD)`` used in Fig. 12."""
+        return self.sigma_s / (self.sigma_s + self.sigma_d)
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+    def with_bandwidth_ratio(self, r: float, total: float = 2.0) -> "MulticoreMachine":
+        """Return a copy whose bandwidths realize ratio ``r``.
+
+        ``r = σS / (σS + σD)`` with ``σS + σD = total``.  ``r`` must lie
+        strictly between 0 and 1 since both bandwidths must stay
+        positive.
+        """
+        if not 0.0 < r < 1.0:
+            raise ConfigurationError(f"bandwidth ratio must be in (0, 1), got {r}")
+        return replace(self, sigma_s=r * total, sigma_d=(1.0 - r) * total)
+
+    def with_halved_caches(self) -> "MulticoreMachine":
+        """Return a copy with both cache capacities halved (floor).
+
+        This is the machine *declared to the algorithm* under the
+        paper's LRU-50 setting; the simulator itself keeps the full
+        capacities.
+        """
+        return replace(self, cs=max(1, self.cs // 2), cd=max(3, self.cd // 2))
+
+    def with_doubled_caches(self) -> "MulticoreMachine":
+        """Return a copy with both cache capacities doubled.
+
+        Used by the LRU(2·C) experiments of Figs. 4–6, which simulate a
+        double-size LRU cache while the algorithm still plans for the
+        original size.
+        """
+        return replace(self, cs=2 * self.cs, cd=2 * self.cd)
+
+    @staticmethod
+    def from_bytes(
+        p: int,
+        shared_bytes: int,
+        distributed_bytes: int,
+        q: int,
+        data_fraction: float = 1.0,
+        sigma_s: float = 1.0,
+        sigma_d: float = 1.0,
+        name: str = "",
+    ) -> "MulticoreMachine":
+        """Build a machine from byte-sized caches, like the paper's §4.1.
+
+        ``data_fraction`` models the share of the distributed cache
+        available to data (the paper uses ⅔, or ½ under the pessimistic
+        assumption, the rest holding instructions).  The shared cache is
+        assumed fully available to data.
+        """
+        if not 0.0 < data_fraction <= 1.0:
+            raise ConfigurationError(
+                f"data_fraction must be in (0, 1], got {data_fraction}"
+            )
+        block = q * q * COEFFICIENT_BYTES
+        cs = shared_bytes // block
+        cd = int(distributed_bytes * data_fraction) // block
+        return MulticoreMachine(
+            p=p, cs=cs, cd=cd, sigma_s=sigma_s, sigma_d=sigma_d, q=q, name=name
+        )
+
+
+def _paper_machine(q: int, cs: int, cd: int, name: str) -> MulticoreMachine:
+    """A §4.1 quad-core preset with the paper's stated block capacities."""
+    return MulticoreMachine(p=4, cs=cs, cd=cd, sigma_s=1.0, sigma_d=1.0, q=q, name=name)
+
+
+#: The six cache configurations of the paper's §4.1 (quad-core, 8 MB
+#: shared cache; the distributed capacity depends on the block size
+#: ``q`` and on whether data occupies two thirds — optimistic — or one
+#: half — pessimistic — of each 256 KB private cache).  Keys follow the
+#: figure captions: ``q32`` ↔ ``CS=977``, etc.
+PRESETS: Dict[str, MulticoreMachine] = {
+    "q32": _paper_machine(32, 977, 21, "q32 (CS=977, CD=21)"),
+    "q32-pessimistic": _paper_machine(32, 977, 16, "q32 pessimistic (CS=977, CD=16)"),
+    "q64": _paper_machine(64, 245, 6, "q64 (CS=245, CD=6)"),
+    "q64-pessimistic": _paper_machine(64, 245, 4, "q64 pessimistic (CS=245, CD=4)"),
+    "q80": _paper_machine(80, 157, 4, "q80 (CS=157, CD=4)"),
+    "q80-pessimistic": _paper_machine(80, 157, 3, "q80 pessimistic (CS=157, CD=3)"),
+}
+
+
+def preset(key: str) -> MulticoreMachine:
+    """Look up one of the paper's §4.1 machine presets by key.
+
+    Raises
+    ------
+    ConfigurationError
+        If ``key`` names no preset; the message lists valid keys.
+    """
+    try:
+        return PRESETS[key]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown preset {key!r}; valid presets: {sorted(PRESETS)}"
+        ) from None

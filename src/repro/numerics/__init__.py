@@ -1,0 +1,23 @@
+"""Numeric substrate: real block matrices and schedule verification.
+
+The cache simulator counts; this subpackage *computes*.  A
+:class:`~repro.numerics.blockmatrix.BlockMatrix` wraps a numpy array
+partitioned into ``q×q`` blocks, and
+:class:`~repro.numerics.executor.NumericContext` interprets an
+algorithm's schedule as actual block arithmetic so that every schedule
+can be proven to compute ``C = A·B`` exactly
+(:func:`~repro.numerics.executor.verify_schedule`).
+"""
+
+from repro.numerics.blockmatrix import BlockMatrix
+from repro.numerics.executor import NumericContext, execute_numeric, verify_schedule
+from repro.numerics.kernels import block_fma, blocked_reference_product
+
+__all__ = [
+    "BlockMatrix",
+    "NumericContext",
+    "execute_numeric",
+    "verify_schedule",
+    "block_fma",
+    "blocked_reference_product",
+]

@@ -1,0 +1,108 @@
+"""Block-partitioned matrices over numpy.
+
+The paper manipulates square ``q×q`` blocks of coefficients "to harness
+the power of BLAS routines"; :class:`BlockMatrix` is exactly that view:
+a 2-D numpy array of shape ``(rows·q, cols·q)`` addressed in block
+coordinates.  Block views are numpy slices (no copies — per the HPC
+guide, views not copies), so accumulating into a block updates the
+backing array in place.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+class BlockMatrix:
+    """A dense matrix addressed in ``q×q`` coefficient blocks.
+
+    Parameters
+    ----------
+    rows, cols:
+        Extent in blocks.
+    q:
+        Block side in coefficients.
+    data:
+        Optional backing array of shape ``(rows·q, cols·q)``; a zeroed
+        array is allocated when omitted.  The array is used as-is (no
+        copy), so callers can wrap existing data.
+    """
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        q: int = 4,
+        data: Optional[np.ndarray] = None,
+    ) -> None:
+        if rows < 1 or cols < 1 or q < 1:
+            raise ConfigurationError(
+                f"invalid block matrix shape rows={rows}, cols={cols}, q={q}"
+            )
+        self.rows = rows
+        self.cols = cols
+        self.q = q
+        shape = (rows * q, cols * q)
+        if data is None:
+            data = np.zeros(shape, dtype=np.float64)
+        else:
+            if data.shape != shape:
+                raise ConfigurationError(
+                    f"backing array shape {data.shape} != expected {shape}"
+                )
+        self.data = data
+
+    @classmethod
+    def random(
+        cls, rows: int, cols: int, q: int = 4, seed: Optional[int] = None
+    ) -> "BlockMatrix":
+        """Uniform-random matrix (deterministic for a given ``seed``)."""
+        rng = np.random.default_rng(seed)
+        return cls(rows, cols, q, rng.random((rows * q, cols * q)))
+
+    @property
+    def shape_blocks(self) -> Tuple[int, int]:
+        """Extent in blocks: ``(rows, cols)``."""
+        return self.rows, self.cols
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """Extent in coefficients."""
+        return self.data.shape  # type: ignore[return-value]
+
+    def block(self, i: int, j: int) -> np.ndarray:
+        """Writable ``q×q`` view of block ``(i, j)``."""
+        if not (0 <= i < self.rows and 0 <= j < self.cols):
+            raise IndexError(
+                f"block ({i}, {j}) out of range for {self.rows}×{self.cols} blocks"
+            )
+        q = self.q
+        return self.data[i * q : (i + 1) * q, j * q : (j + 1) * q]
+
+    def copy(self) -> "BlockMatrix":
+        """Deep copy (fresh backing array)."""
+        return BlockMatrix(self.rows, self.cols, self.q, self.data.copy())
+
+    def allclose(self, other: "BlockMatrix", rtol: float = 1e-9, atol: float = 1e-9) -> bool:
+        """Numerical equality with ``other`` (same block geometry required)."""
+        return (
+            self.shape_blocks == other.shape_blocks
+            and self.q == other.q
+            and bool(np.allclose(self.data, other.data, rtol=rtol, atol=atol))
+        )
+
+    def __matmul__(self, other: "BlockMatrix") -> "BlockMatrix":
+        """Reference product via numpy (block geometry preserved)."""
+        if self.cols != other.rows or self.q != other.q:
+            raise ConfigurationError(
+                f"cannot multiply {self.shape_blocks} (q={self.q}) by "
+                f"{other.shape_blocks} (q={other.q})"
+            )
+        return BlockMatrix(self.rows, other.cols, self.q, self.data @ other.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BlockMatrix({self.rows}x{self.cols} blocks of {self.q}x{self.q})"

@@ -1,0 +1,48 @@
+"""Block-level compute kernels.
+
+The only kernel the algorithms need is the block fused multiply-add
+``C_blk += A_blk @ B_blk``; a blocked reference product built on it
+serves as an independent check of :class:`BlockMatrix` plumbing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ScheduleError
+from repro.numerics.blockmatrix import BlockMatrix
+
+
+def block_fma(c_blk: np.ndarray, a_blk: np.ndarray, b_blk: np.ndarray) -> None:
+    """In-place ``c_blk += a_blk @ b_blk`` (the per-block DGEMM call).
+
+    Uses :func:`numpy.matmul`'s ``out=`` path through a temporary-free
+    accumulation; shapes must already agree (q×q blocks).
+    """
+    if a_blk.shape[1] != b_blk.shape[0] or c_blk.shape != (
+        a_blk.shape[0],
+        b_blk.shape[1],
+    ):
+        raise ScheduleError(
+            f"block shape mismatch: C{c_blk.shape} += A{a_blk.shape} @ B{b_blk.shape}"
+        )
+    c_blk += a_blk @ b_blk
+
+
+def blocked_reference_product(a: BlockMatrix, b: BlockMatrix) -> BlockMatrix:
+    """Plain triple-loop blocked product (independent reference).
+
+    Deliberately naive — it is the oracle the fancy schedules are
+    compared against in tests, alongside ``a @ b`` via numpy.
+    """
+    if a.cols != b.rows or a.q != b.q:
+        raise ScheduleError(
+            f"cannot multiply {a.shape_blocks} (q={a.q}) by {b.shape_blocks} (q={b.q})"
+        )
+    c = BlockMatrix(a.rows, b.cols, a.q)
+    for i in range(a.rows):
+        for j in range(b.cols):
+            c_blk = c.block(i, j)
+            for k in range(a.cols):
+                block_fma(c_blk, a.block(i, k), b.block(k, j))
+    return c

@@ -1,0 +1,42 @@
+"""Simulation engine: contexts, settings, runner and sweeps.
+
+* :mod:`repro.sim.contexts` — interpreters plugging algorithms into the
+  LRU / IDEAL hierarchies.
+* :mod:`repro.sim.settings` — the paper's simulation settings (IDEAL,
+  LRU, LRU-50, LRU-2x).
+* :mod:`repro.sim.runner` — one-call experiment execution producing
+  :class:`~repro.sim.results.ExperimentResult`.
+* :mod:`repro.sim.sweep` — matrix-order and bandwidth-ratio sweeps.
+"""
+
+from repro.sim.contexts import (
+    ChainContext,
+    IdealContext,
+    LRUContext,
+    RecordingContext,
+)
+from repro.sim.settings import SETTINGS, Setting, get_setting
+from repro.sim.results import ExperimentResult, SweepResult
+from repro.sim.runner import run_experiment
+from repro.sim.sweep import order_sweep, ratio_sweep
+from repro.sim.parallel import parallel_order_sweep, parallel_ratio_sweep
+from repro.sim.timing import TimingEstimate, TimingModel
+
+__all__ = [
+    "ChainContext",
+    "IdealContext",
+    "LRUContext",
+    "RecordingContext",
+    "SETTINGS",
+    "Setting",
+    "get_setting",
+    "ExperimentResult",
+    "SweepResult",
+    "run_experiment",
+    "order_sweep",
+    "ratio_sweep",
+    "parallel_order_sweep",
+    "parallel_ratio_sweep",
+    "TimingEstimate",
+    "TimingModel",
+]

@@ -1,0 +1,114 @@
+"""Result containers for experiments and sweeps."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.analysis.formulas import PredictedCounts
+from repro.cache.stats import HierarchyStats
+from repro.model.machine import MulticoreMachine
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one algorithm run under one setting.
+
+    ``ms``, ``md`` and ``tdata`` are the simulated values; ``predicted``
+    carries the closed-form counts for the *declared* machine (what the
+    algorithm planned against), when a formula is registered.
+    """
+
+    algorithm: str
+    setting: str
+    machine: MulticoreMachine
+    m: int
+    n: int
+    z: int
+    parameters: Dict[str, Any]
+    stats: HierarchyStats
+    comp: List[int]
+    predicted: Optional[PredictedCounts] = None
+    elapsed_s: float = 0.0
+
+    @property
+    def ms(self) -> int:
+        """Simulated shared-cache misses."""
+        return self.stats.ms
+
+    @property
+    def md(self) -> int:
+        """Simulated max per-core distributed misses."""
+        return self.stats.md
+
+    @property
+    def tdata(self) -> float:
+        """Simulated data access time under the machine's bandwidths."""
+        return self.stats.tdata(self.machine.sigma_s, self.machine.sigma_d)
+
+    @property
+    def comp_total(self) -> int:
+        """Total elementary block multiply-adds executed."""
+        return sum(self.comp)
+
+    @property
+    def ccr_s(self) -> float:
+        """Simulated shared CCR: ``MS / comp_total``."""
+        return self.ms / self.comp_total if self.comp_total else float("inf")
+
+    @property
+    def ccr_d(self) -> float:
+        """Simulated distributed CCR: ``MD / (comp_total / p)``."""
+        per_core = self.comp_total / self.machine.p
+        return self.md / per_core if per_core else float("inf")
+
+    def to_row(self) -> Dict[str, Any]:
+        """Flat dict suitable for CSV writing / tabulation."""
+        row: Dict[str, Any] = {
+            "algorithm": self.algorithm,
+            "setting": self.setting,
+            "m": self.m,
+            "n": self.n,
+            "z": self.z,
+            "MS": self.ms,
+            "MD": self.md,
+            "Tdata": self.tdata,
+            "CCR_S": self.ccr_s,
+            "CCR_D": self.ccr_d,
+            "comp_total": self.comp_total,
+            "imbalance": self.stats.imbalance(),
+        }
+        if self.predicted is not None:
+            row["MS_pred"] = self.predicted.ms
+            row["MD_pred"] = self.predicted.md
+            row["Tdata_pred"] = self.predicted.tdata(self.machine)
+        for k, v in self.parameters.items():
+            row[f"param_{k}"] = v
+        return row
+
+
+@dataclass
+class SweepResult:
+    """A family of experiment series over a swept variable.
+
+    ``series`` maps a label (typically ``"<algorithm> <setting>"``) to
+    the list of results in sweep order; ``xs`` are the swept values.
+    """
+
+    variable: str
+    xs: List[Any]
+    series: Dict[str, List[ExperimentResult]] = field(default_factory=dict)
+
+    def add(self, label: str, results: List[ExperimentResult]) -> None:
+        if len(results) != len(self.xs):
+            raise ValueError(
+                f"series {label!r} has {len(results)} points, expected {len(self.xs)}"
+            )
+        self.series[label] = results
+
+    def values(self, label: str, metric: str) -> List[float]:
+        """Extract one metric (``"ms"``, ``"md"``, ``"tdata"``, …) of a series."""
+        return [getattr(r, metric) for r in self.series[label]]
+
+    def labels(self) -> List[str]:
+        return list(self.series)

@@ -1,0 +1,116 @@
+"""One-call experiment execution.
+
+:func:`run_experiment` wires a machine, an algorithm and a setting into
+a hierarchy + context pair, runs the schedule and packages the outcome.
+This is the function everything else (experiments, benches, CLI,
+examples) goes through.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Optional, Type, Union
+
+from repro.algorithms.base import MatmulAlgorithm
+from repro.algorithms.registry import get_algorithm
+from repro.analysis.formulas import FORMULAS, predict
+from repro.cache.hierarchy import IdealHierarchy, LRUHierarchy
+from repro.exceptions import ConfigurationError, ScheduleError
+from repro.model.machine import MulticoreMachine
+from repro.sim.contexts import IdealContext, LRUContext
+from repro.sim.results import ExperimentResult
+from repro.sim.settings import Setting, get_setting
+
+
+def run_experiment(
+    algorithm: Union[str, Type[MatmulAlgorithm]],
+    machine: MulticoreMachine,
+    m: int,
+    n: int,
+    z: int,
+    setting: Union[str, Setting] = "ideal",
+    *,
+    check: bool = False,
+    policy: str = "lru",
+    inclusive: bool = False,
+    verify_comp: bool = True,
+    **alg_params: Any,
+) -> ExperimentResult:
+    """Run one algorithm on one machine under one setting.
+
+    Parameters
+    ----------
+    algorithm:
+        Registered name or :class:`MatmulAlgorithm` subclass.
+    machine:
+        The physical machine (full cache sizes, real bandwidths).
+    m, n, z:
+        Matrix dimensions in blocks (``A: m×z``, ``B: z×n``).
+    setting:
+        Simulation setting key or object (``ideal``, ``lru``,
+        ``lru-2x``, ``lru-50``).
+    check:
+        In IDEAL mode, enable capacity/inclusion/presence verification
+        (slower; invaluable in tests).
+    policy, inclusive:
+        LRU-mode hierarchy options (replacement policy; shared-eviction
+        back-invalidation).
+    verify_comp:
+        Assert that the schedule emitted exactly ``m·n·z`` elementary
+        multiply-adds (cheap sanity net; disable only in throughput
+        measurements).
+    alg_params:
+        Forwarded to the algorithm constructor (parameter overrides).
+    """
+    if isinstance(algorithm, str):
+        algorithm = get_algorithm(algorithm)
+    if isinstance(setting, str):
+        setting = get_setting(setting)
+
+    declared = setting.declared(machine)
+    alg = algorithm(declared, m, n, z, **alg_params)
+
+    if setting.is_ideal and not algorithm.supports_ideal:
+        raise ConfigurationError(
+            f"{alg.name} is a compute-only schedule without explicit "
+            "IDEAL directives; run it under an LRU-family setting (or "
+            "through MultiLevelContext)"
+        )
+
+    if setting.is_ideal:
+        simulated = setting.simulated(machine)
+        hierarchy: Union[IdealHierarchy, LRUHierarchy] = IdealHierarchy(
+            machine.p, simulated.cs, simulated.cd, check=check
+        )
+        ctx: Union[IdealContext, LRUContext] = IdealContext(hierarchy)
+    else:
+        simulated = setting.simulated(machine)
+        hierarchy = LRUHierarchy(
+            machine.p, simulated.cs, simulated.cd, policy=policy, inclusive=inclusive
+        )
+        ctx = LRUContext(hierarchy)
+
+    start = time.perf_counter()
+    alg.run(ctx)
+    elapsed = time.perf_counter() - start
+
+    if verify_comp and ctx.comp_total != m * n * z:
+        raise ScheduleError(
+            f"{alg.name} emitted {ctx.comp_total} multiply-adds, "
+            f"expected m*n*z = {m * n * z}"
+        )
+
+    predicted = predict(alg) if alg.name in FORMULAS else None
+    return ExperimentResult(
+        algorithm=alg.name,
+        setting=setting.key,
+        machine=machine,
+        m=m,
+        n=n,
+        z=z,
+        parameters=alg.parameters(),
+        stats=hierarchy.snapshot(),
+        comp=list(ctx.comp),
+        predicted=predicted,
+        elapsed_s=elapsed,
+    )

@@ -1,0 +1,78 @@
+"""The paper's simulation settings (§4.2).
+
+A *setting* decides (i) which machine the algorithm is told about (the
+*declared* machine it sizes its tiles against) and (ii) which hierarchy
+the references actually hit (the *simulated* capacities and mode):
+
+* ``ideal``  — IDEAL mode with the full capacities ("the omniscient
+  IDEAL data replacement policy assumed in the theoretical model").
+* ``lru``    — LRU caches of the declared (full) sizes; the LRU(C)
+  curves of Figs. 4–6.
+* ``lru-2x`` — the algorithm plans for size ``C`` but the LRU caches
+  have size ``2C``; the LRU(2C) curves validating the factor-of-two
+  bound of Frigo et al.
+* ``lru-50`` — "relies on a LRU cache data replacement policy, but
+  declares only one half of cache sizes to the algorithms.  The other
+  half is thus used by the LRU policy as kind of an automatic
+  prefetching buffer."  The workhorse setting of Figs. 7–11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.exceptions import ConfigurationError
+from repro.model.machine import MulticoreMachine
+
+
+@dataclass(frozen=True)
+class Setting:
+    """One simulation setting.
+
+    Attributes
+    ----------
+    key:
+        Stable identifier (CLI / experiment harness).
+    mode:
+        ``"ideal"`` or ``"lru"`` — which hierarchy type runs.
+    declared:
+        Maps the physical machine to what the algorithm is told.
+    simulated:
+        Maps the physical machine to the capacities actually simulated.
+    """
+
+    key: str
+    mode: str
+    declared: Callable[[MulticoreMachine], MulticoreMachine]
+    simulated: Callable[[MulticoreMachine], MulticoreMachine]
+
+    @property
+    def is_ideal(self) -> bool:
+        return self.mode == "ideal"
+
+
+def _identity(machine: MulticoreMachine) -> MulticoreMachine:
+    return machine
+
+
+SETTINGS: Dict[str, Setting] = {
+    "ideal": Setting("ideal", "ideal", _identity, _identity),
+    "lru": Setting("lru", "lru", _identity, _identity),
+    "lru-2x": Setting(
+        "lru-2x", "lru", _identity, MulticoreMachine.with_doubled_caches
+    ),
+    "lru-50": Setting(
+        "lru-50", "lru", MulticoreMachine.with_halved_caches, _identity
+    ),
+}
+
+
+def get_setting(key: str) -> Setting:
+    """Look a setting up by key, with a helpful error."""
+    try:
+        return SETTINGS[key]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown setting {key!r}; valid settings: {sorted(SETTINGS)}"
+        ) from None

@@ -1,0 +1,101 @@
+"""Parameter sweeps: matrix order and bandwidth ratio.
+
+The paper's evaluation plots everything against either the (square)
+matrix order in blocks (Figs. 4–11) or the bandwidth ratio
+``r = σS/(σS + σD)`` at fixed order (Fig. 12).  These helpers produce
+:class:`~repro.sim.results.SweepResult` families for both axes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.model.machine import MulticoreMachine
+from repro.sim.results import ExperimentResult, SweepResult
+from repro.sim.runner import run_experiment
+
+#: A sweep entry: algorithm name + setting key, optionally with
+#: algorithm parameter overrides.
+Entry = Union[Tuple[str, str], Tuple[str, str, Dict[str, Any]]]
+
+
+def _unpack(entry: Entry) -> Tuple[str, str, Dict[str, Any]]:
+    if len(entry) == 2:
+        algorithm, setting = entry  # type: ignore[misc]
+        return algorithm, setting, {}
+    algorithm, setting, params = entry  # type: ignore[misc]
+    return algorithm, setting, dict(params)
+
+
+def series_label(algorithm: str, setting: str) -> str:
+    """Canonical series label, e.g. ``"shared-opt lru-50"``."""
+    return f"{algorithm} {setting}"
+
+
+def order_sweep(
+    entries: Iterable[Entry],
+    machine: MulticoreMachine,
+    orders: Sequence[int],
+    *,
+    check: bool = False,
+    inclusive: bool = False,
+    policy: str = "lru",
+) -> SweepResult:
+    """Run every (algorithm, setting) entry over square orders ``m=n=z``."""
+    sweep = SweepResult(variable="order", xs=list(orders))
+    for entry in entries:
+        algorithm, setting, params = _unpack(entry)
+        results: List[ExperimentResult] = [
+            run_experiment(
+                algorithm,
+                machine,
+                order,
+                order,
+                order,
+                setting,
+                check=check,
+                inclusive=inclusive,
+                policy=policy,
+                **params,
+            )
+            for order in orders
+        ]
+        sweep.add(series_label(algorithm, setting), results)
+    return sweep
+
+
+def ratio_sweep(
+    entries: Iterable[Entry],
+    machine: MulticoreMachine,
+    ratios: Sequence[float],
+    order: int,
+    *,
+    total_bandwidth: float = 2.0,
+    check: bool = False,
+) -> SweepResult:
+    """Run entries over bandwidth ratios ``r = σS/(σS+σD)`` at fixed order.
+
+    Each ratio rescales the machine's bandwidths (keeping their sum at
+    ``total_bandwidth``); algorithms that adapt to bandwidths (Tradeoff)
+    re-plan at every point, exactly as in Fig. 12.
+    """
+    sweep = SweepResult(variable="r", xs=list(ratios))
+    for entry in entries:
+        algorithm, setting, params = _unpack(entry)
+        results = []
+        for r in ratios:
+            m = machine.with_bandwidth_ratio(r, total=total_bandwidth)
+            results.append(
+                run_experiment(
+                    algorithm,
+                    m,
+                    order,
+                    order,
+                    order,
+                    setting,
+                    check=check,
+                    **params,
+                )
+            )
+        sweep.add(series_label(algorithm, setting), results)
+    return sweep

@@ -1,0 +1,132 @@
+"""Execution-time estimation beyond raw ``Tdata``.
+
+The paper's cost metric ``Tdata = MS/σS + MD/σD`` counts data movement
+only and assumes the two levels serialize.  This module layers a small
+analytical timing model on top of an
+:class:`~repro.sim.results.ExperimentResult` to answer the questions a
+performance engineer asks next:
+
+* What if computation overlaps communication?  The classical bound is
+  ``T ≥ max(compute, transfer)`` with full overlap and their sum with
+  none; both estimates are provided, per core.
+* When is the kernel *compute-bound* vs *bandwidth-bound*?  The model
+  exposes the machine balance and each run's arithmetic intensity, i.e.
+  a roofline-style classification — with the twist that there are two
+  bandwidths (shared and distributed), hence two rooflines.
+
+Model
+-----
+Each core performs ``comp_c`` block multiply-adds of ``tau`` time units
+each and waits for ``MD_c / σD`` units of distributed fills (private
+channels, concurrent across cores, as in the paper).  The shared cache
+is a single resource: all ``MS`` fills serialize at ``1/σS`` each.
+
+* no overlap:   ``T = MS/σS + max_c (MD_c/σD + comp_c·tau)``
+* full overlap: ``T = max(MS/σS, max_c MD_c/σD, max_c comp_c·tau)``
+
+Reality lies between the two; both are exact bounds for their
+assumptions, and ``Tdata`` is recovered by ``tau = 0`` without overlap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.exceptions import ConfigurationError
+from repro.sim.results import ExperimentResult
+
+
+@dataclass(frozen=True)
+class TimingEstimate:
+    """Makespan estimates for one experiment under the timing model."""
+
+    shared_time: float
+    distributed_time: float  # max over cores
+    compute_time: float  # max over cores
+    serial: float
+    overlapped: float
+
+    @property
+    def overlap_speedup(self) -> float:
+        """Upper bound on what compute/transfer overlap can buy."""
+        return self.serial / self.overlapped if self.overlapped else 1.0
+
+    @property
+    def bound_resource(self) -> str:
+        """Which resource dominates under full overlap."""
+        winner = max(
+            ("shared", self.shared_time),
+            ("distributed", self.distributed_time),
+            ("compute", self.compute_time),
+            key=lambda pair: pair[1],
+        )
+        return winner[0]
+
+
+@dataclass(frozen=True)
+class TimingModel:
+    """Analytical timing model parameterized by the compute rate.
+
+    ``tau`` is the time of one block multiply-add (2q³ flops) in the
+    same time units the bandwidths use.  ``tau = 0`` reduces the model
+    to pure data movement.
+    """
+
+    tau: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.tau < 0:
+            raise ConfigurationError(f"tau must be non-negative, got {self.tau}")
+
+    def estimate(self, result: ExperimentResult) -> TimingEstimate:
+        """Makespan estimates for a finished experiment."""
+        machine = result.machine
+        shared_time = result.ms / machine.sigma_s
+        per_core_md: List[int] = result.stats.md_per_core
+        distributed_time = (
+            max(per_core_md) / machine.sigma_d if per_core_md else 0.0
+        )
+        compute_time = max(result.comp) * self.tau if result.comp else 0.0
+        # no overlap: shared fills serialize before the concurrent part;
+        # each core then interleaves its fills and computes.
+        per_core_serial = [
+            md / machine.sigma_d + comp * self.tau
+            for md, comp in zip(per_core_md, result.comp)
+        ]
+        serial = shared_time + (max(per_core_serial) if per_core_serial else 0.0)
+        overlapped = max(shared_time, distributed_time, compute_time)
+        return TimingEstimate(
+            shared_time=shared_time,
+            distributed_time=distributed_time,
+            compute_time=compute_time,
+            serial=serial,
+            overlapped=overlapped,
+        )
+
+    def tdata(self, result: ExperimentResult) -> float:
+        """The paper's metric, for cross-checking (``tau`` ignored)."""
+        return result.tdata
+
+    # ------------------------------------------------------------------
+    # Roofline-style analysis
+    # ------------------------------------------------------------------
+    def machine_balance_shared(self, result: ExperimentResult) -> float:
+        """Multiply-adds the machine can do per shared-cache fill.
+
+        With ``tau = 0`` the balance is infinite (any intensity is
+        bandwidth-bound); tests use ``tau > 0``.
+        """
+        if self.tau == 0:
+            return float("inf")
+        return 1.0 / (result.machine.sigma_s * self.tau)
+
+    @staticmethod
+    def intensity_shared(result: ExperimentResult) -> float:
+        """Block multiply-adds per shared-cache fill achieved by the run."""
+        return result.comp_total / result.ms if result.ms else float("inf")
+
+    def is_compute_bound(self, result: ExperimentResult) -> bool:
+        """Whether, under full overlap, compute dominates both transfers."""
+        est = self.estimate(result)
+        return est.bound_resource == "compute"

@@ -1,0 +1,37 @@
+"""Single-level Maximum Reuse — the lineage the paper builds on (§3).
+
+Before the multicore adaptation, the Maximum Reuse Algorithm was
+formulated for master-worker platforms with *one* bounded local memory
+[Pineau, Robert, Vivien, Dongarra 2008], improving on the equal-thirds
+allocation of Toledo's out-of-core survey.  The paper's §3 recaps both;
+this subpackage implements them as the paper states them, because the
+multicore algorithms are direct products of this analysis:
+
+* memory of ``M`` blocks split ``1 + µ + µ²`` (one element of ``A``, a
+  ``µ`` row of ``B``, a ``µ×µ`` block of ``C``) →
+  ``CCR → 2/√M`` for large matrices
+  (:class:`~repro.singlelevel.schedules.SingleLevelMaxReuse`);
+* memory split in three equal parts →
+  ``CCR → 2√3/√M`` (:class:`~repro.singlelevel.schedules.SingleLevelEqual`).
+
+Both run against :class:`~repro.singlelevel.memory.BoundedMemory` — a
+strict, capacity-checked single cache counting master↔worker transfers
+— and against the same numeric executor as the multicore schedules.
+"""
+
+from repro.singlelevel.memory import BoundedMemory
+from repro.singlelevel.schedules import (
+    SingleLevelEqual,
+    SingleLevelMaxReuse,
+    SINGLE_LEVEL_SCHEDULES,
+)
+from repro.singlelevel.runner import SingleLevelResult, run_single_level
+
+__all__ = [
+    "BoundedMemory",
+    "SingleLevelMaxReuse",
+    "SingleLevelEqual",
+    "SINGLE_LEVEL_SCHEDULES",
+    "SingleLevelResult",
+    "run_single_level",
+]

@@ -1,0 +1,75 @@
+"""A strict bounded memory for the master-worker model.
+
+The worker holds at most ``capacity`` blocks; every block must be
+explicitly loaded from the master (counted) and explicitly evicted to
+make room.  Dirty evictions count write-backs.  Unlike the multicore
+:class:`~repro.cache.hierarchy.IdealHierarchy`, there is only one
+level, so this is deliberately minimal — and always checked (the
+single-level algorithms are simple enough that tolerating overflow
+would only hide bugs).
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.cache.block import MAT_SHIFT, key_name
+from repro.exceptions import CapacityError, ConfigurationError, PresenceError
+
+
+class BoundedMemory:
+    """Explicitly managed worker memory of ``capacity`` blocks."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 3:
+            raise ConfigurationError(
+                f"memory must hold one block of each matrix, got {capacity}"
+            )
+        self.capacity = capacity
+        self.resident: Set[int] = set()
+        self.dirty: Set[int] = set()
+        self.loads = 0
+        self.loads_by_matrix = [0, 0, 0]
+        self.writebacks = 0
+        self.peak = 0
+
+    def load(self, key: int) -> None:
+        """Fetch one block from the master (counted once per call)."""
+        if key in self.resident:
+            return
+        if len(self.resident) >= self.capacity:
+            raise CapacityError(
+                f"memory overflow loading {key_name(key)}: "
+                f"{len(self.resident)}/{self.capacity} resident"
+            )
+        self.resident.add(key)
+        self.loads += 1
+        self.loads_by_matrix[key >> MAT_SHIFT] += 1
+        if len(self.resident) > self.peak:
+            self.peak = len(self.resident)
+
+    def evict(self, key: int) -> None:
+        """Drop one block; dirty blocks are sent back to the master."""
+        if key in self.dirty:
+            self.dirty.discard(key)
+            self.writebacks += 1
+        self.resident.discard(key)
+
+    def mark_dirty(self, key: int) -> None:
+        """Flag a resident block as modified."""
+        if key not in self.resident:
+            raise PresenceError(f"{key_name(key)} not resident")
+        self.dirty.add(key)
+
+    def assert_resident(self, *keys: int) -> None:
+        """Presence check for a compute step's operands."""
+        for key in keys:
+            if key not in self.resident:
+                raise PresenceError(
+                    f"compute touches {key_name(key)} which is not resident"
+                )
+
+    @property
+    def communication_volume(self) -> int:
+        """Total master→worker transfers (the metric of [7])."""
+        return self.loads

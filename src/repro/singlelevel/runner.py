@@ -1,0 +1,111 @@
+"""Counting and verification runs for the single-level schedules."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Type, Union
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, ScheduleError
+from repro.numerics.blockmatrix import BlockMatrix
+from repro.numerics.kernels import block_fma
+from repro.cache.block import decode_key
+from repro.singlelevel.memory import BoundedMemory
+from repro.singlelevel.schedules import (
+    SINGLE_LEVEL_SCHEDULES,
+    SingleLevelSchedule,
+)
+
+
+@dataclass
+class SingleLevelResult:
+    """Outcome of one single-level counting run."""
+
+    schedule: str
+    memory_blocks: int
+    m: int
+    n: int
+    z: int
+    parameters: Dict[str, Any]
+    loads: int
+    writebacks: int
+    peak: int
+    predicted_loads: float
+
+    @property
+    def ccr(self) -> float:
+        """Communication-to-computation ratio (blocks per multiply-add)."""
+        return self.loads / (self.m * self.n * self.z)
+
+    def ccr_lower_bound(self) -> float:
+        """The §2.3 bound specialized to one memory: ``√(27/(8M))``."""
+        return math.sqrt(27.0 / (8.0 * self.memory_blocks))
+
+
+def run_single_level(
+    schedule: Union[str, Type[SingleLevelSchedule]],
+    memory_blocks: int,
+    m: int,
+    n: int,
+    z: int,
+    **params: Any,
+) -> SingleLevelResult:
+    """Run one schedule against a checked bounded memory and count."""
+    if isinstance(schedule, str):
+        try:
+            schedule = SINGLE_LEVEL_SCHEDULES[schedule]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown single-level schedule {schedule!r}; valid: "
+                f"{sorted(SINGLE_LEVEL_SCHEDULES)}"
+            ) from None
+    sched = schedule(memory_blocks, m, n, z, **params)
+    memory = BoundedMemory(memory_blocks)
+    comp = [0]
+
+    def compute(ckey: int, akey: int, bkey: int) -> None:
+        memory.assert_resident(ckey, akey, bkey)
+        comp[0] += 1
+
+    sched.run(memory, compute)
+    if comp[0] != m * n * z:
+        raise ScheduleError(
+            f"{sched.name} emitted {comp[0]} multiply-adds, expected {m * n * z}"
+        )
+    return SingleLevelResult(
+        schedule=sched.name,
+        memory_blocks=memory_blocks,
+        m=m,
+        n=n,
+        z=z,
+        parameters=sched.parameters(),
+        loads=memory.loads,
+        writebacks=memory.writebacks,
+        peak=memory.peak,
+        predicted_loads=sched.predicted_loads(),
+    )
+
+
+def verify_single_level(
+    schedule: SingleLevelSchedule, q: int = 3, seed: Optional[int] = 0
+) -> None:
+    """Numerically prove a single-level schedule computes ``A·B``."""
+    a = BlockMatrix.random(schedule.m, schedule.z, q, seed)
+    b = BlockMatrix.random(schedule.z, schedule.n, q, None if seed is None else seed + 1)
+    c = BlockMatrix(schedule.m, schedule.n, q)
+    memory = BoundedMemory(schedule.memory_blocks)
+
+    def compute(ckey: int, akey: int, bkey: int) -> None:
+        memory.assert_resident(ckey, akey, bkey)
+        _, i, j = decode_key(ckey)
+        _, ia, k = decode_key(akey)
+        _, kb, jb = decode_key(bkey)
+        if ia != i or kb != k or jb != j:
+            raise ScheduleError("inconsistent single-level compute coordinates")
+        block_fma(c.block(i, j), a.block(i, k), b.block(k, j))
+
+    schedule.run(memory, compute)
+    if not np.allclose(c.data, (a @ b).data):
+        raise ScheduleError(f"{schedule.name} computed a wrong product")

@@ -1,0 +1,194 @@
+"""The two single-level schedules of the paper's §3 recap.
+
+Both emit explicit :class:`~repro.singlelevel.memory.BoundedMemory`
+movements plus ``compute`` callbacks so the same schedule drives
+counting and numeric execution (matching the multicore design).
+
+* :class:`SingleLevelMaxReuse` — memory split ``1 + µ + µ²``: a ``µ×µ``
+  block of ``C`` is pinned and fully accumulated ("stored back only
+  when it has been processed entirely, thus avoiding any future need of
+  reading this block"), with a ``µ`` fragment of a row of ``B`` and a
+  single element of ``A`` streaming through.  Loads (divisible case):
+  ``mn (C) + mnz/µ (B) + mnz/µ (A) = mn + 2mnz/µ`` → ``CCR → 2/√M``.
+* :class:`SingleLevelEqual` — Toledo-style thirds, tile side
+  ``t = ⌊√(M/3)⌋``: loads ``mn + 2mnz/t`` → ``CCR → 2√3/√M``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, ClassVar, Dict, Optional
+
+from repro.cache.block import A_BASE, B_BASE, C_BASE, ROW_SHIFT
+from repro.exceptions import ConfigurationError, ParameterError
+from repro.model.params import max_square_param
+from repro.singlelevel.memory import BoundedMemory
+
+#: compute callback: (ckey, akey, bkey) -> None
+ComputeFn = Callable[[int, int, int], None]
+
+
+class SingleLevelSchedule:
+    """Base class: a schedule over one bounded memory."""
+
+    name: ClassVar[str] = "abstract-single"
+    label: ClassVar[str] = "Abstract"
+
+    def __init__(self, memory_blocks: int, m: int, n: int, z: int) -> None:
+        if m < 1 or n < 1 or z < 1:
+            raise ConfigurationError(
+                f"matrix dimensions must be positive, got m={m}, n={n}, z={z}"
+            )
+        self.memory_blocks = memory_blocks
+        self.m = m
+        self.n = n
+        self.z = z
+
+    def parameters(self) -> Dict[str, Any]:
+        return {}
+
+    @property
+    def comp_total(self) -> int:
+        return self.m * self.n * self.z
+
+    def run(self, memory: BoundedMemory, compute: Optional[ComputeFn] = None) -> None:
+        raise NotImplementedError
+
+    def predicted_loads(self) -> float:
+        raise NotImplementedError
+
+
+class SingleLevelMaxReuse(SingleLevelSchedule):
+    """Maximum Reuse Algorithm of [7]: memory split ``1 + µ + µ²``."""
+
+    name = "single-max-reuse"
+    label = "Maximum Reuse (single level)"
+
+    def __init__(
+        self, memory_blocks: int, m: int, n: int, z: int, mu: Optional[int] = None
+    ) -> None:
+        super().__init__(memory_blocks, m, n, z)
+        if mu is None:
+            mu = max_square_param(memory_blocks)
+        if mu < 1 or 1 + mu + mu * mu > memory_blocks:
+            raise ParameterError(
+                f"mu={mu} violates 1 + µ + µ² <= M={memory_blocks}"
+            )
+        self.mu = mu
+
+    def parameters(self) -> Dict[str, Any]:
+        return {"mu": self.mu}
+
+    def predicted_loads(self) -> float:
+        """``mn + 2mnz/µ`` (exact when ``µ`` divides ``m`` and ``n``)."""
+        return self.m * self.n + 2 * self.m * self.n * self.z / self.mu
+
+    def run(self, memory: BoundedMemory, compute: Optional[ComputeFn] = None) -> None:
+        m, n, z, mu = self.m, self.n, self.z, self.mu
+        RS = ROW_SHIFT
+        for i0 in range(0, m, mu):
+            hi = min(i0 + mu, m)
+            for j0 in range(0, n, mu):
+                wj = min(j0 + mu, n)
+                # pin the C block
+                for i in range(i0, hi):
+                    crow = C_BASE | (i << RS)
+                    for j in range(j0, wj):
+                        memory.load(crow | j)
+                for k in range(z):
+                    brow = B_BASE | (k << RS)
+                    for j in range(j0, wj):
+                        memory.load(brow | j)
+                    for i in range(i0, hi):
+                        ka = A_BASE | (i << RS) | k
+                        memory.load(ka)
+                        crow = C_BASE | (i << RS)
+                        for j in range(j0, wj):
+                            kc = crow | j
+                            if compute is not None:
+                                compute(kc, ka, brow | j)
+                            memory.mark_dirty(kc)
+                        memory.evict(ka)
+                    for j in range(j0, wj):
+                        memory.evict(brow | j)
+                # fully accumulated: write back once
+                for i in range(i0, hi):
+                    crow = C_BASE | (i << RS)
+                    for j in range(j0, wj):
+                        memory.evict(crow | j)
+
+
+class SingleLevelEqual(SingleLevelSchedule):
+    """Toledo-style equal thirds: tile side ``t = ⌊√(M/3)⌋``."""
+
+    name = "single-equal"
+    label = "Equal thirds (single level)"
+
+    def __init__(
+        self, memory_blocks: int, m: int, n: int, z: int, t: Optional[int] = None
+    ) -> None:
+        super().__init__(memory_blocks, m, n, z)
+        if t is None:
+            import math
+
+            t = max(math.isqrt(memory_blocks // 3), 1)
+        if t < 1 or 3 * t * t > memory_blocks:
+            raise ParameterError(f"t={t} violates 3t² <= M={memory_blocks}")
+        self.t = t
+
+    def parameters(self) -> Dict[str, Any]:
+        return {"t": self.t}
+
+    def predicted_loads(self) -> float:
+        """``mn + 2mnz/t`` (exact under divisibility)."""
+        return self.m * self.n + 2 * self.m * self.n * self.z / self.t
+
+    def run(self, memory: BoundedMemory, compute: Optional[ComputeFn] = None) -> None:
+        m, n, z, t = self.m, self.n, self.z, self.t
+        RS = ROW_SHIFT
+        for i0 in range(0, m, t):
+            hi = min(i0 + t, m)
+            for j0 in range(0, n, t):
+                wj = min(j0 + t, n)
+                for i in range(i0, hi):
+                    crow = C_BASE | (i << RS)
+                    for j in range(j0, wj):
+                        memory.load(crow | j)
+                for k0 in range(0, z, t):
+                    kh = min(k0 + t, z)
+                    for i in range(i0, hi):
+                        arow = A_BASE | (i << RS)
+                        for k in range(k0, kh):
+                            memory.load(arow | k)
+                    for k in range(k0, kh):
+                        brow = B_BASE | (k << RS)
+                        for j in range(j0, wj):
+                            memory.load(brow | j)
+                    for i in range(i0, hi):
+                        crow = C_BASE | (i << RS)
+                        arow = A_BASE | (i << RS)
+                        for k in range(k0, kh):
+                            ka = arow | k
+                            brow = B_BASE | (k << RS)
+                            for j in range(j0, wj):
+                                kc = crow | j
+                                if compute is not None:
+                                    compute(kc, ka, brow | j)
+                                memory.mark_dirty(kc)
+                    for i in range(i0, hi):
+                        arow = A_BASE | (i << RS)
+                        for k in range(k0, kh):
+                            memory.evict(arow | k)
+                    for k in range(k0, kh):
+                        brow = B_BASE | (k << RS)
+                        for j in range(j0, wj):
+                            memory.evict(brow | j)
+                for i in range(i0, hi):
+                    crow = C_BASE | (i << RS)
+                    for j in range(j0, wj):
+                        memory.evict(crow | j)
+
+
+#: Registry by stable name.
+SINGLE_LEVEL_SCHEDULES = {
+    cls.name: cls for cls in (SingleLevelMaxReuse, SingleLevelEqual)
+}

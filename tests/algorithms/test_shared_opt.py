@@ -1,0 +1,98 @@
+"""Tests for Algorithm 1 (Shared Opt.)."""
+
+import pytest
+
+from repro.algorithms.shared_opt import SharedOpt
+from repro.exceptions import ParameterError
+from repro.model.machine import MulticoreMachine
+from repro.numerics.executor import verify_schedule
+from repro.sim.runner import run_experiment
+
+
+class TestParameters:
+    def test_default_lambda(self, paper_q32):
+        alg = SharedOpt(paper_q32, 60, 60, 60)
+        assert alg.lam == 30
+        assert alg.parameters() == {"lambda": 30}
+
+    def test_lambda_override(self, quad):
+        alg = SharedOpt(quad, 12, 12, 12, lam=6)
+        assert alg.lam == 6
+
+    def test_lambda_capacity_check(self, quad):
+        # 1 + 10 + 100 = 111 > CS=100
+        with pytest.raises(ParameterError):
+            SharedOpt(quad, 12, 12, 12, lam=10)
+
+    def test_round_to_divisor(self, paper_q32):
+        # lambda=30 does not divide 40; rounding picks a divisor <= 30.
+        alg = SharedOpt(paper_q32, 40, 40, 40, round_to_divisor=True)
+        assert 40 % alg.lam == 0
+        assert alg.lam <= 30
+
+    def test_rejects_nonpositive_lambda(self, quad):
+        with pytest.raises(ParameterError):
+            SharedOpt(quad, 4, 4, 4, lam=0)
+
+
+class TestIdealCounts:
+    def test_exact_formula_divisible(self, quad):
+        # lam=6 divides 12: MS = mn + 2mnz/lam, MD = mnz/lam*(1+2*lam/p)
+        r = run_experiment("shared-opt", quad, 12, 12, 12, "ideal", check=True, lam=6)
+        assert r.ms == 12 * 12 + 2 * 12**3 // 6
+        # busiest core gets ceil(lam/p) = 2 of the 6 columns
+        assert r.md == (12**3 // 6) * (1 + 2 * 2)
+        assert r.ms == r.predicted.ms
+        assert r.md == r.predicted.md
+
+    def test_rectangular_dims(self, quad):
+        r = run_experiment("shared-opt", quad, 6, 12, 18, "ideal", check=True, lam=6)
+        assert r.ms == 6 * 12 + 2 * 6 * 12 * 18 // 6
+        assert r.comp_total == 6 * 12 * 18
+
+    def test_capacity_and_inclusion_clean(self, quad):
+        # check=True raises on any capacity/inclusion violation.
+        run_experiment("shared-opt", quad, 13, 11, 7, "ideal", check=True, lam=6)
+
+    def test_ideal_caches_drained_at_end(self, quad):
+        from repro.algorithms.shared_opt import SharedOpt as Cls
+        from repro.cache.hierarchy import IdealHierarchy
+        from repro.sim.contexts import IdealContext
+
+        h = IdealHierarchy(quad.p, quad.cs, quad.cd, check=True)
+        Cls(quad, 12, 12, 12, lam=6).run(IdealContext(h))
+        assert h.resident_shared() == 0
+        assert all(h.resident_distributed(c) == 0 for c in range(quad.p))
+
+    def test_c_writebacks_counted(self, quad):
+        from repro.cache.hierarchy import IdealHierarchy
+        from repro.sim.contexts import IdealContext
+
+        h = IdealHierarchy(quad.p, quad.cs, quad.cd, check=True)
+        SharedOpt(quad, 12, 12, 12, lam=6).run(IdealContext(h))
+        # every block of C written back to memory exactly once
+        assert h.shared_writebacks == 12 * 12
+
+
+class TestWorkDistribution:
+    def test_compute_balanced_when_divisible(self, quad):
+        r = run_experiment("shared-opt", quad, 8, 8, 8, "ideal", lam=4)
+        assert len(set(r.comp)) == 1  # perfectly balanced
+
+    def test_all_cores_used(self, quad):
+        r = run_experiment("shared-opt", quad, 12, 12, 12, "ideal", lam=6)
+        assert all(c > 0 for c in r.comp)
+
+    def test_single_core_machine(self, unicore):
+        r = run_experiment("shared-opt", unicore, 10, 10, 10, "ideal", check=True)
+        assert r.comp == [1000]
+
+
+class TestNumeric:
+    @pytest.mark.parametrize("dims", [(12, 12, 12), (7, 5, 9), (1, 1, 1), (2, 13, 4)])
+    def test_computes_product(self, quad, dims):
+        verify_schedule(SharedOpt(quad, *dims), q=3)
+
+    def test_lambda_larger_than_matrix(self, paper_q32):
+        # tile bigger than the whole matrix: single ragged tile
+        verify_schedule(SharedOpt(paper_q32, 5, 5, 5), q=2)

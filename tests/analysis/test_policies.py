@@ -1,0 +1,85 @@
+"""Tests for the replacement-policy gap analysis."""
+
+import pytest
+
+from repro.analysis.policies import (
+    miss_curve_rows,
+    record_trace,
+    replacement_gap,
+)
+from repro.model.machine import MulticoreMachine
+
+MACHINE = MulticoreMachine(p=4, cs=100, cd=21, q=8)
+
+
+class TestRecordTrace:
+    def test_trace_volume(self):
+        ctx = record_trace("shared-opt", MACHINE, 6, 6, 6)
+        assert len(ctx.trace) == 3 * 216
+        assert ctx.comp_total == 216
+
+    def test_keys_flat(self):
+        ctx = record_trace("outer-product", MACHINE, 4, 4, 4)
+        assert len(ctx.keys()) == 3 * 64
+
+    def test_params_forwarded(self):
+        ctx = record_trace("shared-opt", MACHINE, 6, 6, 6, lam=3)
+        assert ctx.comp_total == 216
+
+    def test_replay_matches_live_lru(self):
+        """Replaying the recorded trace equals live LRU simulation."""
+        from repro.cache.hierarchy import LRUHierarchy
+        from repro.sim.runner import run_experiment
+
+        ctx = record_trace("shared-opt", MACHINE, 8, 8, 8)
+        h = LRUHierarchy(MACHINE.p, MACHINE.cs, MACHINE.cd)
+        ctx.trace.replay(h)
+        live = run_experiment("shared-opt", MACHINE, 8, 8, 8, "lru")
+        assert h.snapshot().ms == live.ms
+        assert h.snapshot().md_per_core == live.stats.md_per_core
+
+
+class TestReplacementGap:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return replacement_gap("shared-opt", MACHINE, 8, 8, 8)
+
+    def test_one_row_per_cache(self, rows):
+        assert len(rows) == MACHINE.p + 1
+        assert rows[-1]["cache"] == "shared (alone)"
+
+    def test_opt_between_cold_and_lru(self, rows):
+        for row in rows:
+            assert row["cold"] <= row["opt"] <= row["lru"]
+
+    def test_distributed_lru_matches_hierarchy(self, rows):
+        """Stack-distance LRU on the per-core subtrace must equal the
+        live distributed-cache miss counts of the two-level simulator."""
+        from repro.sim.runner import run_experiment
+
+        live = run_experiment("shared-opt", MACHINE, 8, 8, 8, "lru")
+        for core in range(MACHINE.p):
+            assert rows[core]["lru"] == live.stats.md_per_core[core]
+
+    def test_symmetric_cores(self, rows):
+        values = {rows[c]["lru"] for c in range(MACHINE.p)}
+        assert len(values) == 1  # balanced schedule, identical subtraces
+
+
+class TestMissCurve:
+    def test_default_capacities(self):
+        rows = miss_curve_rows("shared-opt", MACHINE, 6, 6, 6)
+        assert rows[-1]["capacity"] == MACHINE.cs
+        caps = [r["capacity"] for r in rows]
+        assert caps == sorted(caps)
+
+    def test_monotone_and_opt_dominates(self):
+        rows = miss_curve_rows(
+            "shared-opt", MACHINE, 6, 6, 6, capacities=[4, 16, 64]
+        )
+        lru = [r["lru"] for r in rows]
+        opt = [r["opt"] for r in rows]
+        assert lru == sorted(lru, reverse=True)
+        assert opt == sorted(opt, reverse=True)
+        for l_misses, o_misses in zip(lru, opt):
+            assert o_misses <= l_misses

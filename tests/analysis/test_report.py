@@ -1,0 +1,68 @@
+"""Tests for the predicted-vs-simulated reporting helpers."""
+
+import pytest
+
+from repro.analysis.report import (
+    accuracy_row,
+    accuracy_table,
+    bound_gap_row,
+    bound_gap_table,
+    ranking,
+    winner,
+)
+from repro.model.machine import MulticoreMachine
+from repro.sim.runner import run_experiment
+
+MACHINE = MulticoreMachine(p=4, cs=100, cd=21, q=8)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return [
+        run_experiment(name, MACHINE, 8, 8, 8, "ideal")
+        for name in ("shared-opt", "distributed-opt", "outer-product")
+    ]
+
+
+class TestAccuracy:
+    def test_row_fields(self, results):
+        row = accuracy_row(results[0])
+        assert row["algorithm"] == "shared-opt"
+        assert row["MS_sim"] > 0
+        assert "MS_pred" in row and "MS_ratio" in row
+
+    def test_ideal_ratio_close_to_one(self, results):
+        for row in accuracy_table(results):
+            assert 0.5 <= row["MS_ratio"] <= 2.0
+
+    def test_without_prediction(self, results):
+        import dataclasses
+
+        stripped = dataclasses.replace(results[0], predicted=None)
+        row = accuracy_row(stripped)
+        assert "MS_pred" not in row
+
+
+class TestBoundGap:
+    def test_row_fields(self, results):
+        row = bound_gap_row(results[0])
+        assert row["MS/bound"] >= 1.0
+        assert row["MD/bound"] >= 1.0
+
+    def test_table_covers_all(self, results):
+        assert len(bound_gap_table(results)) == 3
+
+
+class TestRanking:
+    def test_ranking_sorted(self, results):
+        ordered = ranking(results, "ms")
+        values = [r.ms for r in ordered]
+        assert values == sorted(values)
+
+    def test_winner(self, results):
+        best = winner(results, "ms")
+        assert best.algorithm == "shared-opt"
+        assert winner([], "ms") is None
+
+    def test_winner_md(self, results):
+        assert winner(results, "md").algorithm == "distributed-opt"

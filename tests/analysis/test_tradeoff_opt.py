@@ -1,0 +1,108 @@
+"""Tests for the Tradeoff parameter optimization (paper §3.3)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.tradeoff_opt import (
+    alpha_num,
+    objective,
+    objective_derivative,
+    optimal_parameters,
+)
+from repro.exceptions import ParameterError
+from repro.model.machine import MulticoreMachine
+
+
+def machine(sigma_s=1.0, sigma_d=1.0, p=4, cs=977, cd=21):
+    return MulticoreMachine(p=p, cs=cs, cd=cd, sigma_s=sigma_s, sigma_d=sigma_d)
+
+
+class TestAlphaNum:
+    def test_root_of_derivative(self):
+        m = machine(sigma_s=1.3, sigma_d=0.7)
+        a = alpha_num(m)
+        assert objective_derivative(a, m) == pytest.approx(0.0, abs=1e-9)
+
+    def test_singular_case_rho_one(self):
+        # p*sigma_d == sigma_s: the removable singularity -> sqrt(CS/3)
+        m = machine(sigma_s=4.0, sigma_d=1.0, p=4)
+        assert alpha_num(m) == pytest.approx(math.sqrt(977 / 3.0))
+
+    def test_limit_fast_distributed(self):
+        # sigma_d >> sigma_s: alpha_num -> sqrt(CS)
+        m = machine(sigma_s=1e-6, sigma_d=1.0)
+        assert alpha_num(m) == pytest.approx(math.sqrt(977), rel=1e-2)
+
+    def test_limit_slow_distributed(self):
+        # sigma_s >> sigma_d: alpha_num -> 0
+        m = machine(sigma_s=1.0, sigma_d=1e-7)
+        assert alpha_num(m) < 1.0
+
+    @given(
+        st.floats(min_value=0.01, max_value=100.0),
+        st.floats(min_value=0.01, max_value=100.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_is_global_minimum(self, sigma_s, sigma_d):
+        m = machine(sigma_s=sigma_s, sigma_d=sigma_d)
+        a = alpha_num(m)
+        hi = math.sqrt(m.cs)
+        if not 0.5 < a < hi - 0.5:
+            return  # optimum clamps outside the open domain
+        f_opt = objective(a, m)
+        for candidate in (a * 0.5, a * 0.9, a * 1.1, min(a * 1.9, hi * 0.999)):
+            if 0 < candidate < hi:
+                assert objective(candidate, m) >= f_opt - 1e-12
+
+    def test_objective_rejects_out_of_domain(self):
+        m = machine()
+        with pytest.raises(ParameterError):
+            objective(0.0, m)
+        with pytest.raises(ParameterError):
+            objective_derivative(math.sqrt(m.cs) + 1, m)
+
+
+class TestOptimalParameters:
+    def test_q32_equal_bandwidths(self):
+        params = optimal_parameters(machine())
+        assert params.alpha == 16  # 23.02 rounded down to a multiple of 8
+        assert params.mu == 4
+        assert params.beta == (977 - 256) // 32
+        assert params.shared_footprint() <= 977
+
+    def test_extreme_fast_distributed_degenerates_to_shared_opt(self):
+        # alpha -> alpha_max-ish: the largest feasible multiple of 8
+        params = optimal_parameters(machine(sigma_s=1e-6, sigma_d=1.0))
+        assert params.alpha >= 24
+        assert params.alpha * (params.alpha + 2) <= 977
+
+    def test_extreme_slow_distributed_degenerates_to_distributed_opt(self):
+        params = optimal_parameters(machine(sigma_s=1.0, sigma_d=1e-7))
+        assert params.alpha == 2 * params.mu  # sqrt(p)*mu
+
+    def test_mu_reduction_fallback(self):
+        # p=1, CD=CS=7: mu=2 would need alpha^2+2alpha=8 > 7; fall to mu=1.
+        m = MulticoreMachine(p=1, cs=7, cd=7)
+        params = optimal_parameters(m)
+        assert params.mu <= 2
+        assert params.alpha * (params.alpha + 2) <= 7
+
+    def test_non_square_p_raises(self):
+        m = MulticoreMachine(p=6, cs=977, cd=21)
+        with pytest.raises(Exception):
+            optimal_parameters(m)
+
+    @given(
+        st.floats(min_value=0.01, max_value=10.0),
+        st.floats(min_value=0.01, max_value=10.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_always_feasible(self, sigma_s, sigma_d):
+        m = machine(sigma_s=sigma_s, sigma_d=sigma_d)
+        params = optimal_parameters(m)
+        assert params.alpha >= 1
+        assert params.beta >= 1
+        assert params.alpha % (2 * params.mu) == 0
+        assert params.alpha * params.alpha + 2 * params.alpha <= m.cs

@@ -1,0 +1,69 @@
+"""Tests for compact block addressing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cache.block import (
+    A_BASE,
+    B_BASE,
+    C_BASE,
+    MAT_A,
+    MAT_B,
+    MAT_C,
+    ROW_SHIFT,
+    block_key,
+    decode_key,
+    key_name,
+    matrix_of,
+)
+
+
+class TestEncoding:
+    def test_roundtrip_simple(self):
+        key = block_key(MAT_B, 3, 7)
+        assert decode_key(key) == (MAT_B, 3, 7)
+        assert matrix_of(key) == MAT_B
+
+    def test_distinct_matrices_distinct_keys(self):
+        assert block_key(MAT_A, 1, 2) != block_key(MAT_B, 1, 2)
+        assert block_key(MAT_B, 1, 2) != block_key(MAT_C, 1, 2)
+
+    def test_bases_match_block_key(self):
+        assert A_BASE | (5 << ROW_SHIFT) | 9 == block_key(MAT_A, 5, 9)
+        assert B_BASE | (5 << ROW_SHIFT) | 9 == block_key(MAT_B, 5, 9)
+        assert C_BASE | (5 << ROW_SHIFT) | 9 == block_key(MAT_C, 5, 9)
+
+    def test_key_name(self):
+        assert key_name(block_key(MAT_C, 2, 4)) == "C[2,4]"
+
+    def test_rejects_bad_matrix(self):
+        with pytest.raises(ValueError):
+            block_key(3, 0, 0)
+        with pytest.raises(ValueError):
+            block_key(-1, 0, 0)
+
+    def test_rejects_out_of_range_coords(self):
+        with pytest.raises(ValueError):
+            block_key(MAT_A, -1, 0)
+        with pytest.raises(ValueError):
+            block_key(MAT_A, 1 << 28, 0)
+
+    @given(
+        st.integers(min_value=0, max_value=2),
+        st.integers(min_value=0, max_value=(1 << 28) - 1),
+        st.integers(min_value=0, max_value=(1 << 28) - 1),
+    )
+    def test_roundtrip_property(self, mat, row, col):
+        assert decode_key(block_key(mat, row, col)) == (mat, row, col)
+
+    @given(
+        st.tuples(
+            st.integers(0, 2), st.integers(0, 10**6), st.integers(0, 10**6)
+        ),
+        st.tuples(
+            st.integers(0, 2), st.integers(0, 10**6), st.integers(0, 10**6)
+        ),
+    )
+    def test_injective(self, t1, t2):
+        if t1 != t2:
+            assert block_key(*t1) != block_key(*t2)

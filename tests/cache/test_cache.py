@@ -1,0 +1,97 @@
+"""Tests for the Cache wrapper (policy + statistics + dirty tracking)."""
+
+import pytest
+
+from repro.cache.block import block_key, MAT_A, MAT_B, MAT_C
+from repro.cache.cache import Cache
+
+
+def k(mat, i, j=0):
+    return block_key(mat, i, j)
+
+
+class TestCounters:
+    def test_hits_and_misses(self):
+        c = Cache("t", 4)
+        c.access(k(MAT_A, 0))
+        c.access(k(MAT_A, 0))
+        c.access(k(MAT_B, 1))
+        assert c.hits == 1
+        assert c.misses == 2
+
+    def test_misses_by_matrix(self):
+        c = Cache("t", 8)
+        c.access(k(MAT_A, 0))
+        c.access(k(MAT_B, 0))
+        c.access(k(MAT_B, 1))
+        c.access(k(MAT_C, 0))
+        assert c.misses_by_matrix == [1, 2, 1]
+
+    def test_stats_snapshot(self):
+        c = Cache("t", 4)
+        c.access(k(MAT_A, 0))
+        c.access(k(MAT_A, 0))
+        stats = c.stats()
+        assert stats.hits == 1 and stats.misses == 1
+        assert stats.accesses == 2
+        assert stats.miss_rate == pytest.approx(0.5)
+        # snapshot is decoupled from live counters
+        c.access(k(MAT_B, 0))
+        assert stats.misses == 1
+
+    def test_reset(self):
+        c = Cache("t", 4)
+        c.access(k(MAT_A, 0), write=True)
+        c.reset()
+        assert c.hits == c.misses == c.writebacks == 0
+        assert len(c) == 0
+        assert not c.dirty
+
+
+class TestDirtyTracking:
+    def test_write_marks_dirty(self):
+        c = Cache("t", 4)
+        c.access(k(MAT_C, 0), write=True)
+        assert k(MAT_C, 0) in c.dirty
+
+    def test_dirty_eviction_counts_writeback(self):
+        c = Cache("t", 1)
+        c.access(k(MAT_C, 0), write=True)
+        c.access(k(MAT_C, 1))  # evicts the dirty block
+        assert c.writebacks == 1
+        assert not c.dirty
+
+    def test_clean_eviction_no_writeback(self):
+        c = Cache("t", 1)
+        c.access(k(MAT_A, 0))
+        c.access(k(MAT_A, 1))
+        assert c.writebacks == 0
+
+    def test_invalidate_dirty_counts_writeback(self):
+        c = Cache("t", 4)
+        key = k(MAT_C, 0)
+        c.access(key, write=True)
+        assert c.invalidate(key)
+        assert c.writebacks == 1
+        assert key not in c
+
+    def test_invalidate_absent(self):
+        c = Cache("t", 4)
+        assert not c.invalidate(k(MAT_A, 9))
+
+
+class TestPolicyIntegration:
+    def test_fifo_policy_by_name(self):
+        c = Cache("t", 2, policy="fifo")
+        c.access(1)
+        c.access(2)
+        c.access(1)  # FIFO: no refresh
+        _, victim = c.access(3)
+        assert victim == 1
+
+    def test_policy_instance(self):
+        from repro.cache.lru import LRUCache
+
+        c = Cache("t", 2, policy=LRUCache(2))
+        c.access(1)
+        assert 1 in c

@@ -1,0 +1,71 @@
+"""Cross-validation properties tying the independent substrates together.
+
+Each test checks an identity that holds between two *independently
+implemented* components — the strongest kind of correctness evidence a
+simulator can self-provide:
+
+* the two-level hierarchy with unit distributed caches vs LRU
+  stack-distance analysis of the coalesced trace;
+* the hierarchy's distributed level vs stack distance on per-core
+  subtraces;
+* LRU simulation vs the Mattson miss curve at *every* capacity.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.block import block_key, MAT_A
+from repro.cache.hierarchy import LRUHierarchy
+from repro.cache.stackdist import distance_histogram, misses_for_capacity
+from repro.cache.trace import AccessTrace
+
+refs = st.lists(
+    st.tuples(st.integers(0, 2), st.integers(0, 14)), max_size=250
+)
+
+
+def key(i):
+    return block_key(MAT_A, i, 0)
+
+
+class TestHierarchyVsStackDistance:
+    @given(refs, st.integers(min_value=2, max_value=20))
+    @settings(max_examples=60, deadline=None)
+    def test_unit_leaf_caches_expose_coalesced_trace_to_shared(self, raw, cs):
+        """With capacity-1 distributed caches, the shared cache sees
+        exactly the per-core-coalesced reference stream, so its misses
+        must equal single-cache LRU misses of that stream."""
+        h = LRUHierarchy(p=3, cs=cs, cd=1)
+        trace = AccessTrace([(core, key(i), False) for core, i in raw])
+        trace.replay(h)
+        coalesced_keys = [k for _, k, _ in trace.coalesced()]
+        hist = distance_histogram(coalesced_keys)
+        assert h.snapshot().ms == misses_for_capacity(hist, cs)
+
+    @given(refs, st.integers(min_value=1, max_value=8))
+    @settings(max_examples=60, deadline=None)
+    def test_distributed_level_equals_per_core_stackdist(self, raw, cd):
+        """Each distributed cache is an independent LRU over its core's
+        subtrace: simulation must equal the Mattson count."""
+        h = LRUHierarchy(p=3, cs=64, cd=cd)
+        trace = AccessTrace([(core, key(i), False) for core, i in raw])
+        trace.replay(h)
+        stats = h.snapshot()
+        for core, sub in enumerate(trace.per_core()):
+            keys = [k for _, k, _ in sub]
+            expected = misses_for_capacity(distance_histogram(keys), cd)
+            if core < len(stats.md_per_core):
+                assert stats.md_per_core[core] == expected
+
+    @given(st.lists(st.integers(0, 12), max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_miss_curve_consistent_at_every_capacity(self, keys_raw):
+        """One histogram, many capacities, each equal to a fresh
+        single-cache simulation."""
+        from repro.cache.lru import LRUCache
+
+        keys = [key(i) for i in keys_raw]
+        hist = distance_histogram(keys)
+        for capacity in (1, 2, 3, 5, 8, 13):
+            cache = LRUCache(capacity)
+            simulated = sum(0 if cache.access(k)[0] else 1 for k in keys)
+            assert misses_for_capacity(hist, capacity) == simulated

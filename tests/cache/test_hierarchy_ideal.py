@@ -1,0 +1,146 @@
+"""Tests for the explicitly-controlled IDEAL hierarchy."""
+
+import pytest
+
+from repro.cache.block import block_key, MAT_A, MAT_B, MAT_C
+from repro.cache.hierarchy import IdealHierarchy
+from repro.exceptions import CapacityError, InclusionError, PresenceError
+
+
+def ka(i, j=0):
+    return block_key(MAT_A, i, j)
+
+
+def kc(i, j=0):
+    return block_key(MAT_C, i, j)
+
+
+class TestCounting:
+    def test_load_shared_counts_ms(self):
+        h = IdealHierarchy(p=1, cs=4, cd=3)
+        h.load_shared(ka(0))
+        h.load_shared(ka(1))
+        assert h.ms == 2
+        assert h.ms_by_matrix == [2, 0, 0]
+
+    def test_redundant_shared_load_not_counted(self):
+        h = IdealHierarchy(p=1, cs=4, cd=3)
+        h.load_shared(ka(0))
+        h.load_shared(ka(0))
+        assert h.ms == 1
+        assert h.redundant_loads == 1
+
+    def test_load_distributed_counts_md(self):
+        h = IdealHierarchy(p=2, cs=8, cd=3)
+        h.load_shared(ka(0))
+        h.load_distributed(0, ka(0))
+        h.load_distributed(1, ka(0))
+        assert h.md == [1, 1]
+
+    def test_snapshot(self):
+        h = IdealHierarchy(p=2, cs=8, cd=3)
+        h.load_shared(ka(0))
+        h.load_distributed(1, ka(0))
+        stats = h.snapshot()
+        assert stats.ms == 1
+        assert stats.md == 1
+        assert stats.md_per_core == [0, 1]
+
+    def test_peak_tracking(self):
+        h = IdealHierarchy(p=1, cs=4, cd=3)
+        for i in range(3):
+            h.load_shared(ka(i))
+        h.evict_shared(ka(0))
+        assert h.peak_shared == 3
+        assert h.resident_shared() == 2
+
+
+class TestCapacityChecks:
+    def test_shared_overflow_raises(self):
+        h = IdealHierarchy(p=1, cs=2, cd=3)
+        h.load_shared(ka(0))
+        h.load_shared(ka(1))
+        with pytest.raises(CapacityError):
+            h.load_shared(ka(2))
+
+    def test_distributed_overflow_raises(self):
+        h = IdealHierarchy(p=1, cs=8, cd=3)
+        for i in range(4):
+            h.load_shared(ka(i))
+        for i in range(3):
+            h.load_distributed(0, ka(i))
+        with pytest.raises(CapacityError):
+            h.load_distributed(0, ka(3))
+
+    def test_unchecked_mode_allows_overflow(self):
+        h = IdealHierarchy(p=1, cs=1, cd=3, check=False)
+        h.load_shared(ka(0))
+        h.load_shared(ka(1))  # over capacity, tolerated
+        assert h.ms == 2
+
+
+class TestInclusionChecks:
+    def test_distributed_load_requires_shared_copy(self):
+        h = IdealHierarchy(p=1, cs=4, cd=3)
+        with pytest.raises(InclusionError):
+            h.load_distributed(0, ka(0))
+
+    def test_shared_evict_blocked_while_core_holds(self):
+        h = IdealHierarchy(p=1, cs=4, cd=3)
+        h.load_shared(ka(0))
+        h.load_distributed(0, ka(0))
+        with pytest.raises(InclusionError):
+            h.evict_shared(ka(0))
+        h.evict_distributed(0, ka(0))
+        h.evict_shared(ka(0))  # now fine
+        assert h.resident_shared() == 0
+
+    def test_check_inclusion_helper(self):
+        h = IdealHierarchy(p=1, cs=4, cd=3, check=False)
+        h.load_distributed(0, ka(0))  # tolerated unchecked
+        assert not h.check_inclusion()
+
+
+class TestDirtyAndWritebacks:
+    def test_distributed_dirty_propagates_on_evict(self):
+        h = IdealHierarchy(p=1, cs=4, cd=3)
+        h.load_shared(kc(0))
+        h.load_distributed(0, kc(0))
+        h.mark_distributed_dirty(0, kc(0))
+        h.evict_distributed(0, kc(0))
+        assert h.dist_updates[0] == 1
+        assert kc(0) in h.shared_dirty
+        h.evict_shared(kc(0))
+        assert h.shared_writebacks == 1
+
+    def test_clean_eviction_no_writeback(self):
+        h = IdealHierarchy(p=1, cs=4, cd=3)
+        h.load_shared(ka(0))
+        h.evict_shared(ka(0))
+        assert h.shared_writebacks == 0
+
+    def test_mark_dirty_requires_presence_when_checked(self):
+        h = IdealHierarchy(p=1, cs=4, cd=3)
+        with pytest.raises(PresenceError):
+            h.mark_shared_dirty(kc(0))
+        with pytest.raises(PresenceError):
+            h.mark_distributed_dirty(0, kc(0))
+
+
+class TestPresence:
+    def test_assert_present(self):
+        h = IdealHierarchy(p=1, cs=8, cd=3)
+        for key in (ka(0), block_key(MAT_B, 0, 0), kc(0)):
+            h.load_shared(key)
+            h.load_distributed(0, key)
+        h.assert_present(0, ka(0), block_key(MAT_B, 0, 0), kc(0))
+        h.evict_distributed(0, ka(0))
+        with pytest.raises(PresenceError):
+            h.assert_present(0, ka(0), block_key(MAT_B, 0, 0), kc(0))
+
+    def test_reset(self):
+        h = IdealHierarchy(p=2, cs=8, cd=3)
+        h.load_shared(ka(0))
+        h.reset()
+        assert h.ms == 0
+        assert h.resident_shared() == 0

@@ -1,0 +1,141 @@
+"""Tests for the LRU and FIFO replacement policies."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cache.lru import FIFOCache, LRUCache, make_policy
+from repro.exceptions import ConfigurationError
+
+
+class TestLRUBasics:
+    def test_miss_then_hit(self):
+        c = LRUCache(2)
+        hit, victim = c.access(1)
+        assert (hit, victim) == (False, None)
+        hit, victim = c.access(1)
+        assert (hit, victim) == (True, None)
+
+    def test_eviction_order_is_lru(self):
+        c = LRUCache(2)
+        c.access(1)
+        c.access(2)
+        c.access(1)  # refresh 1 -> 2 becomes LRU
+        hit, victim = c.access(3)
+        assert not hit and victim == 2
+        assert 1 in c and 3 in c and 2 not in c
+
+    def test_capacity_respected(self):
+        c = LRUCache(3)
+        for k in range(10):
+            c.access(k)
+        assert len(c) == 3
+        assert set(c) == {7, 8, 9}
+
+    def test_mru_lru_helpers(self):
+        c = LRUCache(3)
+        assert c.mru_key() is None and c.lru_key() is None
+        c.access(1)
+        c.access(2)
+        c.access(3)
+        c.access(1)
+        assert c.mru_key() == 1
+        assert c.lru_key() == 2
+
+    def test_discard(self):
+        c = LRUCache(2)
+        c.access(1)
+        assert c.discard(1)
+        assert not c.discard(1)
+        assert 1 not in c
+
+    def test_clear(self):
+        c = LRUCache(2)
+        c.access(1)
+        c.access(2)
+        c.clear()
+        assert len(c) == 0
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ConfigurationError):
+            LRUCache(0)
+
+    def test_capacity_one(self):
+        c = LRUCache(1)
+        c.access(1)
+        hit, victim = c.access(2)
+        assert not hit and victim == 1
+        hit, _ = c.access(2)
+        assert hit
+
+
+class TestFIFO:
+    def test_hit_does_not_refresh(self):
+        c = FIFOCache(2)
+        c.access(1)
+        c.access(2)
+        c.access(1)  # hit, but 1 stays oldest
+        hit, victim = c.access(3)
+        assert not hit and victim == 1
+
+    def test_lru_vs_fifo_differ_on_refresh_pattern(self):
+        lru, fifo = LRUCache(2), FIFOCache(2)
+        trace = [1, 2, 1, 3, 1]
+        lru_misses = sum(0 if lru.access(k)[0] else 1 for k in trace)
+        fifo_misses = sum(0 if fifo.access(k)[0] else 1 for k in trace)
+        # LRU keeps 1 alive across the 3; FIFO evicts it.
+        assert lru_misses == 3
+        assert fifo_misses == 4
+
+
+class TestRegistry:
+    def test_make_policy(self):
+        assert isinstance(make_policy("lru", 4), LRUCache)
+        assert isinstance(make_policy("fifo", 4), FIFOCache)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ConfigurationError):
+            make_policy("belady", 4)
+
+
+class TestLRUProperties:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=20), max_size=300),
+        st.integers(min_value=1, max_value=10),
+    )
+    def test_never_exceeds_capacity(self, trace, capacity):
+        c = LRUCache(capacity)
+        for key in trace:
+            c.access(key)
+            assert len(c) <= capacity
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=20), max_size=300),
+        st.integers(min_value=1, max_value=10),
+    )
+    def test_inclusion_monotonicity(self, trace, capacity):
+        """A bigger LRU cache never misses where the smaller one hits.
+
+        Classic stack property of LRU (Mattson et al.): the resident set
+        of an LRU cache of size k is a subset of that of size k+1.
+        """
+        small = LRUCache(capacity)
+        big = LRUCache(capacity + 3)
+        for key in trace:
+            small_hit, _ = small.access(key)
+            big_hit, _ = big.access(key)
+            assert not (small_hit and not big_hit)
+
+    @given(st.lists(st.integers(min_value=0, max_value=8), max_size=200))
+    def test_resident_set_is_most_recent_distinct(self, trace):
+        capacity = 4
+        c = LRUCache(capacity)
+        for key in trace:
+            c.access(key)
+        # Compute the expected resident set: last `capacity` distinct keys.
+        expected = []
+        for key in reversed(trace):
+            if key not in expected:
+                expected.append(key)
+            if len(expected) == capacity:
+                break
+        assert set(c) == set(expected)

@@ -1,0 +1,131 @@
+"""Tests for the N-level hierarchy generalization."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.block import block_key, MAT_A, MAT_B, MAT_C
+from repro.cache.hierarchy import LRUHierarchy
+from repro.cache.multilevel import LevelSpec, MultiLevelHierarchy, two_level
+from repro.exceptions import ConfigurationError
+
+
+def ka(i):
+    return block_key(MAT_A, i, 0)
+
+
+class TestTopologyValidation:
+    def test_leaf_level_must_match_cores(self):
+        with pytest.raises(ConfigurationError):
+            MultiLevelHierarchy(4, [LevelSpec(1, 8), LevelSpec(2, 4)])
+
+    def test_counts_must_nest(self):
+        with pytest.raises(ConfigurationError):
+            MultiLevelHierarchy(
+                12, [LevelSpec(1, 64), LevelSpec(5, 16), LevelSpec(12, 4)]
+            )
+
+    def test_counts_must_divide_p(self):
+        with pytest.raises(ConfigurationError):
+            MultiLevelHierarchy(4, [LevelSpec(3, 8), LevelSpec(4, 4)])
+
+    def test_empty_levels(self):
+        with pytest.raises(ConfigurationError):
+            MultiLevelHierarchy(1, [])
+
+    def test_bad_spec(self):
+        with pytest.raises(ConfigurationError):
+            LevelSpec(0, 4)
+        with pytest.raises(ConfigurationError):
+            LevelSpec(1, 0)
+        with pytest.raises(ConfigurationError):
+            LevelSpec(1, 4, bandwidth=0)
+
+    def test_three_level_topology(self):
+        h = MultiLevelHierarchy(
+            8,
+            [LevelSpec(1, 64), LevelSpec(2, 16), LevelSpec(8, 4)],
+        )
+        # cores 0-3 share socket cache 0; cores 4-7 share socket cache 1
+        assert h.cache_of(1, 0) is h.cache_of(1, 3)
+        assert h.cache_of(1, 3) is not h.cache_of(1, 4)
+        assert h.cache_of(2, 5) is not h.cache_of(2, 6)
+
+
+class TestTouchSemantics:
+    def test_miss_depth(self):
+        h = two_level(2, cs=8, cd=2)
+        assert h.touch(0, ka(1)) == 2  # cold: missed both levels
+        assert h.touch(0, ka(1)) == 0  # leaf hit
+        assert h.touch(1, ka(1)) == 1  # sibling: leaf miss, shared hit
+
+    def test_fill_is_inclusive(self):
+        h = MultiLevelHierarchy(
+            4, [LevelSpec(1, 64), LevelSpec(2, 16), LevelSpec(4, 4)]
+        )
+        h.touch(2, ka(7))
+        assert ka(7) in h.cache_of(0, 2)
+        assert ka(7) in h.cache_of(1, 2)
+        assert ka(7) in h.cache_of(2, 2)
+        assert h.check_inclusion()
+
+    def test_level_miss_counters(self):
+        h = two_level(2, cs=8, cd=2)
+        h.touch(0, ka(1))
+        h.touch(0, ka(1))
+        assert h.level_misses(1) == 1
+        assert h.level_misses(0) == 1
+        assert h.total_misses(1) == 1
+
+    def test_tdata_weighs_bandwidths(self):
+        h = MultiLevelHierarchy(
+            1, [LevelSpec(1, 8, bandwidth=2.0), LevelSpec(1, 2, bandwidth=0.5)]
+        )
+        h.touch(0, ka(1))
+        assert h.tdata() == pytest.approx(1 / 2.0 + 1 / 0.5)
+
+    def test_reset(self):
+        h = two_level(2, cs=8, cd=2)
+        h.touch(0, ka(1))
+        h.reset()
+        assert h.level_misses(0) == 0
+
+
+class TestTwoLevelEquivalence:
+    """The tree with one root + p leaves must equal LRUHierarchy."""
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 3), st.integers(0, 12), st.booleans()),
+            max_size=250,
+        ),
+        st.integers(min_value=2, max_value=6),
+        st.integers(min_value=6, max_value=30),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bit_for_bit(self, refs, cd, cs):
+        tree = two_level(4, cs=cs, cd=cd)
+        flat = LRUHierarchy(p=4, cs=cs, cd=cd)
+        for core, i, write in refs:
+            tree.touch(core, ka(i), write)
+            flat.touch(core, ka(i), write)
+        flat_stats = flat.snapshot()
+        assert tree.level_misses(0) == flat_stats.ms
+        assert [c.misses for c in tree.level_stats(1)] == flat_stats.md_per_core
+        assert [c.hits for c in tree.level_stats(1)] == [
+            c.hits for c in flat_stats.distributed
+        ]
+
+
+class TestThreeLevelBehaviour:
+    def test_socket_cache_captures_cross_core_reuse(self):
+        """A mid-level cache turns sibling reuse into cheap fills."""
+        three = MultiLevelHierarchy(
+            4, [LevelSpec(1, 64), LevelSpec(2, 16), LevelSpec(4, 2)]
+        )
+        # cores 0 and 1 share the level-1 cache; 0 and 2 do not.
+        three.touch(0, ka(1))
+        depth_sibling = three.touch(1, ka(1))
+        three.touch(0, ka(2))
+        depth_foreign = three.touch(2, ka(2))
+        assert depth_sibling == 1  # found in the shared socket cache
+        assert depth_foreign == 2  # had to go to the root

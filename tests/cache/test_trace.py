@@ -1,0 +1,100 @@
+"""Tests for access traces and coalescing."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.block import block_key, MAT_A
+from repro.cache.hierarchy import LRUHierarchy
+from repro.cache.trace import AccessTrace, coalesce
+
+
+def key(i):
+    return block_key(MAT_A, i, 0)
+
+
+class TestRecordReplay:
+    def test_record_and_len(self):
+        t = AccessTrace()
+        t.record(0, key(1))
+        t.record(1, key(2), write=True)
+        assert len(t) == 2
+        assert t.entries[1] == (1, key(2), True)
+
+    def test_replay_reproduces_counts(self):
+        t = AccessTrace()
+        for i in [1, 2, 1, 3, 1, 2]:
+            t.record(0, key(i))
+        h1 = LRUHierarchy(p=1, cs=8, cd=2)
+        h2 = LRUHierarchy(p=1, cs=8, cd=2)
+        t.replay(h1)
+        t.replay(h2)
+        assert h1.snapshot().ms == h2.snapshot().ms
+
+    def test_per_core_split(self):
+        t = AccessTrace()
+        t.record(0, key(1))
+        t.record(1, key(2))
+        t.record(0, key(3))
+        parts = t.per_core()
+        assert len(parts) == 2
+        assert [k for _, k, _ in parts[0]] == [key(1), key(3)]
+        assert [k for _, k, _ in parts[1]] == [key(2)]
+
+
+class TestCoalescing:
+    def test_adjacent_duplicates_dropped(self):
+        t = AccessTrace()
+        for i in [1, 1, 1, 2, 2, 1]:
+            t.record(0, key(i))
+        c = t.coalesced()
+        assert [k for _, k, _ in c] == [key(1), key(2), key(1)]
+
+    def test_write_flag_sticky(self):
+        t = AccessTrace()
+        t.record(0, key(1), write=False)
+        t.record(0, key(1), write=True)  # dropped, but dirtiness kept
+        c = t.coalesced()
+        assert c.entries == [(0, key(1), True)]
+
+    def test_interleaved_cores_not_coalesced(self):
+        # Same key on different cores touches different caches.
+        t = AccessTrace()
+        t.record(0, key(1))
+        t.record(1, key(1))
+        t.record(0, key(1))  # adjacent for core 0 -> dropped
+        c = t.coalesced()
+        assert len(c) == 2
+
+    def test_functional_form(self):
+        entries = [(0, key(1), False), (0, key(1), False)]
+        assert coalesce(entries) == [(0, key(1), False)]
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 2),
+                st.integers(0, 6),
+                st.booleans(),
+            ),
+            max_size=200,
+        ),
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=2, max_value=12),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_coalescing_preserves_miss_counts(self, raw, cd, cs):
+        """Dropping per-core adjacent re-references never changes misses.
+
+        The dropped reference is necessarily a distributed-cache hit on
+        the MRU block, which leaves every cache state unchanged.
+        """
+        t = AccessTrace([(core, key(i), w) for core, i, w in raw])
+        full = LRUHierarchy(p=3, cs=cs, cd=cd)
+        merged = LRUHierarchy(p=3, cs=cs, cd=cd)
+        t.replay(full)
+        t.coalesced().replay(merged)
+        fs, ms = full.snapshot(), merged.snapshot()
+        assert fs.ms == ms.ms
+        assert fs.md_per_core == ms.md_per_core
+        assert [c.writebacks for c in fs.distributed] == [
+            c.writebacks for c in ms.distributed
+        ]

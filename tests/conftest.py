@@ -1,0 +1,35 @@
+"""Shared fixtures: small machines and dimension sets used across tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.machine import MulticoreMachine, preset
+
+
+@pytest.fixture
+def quad() -> MulticoreMachine:
+    """A small quad-core machine: tiles stay tiny, runs stay fast.
+
+    CS=100 -> lambda=9, CD=21 -> mu=4, equal tiles t=5 (shared) / 2
+    (distributed).
+    """
+    return MulticoreMachine(p=4, cs=100, cd=21, q=8, name="test-quad")
+
+
+@pytest.fixture
+def paper_q32() -> MulticoreMachine:
+    """The paper's q=32 preset (CS=977, CD=21)."""
+    return preset("q32")
+
+
+@pytest.fixture
+def unicore() -> MulticoreMachine:
+    """Single-core edge-case machine."""
+    return MulticoreMachine(p=1, cs=30, cd=7, q=8, name="test-uni")
+
+
+@pytest.fixture
+def nine_core() -> MulticoreMachine:
+    """3x3 grid machine (square but not power of two)."""
+    return MulticoreMachine(p=9, cs=200, cd=13, q=8, name="test-nine")

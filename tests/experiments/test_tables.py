@@ -1,0 +1,36 @@
+"""Tests for the §4.1 tables."""
+
+from repro.experiments.tables import cache_configuration_table, parameter_table
+
+
+class TestCacheConfigurations:
+    def test_six_rows(self):
+        rows = cache_configuration_table()
+        assert len(rows) == 6
+
+    def test_paper_values_present(self):
+        rows = {r["preset"]: r for r in cache_configuration_table()}
+        assert rows["q32"]["CS (paper)"] == 977
+        assert rows["q32"]["CD (paper)"] == 21
+        assert rows["q64"]["CD (paper)"] == 6
+        assert rows["q80-pessimistic"]["CD (paper)"] == 3
+
+    def test_recomputation_close_to_paper(self):
+        for row in cache_configuration_table():
+            # paper and first-principles capacities agree within ~20%
+            assert abs(row["CD (paper)"] - row["CD (recomputed)"]) <= 1
+            assert row["CS (recomputed)"] >= row["CS (paper)"]
+
+
+class TestParameterTable:
+    def test_lambda_mu_match_paper(self):
+        rows = {r["preset"]: r for r in parameter_table()}
+        assert rows["q32"]["lambda"] == 30
+        assert rows["q32"]["mu"] == 4
+        assert rows["q64"]["mu"] == 1  # the µ=1 collapse of Fig. 8(c)
+        assert rows["q80"]["lambda"] == 12
+
+    def test_tradeoff_params_feasible(self):
+        for row in parameter_table():
+            a, b = row["alpha"], row["beta"]
+            assert a * a + 2 * a * b <= row["CS"]

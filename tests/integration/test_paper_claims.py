@@ -1,0 +1,241 @@
+"""Integration tests of the paper's headline claims, at scaled orders.
+
+Each test corresponds to a statement in the paper's §3–§4; EXPERIMENTS.md
+cross-references them.  Orders are scaled down from the paper's (≤1100)
+to keep pure-Python simulation fast, which preserves every claim tested
+here (all are about rankings, ratios and crossovers, not absolute
+counts).
+"""
+
+import math
+
+import pytest
+
+from repro.model.bounds import (
+    ccr_lower_bound,
+    distributed_misses_lower_bound,
+    shared_misses_lower_bound,
+    tdata_lower_bound,
+)
+from repro.model.machine import preset
+from repro.sim.runner import run_experiment
+
+Q32 = preset("q32")
+Q64 = preset("q64")
+Q80 = preset("q80")
+
+
+class TestSection31SharedOpt:
+    """§3.1: Shared Opt. is near the shared bound, far from the distributed."""
+
+    def test_ccr_s_matches_formula(self):
+        # order 60 = 2*λ(CS=977): exact tiling
+        r = run_experiment("shared-opt", Q32, 60, 60, 60, "ideal")
+        lam = r.parameters["lambda"]
+        assert r.ccr_s == pytest.approx(1 / 60 + 2 / lam)
+
+    def test_ccr_s_close_to_lower_bound(self):
+        r = run_experiment("shared-opt", Q32, 60, 60, 60, "ideal")
+        bound = ccr_lower_bound(Q32.cs)
+        # 2/λ vs sqrt(27/(8 CS)): within ~2x of the bound, and in the
+        # large-z limit within sqrt(32/27) ≈ 1.09
+        assert r.ccr_s < 2 * bound
+
+    def test_ccr_d_far_from_bound(self):
+        """CCR_D = 2 + p/λ: independent of the matrix size, far off.
+
+        λ is pinned to 24 (a multiple of p dividing the order) so the
+        column deal is perfectly even and the formula is exact.
+        """
+        r = run_experiment("shared-opt", Q32, 48, 48, 48, "ideal", lam=24)
+        assert r.ccr_d == pytest.approx(2 + Q32.p / 24)
+        assert r.ccr_d > 4 * ccr_lower_bound(Q32.cd)
+
+
+class TestSection32DistributedOpt:
+    """§3.2: Distributed Opt. is near the distributed bound."""
+
+    def test_ccr_d_matches_formula(self):
+        r = run_experiment("distributed-opt", Q32, 64, 64, 64, "ideal")
+        mu = r.parameters["mu"]
+        assert r.ccr_d == pytest.approx(1 / 64 + 2 / mu)
+
+    def test_ccr_d_close_to_lower_bound(self):
+        r = run_experiment("distributed-opt", Q32, 64, 64, 64, "ideal")
+        # 2/µ = sqrt(32/(8 CD))-ish vs sqrt(27/(8 CD)): ratio ~ 1.09
+        assert r.ccr_d < 1.25 * ccr_lower_bound(Q32.cd) + 1 / 64
+
+    def test_ccr_s_far_from_bound(self):
+        r = run_experiment("distributed-opt", Q32, 64, 64, 64, "ideal")
+        assert r.ccr_s > 2 * ccr_lower_bound(Q32.cs)
+
+
+class TestFrigoFactorTwo:
+    """Figs. 4–6: LRU with doubled capacity stays within 2x the formula."""
+
+    @pytest.mark.parametrize("order", [40, 64])
+    def test_shared_opt_ms(self, order):
+        r = run_experiment("shared-opt", Q32, order, order, order, "lru-2x")
+        assert r.ms <= 2 * r.predicted.ms
+
+    @pytest.mark.parametrize("order", [40, 64])
+    def test_distributed_opt_md(self, order):
+        r = run_experiment("distributed-opt", Q32, order, order, order, "lru-2x")
+        assert r.md <= 2 * r.predicted.md
+
+    @pytest.mark.parametrize("order", [40, 64])
+    def test_tradeoff_tdata(self, order):
+        r = run_experiment("tradeoff", Q32, order, order, order, "lru-2x")
+        assert r.tdata <= 2 * r.predicted.tdata(Q32)
+
+
+class TestFigure7SharedMisses:
+    """Fig. 7: Shared Opt. < Shared Equal < Outer Product on MS."""
+
+    @pytest.mark.parametrize("machine", [Q32, Q64, Q80], ids=["q32", "q64", "q80"])
+    def test_ranking(self, machine):
+        order = 60
+        so = run_experiment("shared-opt", machine, order, order, order, "lru-50")
+        eq = run_experiment("shared-equal", machine, order, order, order, "lru-50")
+        op = run_experiment("outer-product", machine, order, order, order, "lru-50")
+        assert so.ms <= eq.ms * 1.02
+        assert eq.ms < op.ms
+
+    def test_ideal_between_bound_and_lru(self):
+        order = 60
+        ideal = run_experiment("shared-opt", Q32, order, order, order, "ideal")
+        lru = run_experiment("shared-opt", Q32, order, order, order, "lru-50")
+        bound = shared_misses_lower_bound(Q32, order, order, order)
+        assert bound <= ideal.ms <= lru.ms * 1.001
+
+
+class TestFigure8DistributedMisses:
+    """Fig. 8: Distributed Opt. wins at q=32 but collapses at q=64 (µ=1)."""
+
+    @pytest.mark.parametrize(
+        "machine", [Q32, preset("q32-pessimistic")], ids=["cd21", "cd16"]
+    )
+    def test_q32_ranking(self, machine):
+        order = 48
+        do = run_experiment("distributed-opt", machine, order, order, order, "lru-50")
+        eq = run_experiment("distributed-equal", machine, order, order, order, "lru-50")
+        op = run_experiment("outer-product", machine, order, order, order, "lru-50")
+        assert do.md < eq.md
+        assert do.md < op.md
+
+    def test_q64_collapse(self):
+        """With CD=6 the declared µ is 1: no advantage left."""
+        order = 48
+        do = run_experiment("distributed-opt", Q64, order, order, order, "lru-50")
+        eq = run_experiment("distributed-equal", Q64, order, order, order, "lru-50")
+        op = run_experiment("outer-product", Q64, order, order, order, "lru-50")
+        assert do.md >= 0.95 * min(eq.md, op.md)  # no longer better
+
+    def test_ideal_close_to_bound(self):
+        order = 48
+        ideal = run_experiment("distributed-opt", Q32, order, order, order, "ideal")
+        bound = distributed_misses_lower_bound(Q32, order, order, order)
+        assert bound <= ideal.md <= 1.35 * bound
+
+
+class TestFigure9Tdata:
+    """Fig. 9 (q=32): Tradeoff best overall, Shared Opt. very close."""
+
+    ORDER = 60
+
+    def _tdata(self, name, setting, machine=Q32):
+        return run_experiment(
+            name, machine, self.ORDER, self.ORDER, self.ORDER, setting
+        ).tdata
+
+    def test_lru50_tradeoff_among_best(self):
+        six = [
+            "shared-opt",
+            "distributed-opt",
+            "tradeoff",
+            "outer-product",
+            "shared-equal",
+            "distributed-equal",
+        ]
+        tdatas = {name: self._tdata(name, "lru-50") for name in six}
+        best = min(tdatas.values())
+        # Tradeoff and Shared Opt. are the two leaders, within 10%.
+        assert tdatas["tradeoff"] <= 1.10 * best
+        assert tdatas["shared-opt"] <= 1.10 * best
+        # The baselines trail far behind.
+        assert tdatas["outer-product"] > 2.5 * best
+        assert tdatas["distributed-equal"] > 2.5 * best
+
+    def test_ideal_tradeoff_wins_outright(self):
+        for rival in ("shared-opt", "distributed-opt", "shared-equal",
+                      "outer-product", "distributed-equal"):
+            assert self._tdata("tradeoff", "ideal") < self._tdata(rival, "ideal")
+
+    def test_above_lower_bound(self):
+        bound = tdata_lower_bound(Q32, self.ORDER, self.ORDER, self.ORDER)
+        assert self._tdata("tradeoff", "ideal") >= bound
+
+
+class TestFigure11RoundingPenalty:
+    """Fig. 11 (q=80): parameter rounding costs Tradeoff its lead."""
+
+    def test_shared_opt_competitive_at_q80(self):
+        order = 48
+        so = run_experiment("shared-opt", Q80, order, order, order, "ideal")
+        to = run_experiment("tradeoff", Q80, order, order, order, "ideal")
+        # The paper finds Shared Opt. ties or beats Tradeoff here; we
+        # only require that Tradeoff has lost its clear q32-style win.
+        assert so.tdata <= 1.6 * to.tdata
+
+
+class TestFigure12BandwidthSweep:
+    """Fig. 12: Tradeoff tracks the best algorithm across r."""
+
+    ORDER = 48
+
+    def _tdata(self, name, r):
+        machine = Q32.with_bandwidth_ratio(r)
+        return run_experiment(
+            name, machine, self.ORDER, self.ORDER, self.ORDER, "ideal"
+        ).tdata
+
+    def test_r_to_zero_ties_shared_opt(self):
+        assert self._tdata("tradeoff", 0.02) <= 1.05 * self._tdata("shared-opt", 0.02)
+
+    def test_r_to_one_ties_distributed_opt(self):
+        assert self._tdata("tradeoff", 0.98) == pytest.approx(
+            self._tdata("distributed-opt", 0.98), rel=1e-9
+        )
+
+    @pytest.mark.parametrize("r", [0.1, 0.3, 0.5, 0.7, 0.9])
+    def test_never_worse_than_either_parent(self, r):
+        t = self._tdata("tradeoff", r)
+        assert t <= 1.05 * self._tdata("shared-opt", r)
+        assert t <= 1.05 * self._tdata("distributed-opt", r)
+
+    def test_parents_cross_over(self):
+        """Shared Opt. and Distributed Opt. swap ranks across the sweep."""
+        s_lo, d_lo = self._tdata("shared-opt", 0.1), self._tdata("distributed-opt", 0.1)
+        s_hi, d_hi = self._tdata("shared-opt", 0.9), self._tdata("distributed-opt", 0.9)
+        assert (s_lo - d_lo) * (s_hi - d_hi) < 0
+
+
+class TestLoadBalance:
+    """All paper algorithms distribute work and misses evenly (§2.3.4)."""
+
+    @pytest.mark.parametrize(
+        "name,params",
+        [
+            # λ pinned to a multiple of p that divides the order, so the
+            # column deal of Algorithm 1 is perfectly even.
+            ("shared-opt", {"lam": 24}),
+            ("distributed-opt", {}),
+            ("tradeoff", {}),
+            ("outer-product", {}),
+        ],
+    )
+    def test_balanced_at_divisible_order(self, name, params):
+        r = run_experiment(name, Q32, 48, 48, 48, "ideal", **params)
+        assert r.stats.imbalance() <= 1.05
+        comp = r.comp
+        assert max(comp) <= 1.05 * (sum(comp) / len(comp))

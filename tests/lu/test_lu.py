@@ -1,0 +1,133 @@
+"""Tests for the LU factorization extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ConfigurationError, ScheduleError
+from repro.lu.numeric import LUNumericContext, dominant_random, verify_lu_schedule
+from repro.lu.ops import LUOpCounts
+from repro.lu.runner import run_lu
+from repro.lu.schedules import LU_SCHEDULES, LeftLookingLU, RightLookingLU
+from repro.model.machine import MulticoreMachine, preset
+
+MACHINE = MulticoreMachine(p=4, cs=100, cd=21, q=8)
+
+
+class TestNumericCorrectness:
+    @pytest.mark.parametrize("cls", list(LU_SCHEDULES.values()), ids=list(LU_SCHEDULES))
+    @pytest.mark.parametrize("n", [1, 2, 4, 7])
+    def test_factors_exactly(self, cls, n):
+        verify_lu_schedule(cls(MACHINE, n), q=3)
+
+    @pytest.mark.parametrize("cls", list(LU_SCHEDULES.values()), ids=list(LU_SCHEDULES))
+    @given(n=st.integers(min_value=1, max_value=6), seed=st.integers(0, 10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_factors_random_instances(self, cls, n, seed):
+        verify_lu_schedule(cls(MACHINE, n), q=2, seed=seed)
+
+    def test_both_schedules_same_factorization(self):
+        """Same in-place L\\U, different order: results must agree."""
+        a1 = dominant_random(5, 3, seed=9)
+        a2 = a1.copy()
+        c1 = LUNumericContext(4, a1)
+        c2 = LUNumericContext(4, a2)
+        RightLookingLU(MACHINE, 5).run(c1)
+        LeftLookingLU(MACHINE, 5).run(c2)
+        assert np.allclose(a1.data, a2.data)
+
+    def test_op_counts_match_closed_forms(self):
+        sched = RightLookingLU(MACHINE, 6)
+        a = dominant_random(6, 2)
+        ctx = LUNumericContext(4, a)
+        sched.run(ctx)
+        assert sum(ctx.ops.update) == sched.update_total
+        assert sum(ctx.ops.trsm) == sched.trsm_total
+        assert sum(ctx.ops.factor) == 6
+
+
+class TestDependencyDiscipline:
+    def test_trsm_before_factor_rejected(self):
+        ctx = LUNumericContext(1, dominant_random(3, 2))
+        with pytest.raises(ScheduleError):
+            ctx.trsm_u(0, 0, 1)
+
+    def test_update_before_panels_rejected(self):
+        ctx = LUNumericContext(1, dominant_random(3, 2))
+        ctx.factor(0, 0)
+        with pytest.raises(ScheduleError):
+            ctx.update(0, 1, 1, 0)  # panels (1,0) and (0,1) not solved
+
+    def test_factor_before_history_rejected(self):
+        ctx = LUNumericContext(1, dominant_random(3, 2))
+        ctx.factor(0, 0)
+        with pytest.raises(ScheduleError):
+            ctx.factor(0, 1)  # update (1,1,0) missing
+
+    def test_double_update_rejected(self):
+        ctx = LUNumericContext(1, dominant_random(3, 2))
+        ctx.factor(0, 0)
+        ctx.trsm_u(0, 0, 1)
+        ctx.trsm_l(0, 1, 0)
+        ctx.update(0, 1, 1, 0)
+        with pytest.raises(ScheduleError):
+            ctx.update(0, 1, 1, 0)
+
+    def test_incomplete_schedule_caught(self):
+        ctx = LUNumericContext(1, dominant_random(2, 2))
+        ctx.factor(0, 0)
+        with pytest.raises(ScheduleError):
+            ctx.assert_complete()
+
+    def test_non_square_rejected(self):
+        from repro.numerics.blockmatrix import BlockMatrix
+
+        with pytest.raises(ScheduleError):
+            LUNumericContext(1, BlockMatrix(2, 3, 2))
+
+    def test_zero_pivot_detected(self):
+        from repro.numerics.blockmatrix import BlockMatrix
+
+        a = BlockMatrix(2, 2, 2)  # all-zero matrix
+        ctx = LUNumericContext(1, a)
+        with pytest.raises(ScheduleError):
+            ctx.factor(0, 0)
+
+
+class TestCounting:
+    def test_run_lu_basic(self):
+        r = run_lu("right-looking-lu", preset("q32"), 12, "lru")
+        assert r.ms >= 12 * 12  # at least compulsory
+        assert r.ms == 144  # matrix fits: compulsory only
+        assert sum(r.ops.update) == 12 * 11 * 23 // 6
+
+    def test_left_looking_wins_when_column_fits(self):
+        """The Maximum-Reuse analogue: at n=40 (q32 preset) the active
+        column plus its history panels fit in the shared cache, so the
+        lazy schedule slashes shared misses; the eager one re-streams
+        the trailing matrix every step."""
+        rl = run_lu("right-looking-lu", preset("q32"), 40, "lru-50")
+        ll = run_lu("left-looking-lu", preset("q32"), 40, "lru-50")
+        assert ll.ms < 0.5 * rl.ms
+
+    def test_equal_below_cache_capacity(self):
+        rl = run_lu("right-looking-lu", preset("q32"), 16, "lru")
+        ll = run_lu("left-looking-lu", preset("q32"), 16, "lru")
+        assert rl.ms == ll.ms == 16 * 16
+
+    def test_ideal_setting_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_lu("right-looking-lu", preset("q32"), 8, "ideal")
+
+    def test_unknown_schedule(self):
+        with pytest.raises(ConfigurationError):
+            run_lu("crout-lu", preset("q32"), 8, "lru")
+
+    def test_ccr_s_uses_weighted_work(self):
+        r = run_lu("right-looking-lu", preset("q32"), 12, "lru")
+        assert r.ccr_s == pytest.approx(r.ms / r.ops.weighted_total())
+
+    def test_op_counts_zeros(self):
+        ops = LUOpCounts.zeros(3)
+        assert ops.totals() == {"factor": 0, "trsm": 0, "update": 0}
+        assert ops.weighted_total() == 0

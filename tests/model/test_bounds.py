@@ -1,0 +1,92 @@
+"""Tests for the communication lower bounds (paper §2.3)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.model.bounds import (
+    ccr_lower_bound,
+    distributed_misses_lower_bound,
+    loomis_whitney_optimum,
+    loomis_whitney_optimum_numeric,
+    shared_misses_lower_bound,
+    tdata_lower_bound,
+)
+from repro.model.machine import MulticoreMachine
+
+
+class TestLoomisWhitney:
+    """The §2.3.1 optimization behind every bound in the paper."""
+
+    def test_closed_form(self):
+        opt = loomis_whitney_optimum()
+        assert opt.eta == opt.nu == opt.xi == pytest.approx(2 / 3)
+        assert opt.k == pytest.approx(math.sqrt(8 / 27))
+
+    def test_numeric_cross_check(self):
+        analytic = loomis_whitney_optimum()
+        numeric = loomis_whitney_optimum_numeric()
+        assert numeric.k == pytest.approx(analytic.k, rel=1e-5)
+        assert numeric.eta == pytest.approx(2 / 3, rel=1e-3)
+
+    def test_k_yields_ccr_constant(self):
+        # CCR >= Z / (k Z sqrt(Z)) = sqrt(27/(8Z))
+        k = loomis_whitney_optimum().k
+        for z in (8, 64, 977):
+            assert 1 / (k * math.sqrt(z)) == pytest.approx(ccr_lower_bound(z))
+
+
+class TestCCRBound:
+    def test_formula(self):
+        assert ccr_lower_bound(8) == pytest.approx(math.sqrt(27.0 / 64.0))
+        assert ccr_lower_bound(27) == pytest.approx(math.sqrt(27.0 / (8 * 27)))
+
+    def test_monotone_in_cache_size(self):
+        # More cache can only lower the required communication.
+        values = [ccr_lower_bound(z) for z in (4, 16, 64, 256, 1024)]
+        assert values == sorted(values, reverse=True)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            ccr_lower_bound(0)
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_positive(self, z):
+        assert ccr_lower_bound(z) > 0
+
+
+class TestLevelBounds:
+    def setup_method(self):
+        self.machine = MulticoreMachine(p=4, cs=977, cd=21, sigma_s=2.0, sigma_d=1.0)
+
+    def test_shared_bound_value(self):
+        got = shared_misses_lower_bound(self.machine, 10, 20, 30)
+        assert got == pytest.approx(10 * 20 * 30 * math.sqrt(27 / (8 * 977)))
+
+    def test_distributed_bound_value(self):
+        got = distributed_misses_lower_bound(self.machine, 10, 20, 30)
+        assert got == pytest.approx(6000 / 4 * math.sqrt(27 / (8 * 21)))
+
+    def test_tdata_combines_levels(self):
+        ms = shared_misses_lower_bound(self.machine, 8, 8, 8)
+        md = distributed_misses_lower_bound(self.machine, 8, 8, 8)
+        assert tdata_lower_bound(self.machine, 8, 8, 8) == pytest.approx(
+            ms / 2.0 + md / 1.0
+        )
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ConfigurationError):
+            shared_misses_lower_bound(self.machine, 0, 2, 3)
+
+    @given(
+        st.integers(min_value=1, max_value=200),
+        st.integers(min_value=1, max_value=200),
+        st.integers(min_value=1, max_value=200),
+    )
+    def test_scales_linearly_in_each_dim(self, m, n, z):
+        base = shared_misses_lower_bound(self.machine, m, n, z)
+        assert shared_misses_lower_bound(self.machine, 2 * m, n, z) == pytest.approx(
+            2 * base
+        )

@@ -1,0 +1,152 @@
+"""Tests for the multicore machine model."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.model.machine import (
+    COEFFICIENT_BYTES,
+    PRESETS,
+    MulticoreMachine,
+    preset,
+)
+
+
+class TestConstruction:
+    def test_basic_fields(self):
+        m = MulticoreMachine(p=4, cs=100, cd=21, sigma_s=2.0, sigma_d=3.0, q=16)
+        assert (m.p, m.cs, m.cd) == (4, 100, 21)
+        assert m.sigma_s == 2.0 and m.sigma_d == 3.0
+        assert m.q == 16
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ConfigurationError):
+            MulticoreMachine(p=0, cs=100, cd=10)
+
+    def test_rejects_negative_capacities(self):
+        with pytest.raises(ConfigurationError):
+            MulticoreMachine(p=1, cs=-1, cd=3)
+
+    def test_rejects_shared_smaller_than_union_of_distributed(self):
+        # Inclusivity requires CS >= p*CD.
+        with pytest.raises(ConfigurationError):
+            MulticoreMachine(p=4, cs=11, cd=3)
+
+    def test_accepts_shared_exactly_union(self):
+        m = MulticoreMachine(p=4, cs=12, cd=3)
+        assert m.cs == 12
+
+    def test_rejects_distributed_below_three(self):
+        # One block of each of A, B, C must fit.
+        with pytest.raises(ConfigurationError):
+            MulticoreMachine(p=1, cs=10, cd=2)
+
+    def test_rejects_nonpositive_bandwidths(self):
+        with pytest.raises(ConfigurationError):
+            MulticoreMachine(p=1, cs=10, cd=3, sigma_s=0.0)
+        with pytest.raises(ConfigurationError):
+            MulticoreMachine(p=1, cs=10, cd=3, sigma_d=-1.0)
+
+    def test_frozen(self):
+        m = MulticoreMachine(p=1, cs=10, cd=3)
+        with pytest.raises(AttributeError):
+            m.cs = 20  # type: ignore[misc]
+
+
+class TestDerived:
+    def test_grid_side_square(self):
+        assert MulticoreMachine(p=4, cs=100, cd=21).grid_side == 2
+        assert MulticoreMachine(p=9, cs=100, cd=11).grid_side == 3
+        assert MulticoreMachine(p=1, cs=10, cd=3).grid_side == 1
+
+    def test_grid_side_non_square_raises(self):
+        with pytest.raises(ConfigurationError):
+            MulticoreMachine(p=6, cs=100, cd=16).grid_side
+
+    def test_is_square_grid(self):
+        assert MulticoreMachine(p=4, cs=100, cd=21).is_square_grid
+        assert not MulticoreMachine(p=6, cs=100, cd=16).is_square_grid
+
+    def test_block_bytes(self):
+        m = MulticoreMachine(p=1, cs=10, cd=3, q=32)
+        assert m.block_bytes == 32 * 32 * COEFFICIENT_BYTES
+
+    def test_cache_bytes(self):
+        m = MulticoreMachine(p=1, cs=10, cd=3, q=32)
+        assert m.shared_bytes == 10 * m.block_bytes
+        assert m.distributed_bytes == 3 * m.block_bytes
+
+    def test_bandwidth_ratio_r(self):
+        m = MulticoreMachine(p=1, cs=10, cd=3, sigma_s=1.0, sigma_d=3.0)
+        assert m.r == pytest.approx(0.25)
+
+
+class TestTransforms:
+    def test_with_bandwidth_ratio(self):
+        m = MulticoreMachine(p=4, cs=100, cd=21)
+        m2 = m.with_bandwidth_ratio(0.25, total=4.0)
+        assert m2.sigma_s == pytest.approx(1.0)
+        assert m2.sigma_d == pytest.approx(3.0)
+        assert m2.r == pytest.approx(0.25)
+        # capacities untouched
+        assert (m2.cs, m2.cd, m2.p) == (m.cs, m.cd, m.p)
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.5, 1.5])
+    def test_with_bandwidth_ratio_rejects_degenerate(self, bad):
+        m = MulticoreMachine(p=4, cs=100, cd=21)
+        with pytest.raises(ConfigurationError):
+            m.with_bandwidth_ratio(bad)
+
+    def test_with_halved_caches(self):
+        m = MulticoreMachine(p=4, cs=100, cd=21)
+        h = m.with_halved_caches()
+        assert h.cs == 50 and h.cd == 10
+
+    def test_with_halved_caches_floors(self):
+        m = MulticoreMachine(p=1, cs=7, cd=6)
+        h = m.with_halved_caches()
+        # cd floors at the legality minimum of 3
+        assert h.cs == 3 and h.cd == 3
+
+    def test_with_doubled_caches(self):
+        m = MulticoreMachine(p=4, cs=100, cd=21)
+        d = m.with_doubled_caches()
+        assert d.cs == 200 and d.cd == 42
+
+    def test_from_bytes_matches_paper_q32(self):
+        m = MulticoreMachine.from_bytes(
+            p=4,
+            shared_bytes=8 * 1024 * 1024,
+            distributed_bytes=256 * 1024,
+            q=32,
+            data_fraction=2 / 3,
+        )
+        # paper rounds CS to 977 (they reserve a sliver); recomputation
+        # gives 1024 — both CD values agree at 21.
+        assert m.cd == 21
+        assert m.cs in (977, 1024)
+
+    def test_from_bytes_rejects_bad_fraction(self):
+        with pytest.raises(ConfigurationError):
+            MulticoreMachine.from_bytes(4, 2**23, 2**18, 32, data_fraction=0.0)
+
+
+class TestPresets:
+    def test_all_presets_valid(self):
+        for key in PRESETS:
+            m = preset(key)
+            assert m.cs >= m.p * m.cd
+            assert m.p == 4
+
+    def test_paper_values(self):
+        assert (preset("q32").cs, preset("q32").cd) == (977, 21)
+        assert (preset("q64").cs, preset("q64").cd) == (245, 6)
+        assert (preset("q80").cs, preset("q80").cd) == (157, 4)
+        assert preset("q32-pessimistic").cd == 16
+        assert preset("q64-pessimistic").cd == 4
+        assert preset("q80-pessimistic").cd == 3
+
+    def test_unknown_preset(self):
+        with pytest.raises(ConfigurationError, match="valid presets"):
+            preset("q128")

@@ -1,0 +1,80 @@
+"""Tests for the block-partitioned matrix wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.numerics.blockmatrix import BlockMatrix
+
+
+class TestConstruction:
+    def test_zero_initialized(self):
+        bm = BlockMatrix(2, 3, q=4)
+        assert bm.shape == (8, 12)
+        assert bm.shape_blocks == (2, 3)
+        assert np.all(bm.data == 0)
+
+    def test_wraps_existing_array_without_copy(self):
+        data = np.ones((8, 8))
+        bm = BlockMatrix(2, 2, q=4, data=data)
+        bm.block(0, 0)[:] = 5
+        assert data[0, 0] == 5  # shared storage
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BlockMatrix(2, 2, q=4, data=np.zeros((8, 9)))
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ConfigurationError):
+            BlockMatrix(0, 2, q=4)
+
+    def test_random_deterministic(self):
+        a = BlockMatrix.random(2, 2, q=3, seed=42)
+        b = BlockMatrix.random(2, 2, q=3, seed=42)
+        assert a.allclose(b)
+
+
+class TestBlockAccess:
+    def test_block_is_view(self):
+        bm = BlockMatrix(2, 2, q=4)
+        bm.block(1, 0)[:] = 7
+        assert np.all(bm.data[4:8, 0:4] == 7)
+        assert np.all(bm.data[0:4, 0:4] == 0)
+
+    def test_block_out_of_range(self):
+        bm = BlockMatrix(2, 2, q=4)
+        with pytest.raises(IndexError):
+            bm.block(2, 0)
+        with pytest.raises(IndexError):
+            bm.block(0, -1)
+
+
+class TestOps:
+    def test_matmul_matches_numpy(self):
+        a = BlockMatrix.random(3, 4, q=2, seed=1)
+        b = BlockMatrix.random(4, 2, q=2, seed=2)
+        c = a @ b
+        assert np.allclose(c.data, a.data @ b.data)
+        assert c.shape_blocks == (3, 2)
+
+    def test_matmul_incompatible(self):
+        a = BlockMatrix(2, 3, q=2)
+        b = BlockMatrix(2, 2, q=2)
+        with pytest.raises(ConfigurationError):
+            a @ b
+
+    def test_matmul_q_mismatch(self):
+        a = BlockMatrix(2, 2, q=2)
+        b = BlockMatrix(2, 2, q=3)
+        with pytest.raises(ConfigurationError):
+            a @ b
+
+    def test_copy_detached(self):
+        a = BlockMatrix.random(2, 2, q=2, seed=0)
+        b = a.copy()
+        b.block(0, 0)[:] = 0
+        assert not a.allclose(b)
+
+    def test_allclose_geometry_sensitive(self):
+        assert not BlockMatrix(2, 2, q=2).allclose(BlockMatrix(2, 2, q=3))
+        assert not BlockMatrix(2, 2, q=2).allclose(BlockMatrix(2, 3, q=2))

@@ -1,0 +1,116 @@
+"""Tests for the numeric schedule executor and its discipline checks."""
+
+import pytest
+
+from repro.algorithms.base import MatmulAlgorithm
+from repro.algorithms.shared_opt import SharedOpt
+from repro.cache.block import block_key, MAT_A, MAT_B, MAT_C
+from repro.exceptions import ScheduleError
+from repro.numerics.blockmatrix import BlockMatrix
+from repro.numerics.executor import NumericContext, execute_numeric, verify_schedule
+
+
+def _ctx(m=2, n=2, z=2, p=1):
+    a = BlockMatrix.random(m, z, q=2, seed=0)
+    b = BlockMatrix.random(z, n, q=2, seed=1)
+    return NumericContext(p, a, b)
+
+
+class TestDiscipline:
+    def test_wrong_matrix_roles_rejected(self):
+        ctx = _ctx()
+        with pytest.raises(ScheduleError):
+            ctx.compute(
+                0,
+                block_key(MAT_A, 0, 0),  # C operand from matrix A
+                block_key(MAT_A, 0, 0),
+                block_key(MAT_B, 0, 0),
+            )
+
+    def test_inconsistent_coordinates_rejected(self):
+        ctx = _ctx()
+        with pytest.raises(ScheduleError):
+            ctx.compute(
+                0,
+                block_key(MAT_C, 0, 1),
+                block_key(MAT_A, 0, 0),
+                block_key(MAT_B, 0, 0),  # j mismatch: B col 0, C col 1
+            )
+
+    def test_double_emission_rejected(self):
+        ctx = _ctx()
+        args = (
+            0,
+            block_key(MAT_C, 0, 0),
+            block_key(MAT_A, 0, 0),
+            block_key(MAT_B, 0, 0),
+        )
+        ctx.compute(*args)
+        with pytest.raises(ScheduleError):
+            ctx.compute(*args)
+
+    def test_completeness_check(self):
+        ctx = _ctx(m=1, n=1, z=2)
+        ctx.compute(
+            0, block_key(MAT_C, 0, 0), block_key(MAT_A, 0, 0), block_key(MAT_B, 0, 0)
+        )
+        with pytest.raises(ScheduleError):
+            ctx.assert_complete()  # k=1 update missing
+
+    def test_incompatible_operands(self):
+        a = BlockMatrix(2, 3, q=2)
+        b = BlockMatrix(2, 2, q=2)
+        with pytest.raises(ScheduleError):
+            NumericContext(1, a, b)
+
+
+class TestExecution:
+    def test_execute_numeric_returns_product(self, quad):
+        a = BlockMatrix.random(6, 4, q=2, seed=3)
+        b = BlockMatrix.random(4, 6, q=2, seed=4)
+        alg = SharedOpt(quad, 6, 6, 4)
+        c = execute_numeric(alg, a, b)
+        assert c.allclose(a @ b)
+
+    def test_verify_schedule_passes_for_correct(self, quad):
+        verify_schedule(SharedOpt(quad, 4, 4, 4), q=2)
+
+    def test_verify_schedule_catches_incomplete(self, quad):
+        class Broken(MatmulAlgorithm):
+            """Skips the final k contribution of every block."""
+
+            name = "broken"
+
+            def run(self, ctx):
+                for i in range(self.m):
+                    for j in range(self.n):
+                        for k in range(self.z - 1):  # bug: z-1
+                            ctx.compute(
+                                0,
+                                block_key(MAT_C, i, j),
+                                block_key(MAT_A, i, k),
+                                block_key(MAT_B, k, j),
+                            )
+
+        with pytest.raises(ScheduleError):
+            verify_schedule(Broken(quad, 3, 3, 3), q=2)
+
+    def test_verify_schedule_catches_wrong_operand(self, quad):
+        class Twisted(MatmulAlgorithm):
+            """Transposes the A access pattern (classic index bug)."""
+
+            name = "twisted"
+
+            def run(self, ctx):
+                for i in range(self.m):
+                    for j in range(self.n):
+                        for k in range(self.z):
+                            ctx.compute(
+                                0,
+                                block_key(MAT_C, i, j),
+                                block_key(MAT_A, k, i),  # bug: (k, i)
+                                block_key(MAT_B, k, j),
+                            )
+
+        with pytest.raises(ScheduleError):
+            verify_schedule(Twisted(quad, 3, 3, 3), q=2)

@@ -1,0 +1,51 @@
+"""Tests for the block compute kernels."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ScheduleError
+from repro.numerics.blockmatrix import BlockMatrix
+from repro.numerics.kernels import block_fma, blocked_reference_product
+
+
+class TestBlockFMA:
+    def test_accumulates(self):
+        c = np.ones((2, 2))
+        a = np.eye(2)
+        b = np.full((2, 2), 3.0)
+        block_fma(c, a, b)
+        assert np.allclose(c, 1 + 3 * np.eye(2) @ np.ones((2, 2)))
+
+    def test_in_place(self):
+        c = np.zeros((2, 2))
+        ref = c
+        block_fma(c, np.eye(2), np.eye(2))
+        assert ref is c
+        assert np.allclose(c, np.eye(2))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ScheduleError):
+            block_fma(np.zeros((2, 2)), np.zeros((2, 3)), np.zeros((2, 3)))
+
+    def test_rectangular_inner(self):
+        c = np.zeros((2, 4))
+        block_fma(c, np.ones((2, 3)), np.ones((3, 4)))
+        assert np.allclose(c, 3.0)
+
+
+class TestReferenceProduct:
+    def test_matches_numpy(self):
+        a = BlockMatrix.random(3, 2, q=3, seed=5)
+        b = BlockMatrix.random(2, 4, q=3, seed=6)
+        c = blocked_reference_product(a, b)
+        assert np.allclose(c.data, a.data @ b.data)
+
+    def test_incompatible(self):
+        with pytest.raises(ScheduleError):
+            blocked_reference_product(BlockMatrix(2, 2, q=2), BlockMatrix(3, 2, q=2))
+
+    def test_single_block(self):
+        a = BlockMatrix.random(1, 1, q=4, seed=7)
+        b = BlockMatrix.random(1, 1, q=4, seed=8)
+        c = blocked_reference_product(a, b)
+        assert np.allclose(c.data, a.data @ b.data)

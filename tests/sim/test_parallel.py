@@ -1,0 +1,49 @@
+"""Tests for process-parallel sweeps: identical results, just faster."""
+
+import pytest
+
+from repro.model.machine import MulticoreMachine
+from repro.sim.parallel import parallel_order_sweep, parallel_ratio_sweep
+from repro.sim.sweep import order_sweep, ratio_sweep
+
+MACHINE = MulticoreMachine(p=4, cs=100, cd=21, q=8)
+ENTRIES = [("shared-opt", "ideal"), ("outer-product", "lru")]
+
+
+class TestParallelOrderSweep:
+    def test_matches_serial_exactly(self):
+        orders = [4, 8, 12]
+        serial = order_sweep(ENTRIES, MACHINE, orders)
+        parallel = parallel_order_sweep(ENTRIES, MACHINE, orders, workers=2)
+        assert parallel.xs == serial.xs
+        assert set(parallel.labels()) == set(serial.labels())
+        for label in serial.labels():
+            assert parallel.values(label, "ms") == serial.values(label, "ms")
+            assert parallel.values(label, "md") == serial.values(label, "md")
+
+    def test_single_worker(self):
+        sweep = parallel_order_sweep([("shared-opt", "ideal")], MACHINE, [6], workers=1)
+        assert len(sweep.series["shared-opt ideal"]) == 1
+
+    def test_params_forwarded(self):
+        sweep = parallel_order_sweep(
+            [("shared-opt", "ideal", {"lam": 4})], MACHINE, [8], workers=2
+        )
+        assert sweep.series["shared-opt ideal"][0].parameters["lambda"] == 4
+
+
+class TestParallelRatioSweep:
+    def test_matches_serial_exactly(self):
+        ratios = [0.25, 0.75]
+        serial = ratio_sweep([("tradeoff", "ideal")], MACHINE, ratios, order=8)
+        parallel = parallel_ratio_sweep(
+            [("tradeoff", "ideal")], MACHINE, ratios, order=8, workers=2
+        )
+        for label in serial.labels():
+            assert parallel.values(label, "tdata") == pytest.approx(
+                serial.values(label, "tdata")
+            )
+            # tradeoff re-plans per ratio in both paths
+            assert [r.parameters for r in parallel.series[label]] == [
+                r.parameters for r in serial.series[label]
+            ]

@@ -1,0 +1,71 @@
+"""Tests for the experiment runner."""
+
+import pytest
+
+from repro.algorithms.shared_opt import SharedOpt
+from repro.exceptions import ScheduleError
+from repro.sim.runner import run_experiment
+
+
+class TestRunExperiment:
+    def test_accepts_name_or_class(self, quad):
+        by_name = run_experiment("shared-opt", quad, 8, 8, 8, "ideal", lam=4)
+        by_class = run_experiment(SharedOpt, quad, 8, 8, 8, "ideal", lam=4)
+        assert by_name.ms == by_class.ms
+
+    def test_result_fields(self, quad):
+        r = run_experiment("shared-opt", quad, 8, 8, 8, "ideal", lam=4)
+        assert r.algorithm == "shared-opt"
+        assert r.setting == "ideal"
+        assert (r.m, r.n, r.z) == (8, 8, 8)
+        assert r.parameters == {"lambda": 4}
+        assert r.comp_total == 512
+        assert r.elapsed_s > 0
+        assert r.predicted is not None
+
+    def test_tdata_uses_machine_bandwidths(self, quad):
+        from dataclasses import replace
+
+        fast_shared = replace(quad, sigma_s=10.0, sigma_d=1.0)
+        r = run_experiment("shared-opt", fast_shared, 8, 8, 8, "ideal", lam=4)
+        assert r.tdata == pytest.approx(r.ms / 10.0 + r.md / 1.0)
+
+    def test_ccrs(self, quad):
+        r = run_experiment("shared-opt", quad, 8, 8, 8, "ideal", lam=4)
+        assert r.ccr_s == pytest.approx(r.ms / 512)
+        assert r.ccr_d == pytest.approx(r.md / (512 / 4))
+
+    def test_to_row_flat(self, quad):
+        row = run_experiment("shared-opt", quad, 8, 8, 8, "ideal", lam=4).to_row()
+        assert row["MS"] > 0
+        assert row["param_lambda"] == 4
+        assert "MS_pred" in row
+
+    def test_lru50_declares_half(self, quad):
+        # CS=100 -> declared 50 -> lambda becomes 6 instead of 9
+        r = run_experiment("shared-opt", quad, 12, 12, 12, "lru-50")
+        assert r.parameters["lambda"] == 6
+
+    def test_lru2x_simulates_double(self, quad):
+        r_1x = run_experiment("shared-opt", quad, 16, 16, 16, "lru")
+        r_2x = run_experiment("shared-opt", quad, 16, 16, 16, "lru-2x")
+        assert r_2x.ms <= r_1x.ms  # bigger cache can only help (LRU stack property)
+        assert r_2x.parameters == r_1x.parameters  # same declared plan
+
+    def test_comp_verification_catches_bad_schedule(self, quad):
+        class Lazy(SharedOpt):
+            name = "lazy"
+
+            def run(self, ctx):  # emits nothing
+                return
+
+        with pytest.raises(ScheduleError):
+            run_experiment(Lazy, quad, 4, 4, 4, "ideal")
+
+    def test_fifo_policy_plumbs_through(self, quad):
+        r = run_experiment("shared-opt", quad, 8, 8, 8, "lru", policy="fifo")
+        assert r.ms > 0
+
+    def test_inclusive_plumbs_through(self, quad):
+        r = run_experiment("shared-opt", quad, 8, 8, 8, "lru", inclusive=True)
+        assert r.ms > 0

@@ -1,0 +1,46 @@
+"""Tests for the simulation settings (paper §4.2)."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.model.machine import MulticoreMachine
+from repro.sim.settings import SETTINGS, get_setting
+
+MACHINE = MulticoreMachine(p=4, cs=100, cd=20)
+
+
+class TestRegistry:
+    def test_four_settings(self):
+        assert set(SETTINGS) == {"ideal", "lru", "lru-2x", "lru-50"}
+
+    def test_get_setting(self):
+        assert get_setting("ideal").is_ideal
+        assert not get_setting("lru").is_ideal
+
+    def test_unknown(self):
+        with pytest.raises(ConfigurationError):
+            get_setting("belady")
+
+
+class TestSemantics:
+    def test_ideal_identity(self):
+        s = get_setting("ideal")
+        assert s.declared(MACHINE) == MACHINE
+        assert s.simulated(MACHINE) == MACHINE
+
+    def test_lru_identity(self):
+        s = get_setting("lru")
+        assert s.declared(MACHINE) == MACHINE
+        assert s.simulated(MACHINE) == MACHINE
+
+    def test_lru_2x_doubles_simulated_only(self):
+        s = get_setting("lru-2x")
+        assert s.declared(MACHINE).cs == 100
+        sim = s.simulated(MACHINE)
+        assert sim.cs == 200 and sim.cd == 40
+
+    def test_lru_50_halves_declared_only(self):
+        s = get_setting("lru-50")
+        declared = s.declared(MACHINE)
+        assert declared.cs == 50 and declared.cd == 10
+        assert s.simulated(MACHINE) == MACHINE

@@ -1,0 +1,64 @@
+"""Tests for sweep machinery and result containers."""
+
+import pytest
+
+from repro.sim.results import SweepResult
+from repro.sim.sweep import order_sweep, ratio_sweep, series_label
+
+
+class TestOrderSweep:
+    def test_basic(self, quad):
+        sweep = order_sweep(
+            [("shared-opt", "ideal"), ("outer-product", "ideal")],
+            quad,
+            [4, 8],
+        )
+        assert sweep.variable == "order"
+        assert sweep.xs == [4, 8]
+        assert set(sweep.labels()) == {
+            "shared-opt ideal",
+            "outer-product ideal",
+        }
+        ms = sweep.values("shared-opt ideal", "ms")
+        assert len(ms) == 2 and ms[1] > ms[0]
+
+    def test_entry_with_params(self, quad):
+        sweep = order_sweep(
+            [("shared-opt", "ideal", {"lam": 4})], quad, [8]
+        )
+        result = sweep.series["shared-opt ideal"][0]
+        assert result.parameters["lambda"] == 4
+
+    def test_square_dims(self, quad):
+        sweep = order_sweep([("shared-opt", "ideal")], quad, [6])
+        r = sweep.series["shared-opt ideal"][0]
+        assert (r.m, r.n, r.z) == (6, 6, 6)
+
+
+class TestRatioSweep:
+    def test_tradeoff_adapts_along_ratio(self, paper_q32):
+        sweep = ratio_sweep(
+            [("tradeoff", "ideal")], paper_q32, [0.05, 0.95], order=8
+        )
+        results = sweep.series["tradeoff ideal"]
+        # fast distributed (r small) -> big alpha; slow -> minimal alpha
+        assert results[0].parameters["alpha"] > results[1].parameters["alpha"]
+
+    def test_counts_same_but_tdata_differs(self, paper_q32):
+        # For a non-adaptive algorithm the miss counts cannot depend on r.
+        sweep = ratio_sweep(
+            [("shared-opt", "ideal")], paper_q32, [0.2, 0.8], order=8
+        )
+        r1, r2 = sweep.series["shared-opt ideal"]
+        assert r1.ms == r2.ms and r1.md == r2.md
+        assert r1.tdata != r2.tdata
+
+
+class TestSweepResult:
+    def test_add_length_mismatch(self):
+        sweep = SweepResult(variable="order", xs=[1, 2])
+        with pytest.raises(ValueError):
+            sweep.add("x", [])
+
+    def test_series_label(self):
+        assert series_label("tradeoff", "lru-50") == "tradeoff lru-50"

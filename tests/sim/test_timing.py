@@ -1,0 +1,76 @@
+"""Tests for the analytical timing model."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.model.machine import MulticoreMachine
+from repro.sim.runner import run_experiment
+from repro.sim.timing import TimingModel
+
+MACHINE = MulticoreMachine(p=4, cs=100, cd=21, sigma_s=2.0, sigma_d=1.0, q=8)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_experiment("shared-opt", MACHINE, 8, 8, 8, "ideal", lam=4)
+
+
+class TestEstimates:
+    def test_zero_tau_recovers_tdata_under_serialization(self, result):
+        est = TimingModel(tau=0.0).estimate(result)
+        # with tau=0 and balanced cores, serial == MS/σS + MD/σD == Tdata
+        assert est.serial == pytest.approx(result.tdata)
+
+    def test_component_times(self, result):
+        est = TimingModel(tau=0.5).estimate(result)
+        assert est.shared_time == pytest.approx(result.ms / 2.0)
+        assert est.distributed_time == pytest.approx(result.md / 1.0)
+        assert est.compute_time == pytest.approx(max(result.comp) * 0.5)
+
+    def test_overlap_never_slower(self, result):
+        for tau in (0.0, 0.1, 1.0, 10.0):
+            est = TimingModel(tau=tau).estimate(result)
+            assert est.overlapped <= est.serial
+            assert est.overlap_speedup >= 1.0
+
+    def test_overlapped_is_max_of_components(self, result):
+        est = TimingModel(tau=2.0).estimate(result)
+        assert est.overlapped == pytest.approx(
+            max(est.shared_time, est.distributed_time, est.compute_time)
+        )
+
+    def test_serial_monotone_in_tau(self, result):
+        times = [TimingModel(tau=t).estimate(result).serial for t in (0, 0.5, 1, 2)]
+        assert times == sorted(times)
+
+    def test_negative_tau_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TimingModel(tau=-1.0)
+
+
+class TestBoundClassification:
+    def test_bound_resource_switches_with_tau(self, result):
+        assert TimingModel(tau=0.0).estimate(result).bound_resource in (
+            "shared",
+            "distributed",
+        )
+        assert TimingModel(tau=1000.0).estimate(result).bound_resource == "compute"
+
+    def test_is_compute_bound(self, result):
+        assert not TimingModel(tau=0.0).is_compute_bound(result)
+        assert TimingModel(tau=1000.0).is_compute_bound(result)
+
+    def test_machine_balance_and_intensity(self, result):
+        model = TimingModel(tau=0.5)
+        assert model.machine_balance_shared(result) == pytest.approx(1 / (2.0 * 0.5))
+        assert TimingModel.intensity_shared(result) == pytest.approx(
+            result.comp_total / result.ms
+        )
+        assert TimingModel(tau=0.0).machine_balance_shared(result) == float("inf")
+
+    def test_shared_opt_has_higher_shared_intensity_than_outer(self):
+        """The whole point of the paper, restated as arithmetic intensity:
+        Maximum Reuse raises multiply-adds per shared fill."""
+        so = run_experiment("shared-opt", MACHINE, 18, 18, 18, "ideal")
+        op = run_experiment("outer-product", MACHINE, 18, 18, 18, "ideal")
+        assert TimingModel.intensity_shared(so) > 3 * TimingModel.intensity_shared(op)

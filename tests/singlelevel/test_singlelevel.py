@@ -1,0 +1,152 @@
+"""Tests for the single-level (master-worker) lineage package."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import (
+    CapacityError,
+    ConfigurationError,
+    ParameterError,
+    PresenceError,
+    ScheduleError,
+)
+from repro.singlelevel.memory import BoundedMemory
+from repro.singlelevel.runner import (
+    run_single_level,
+    verify_single_level,
+)
+from repro.singlelevel.schedules import (
+    SINGLE_LEVEL_SCHEDULES,
+    SingleLevelEqual,
+    SingleLevelMaxReuse,
+)
+
+
+class TestBoundedMemory:
+    def test_load_counts_once(self):
+        mem = BoundedMemory(4)
+        mem.load(1)
+        mem.load(1)
+        assert mem.loads == 1
+
+    def test_capacity_enforced(self):
+        mem = BoundedMemory(3)
+        for key in (1, 2, 3):
+            mem.load(key)
+        with pytest.raises(CapacityError):
+            mem.load(4)
+
+    def test_dirty_eviction_writes_back(self):
+        mem = BoundedMemory(3)
+        mem.load(1)
+        mem.mark_dirty(1)
+        mem.evict(1)
+        assert mem.writebacks == 1
+
+    def test_mark_dirty_requires_residency(self):
+        mem = BoundedMemory(3)
+        with pytest.raises(PresenceError):
+            mem.mark_dirty(7)
+
+    def test_assert_resident(self):
+        mem = BoundedMemory(3)
+        mem.load(1)
+        mem.assert_resident(1)
+        with pytest.raises(PresenceError):
+            mem.assert_resident(1, 2)
+
+    def test_too_small_memory(self):
+        with pytest.raises(ConfigurationError):
+            BoundedMemory(2)
+
+    def test_peak_tracking(self):
+        mem = BoundedMemory(5)
+        for key in (1, 2, 3):
+            mem.load(key)
+        mem.evict(1)
+        mem.load(4)
+        assert mem.peak == 3
+
+
+class TestMaxReuse:
+    def test_mu_default(self):
+        sched = SingleLevelMaxReuse(21, 8, 8, 8)
+        assert sched.mu == 4
+
+    def test_exact_load_formula(self):
+        # mu=4 divides 8: loads = mn + 2mnz/mu
+        r = run_single_level("single-max-reuse", 21, 8, 8, 8)
+        assert r.loads == 64 + 2 * 512 // 4
+        assert r.loads == r.predicted_loads
+
+    def test_c_written_back_once(self):
+        r = run_single_level("single-max-reuse", 21, 8, 8, 8)
+        assert r.writebacks == 64  # each C block exactly once
+
+    def test_peak_respects_split(self):
+        r = run_single_level("single-max-reuse", 21, 8, 8, 8)
+        assert r.peak <= 21
+        assert r.peak == 1 + 4 + 16  # the 1 + µ + µ² split, fully used
+
+    def test_ccr_approaches_two_over_root_m(self):
+        # large matrices: CCR -> 2/µ ~ 2/sqrt(M)
+        r = run_single_level("single-max-reuse", 21, 16, 16, 64)
+        assert r.ccr == pytest.approx(1 / 64 + 2 / 4, rel=1e-6)
+
+    def test_mu_override_validation(self):
+        with pytest.raises(ParameterError):
+            SingleLevelMaxReuse(21, 4, 4, 4, mu=5)
+
+    @pytest.mark.parametrize("dims", [(8, 8, 8), (7, 5, 9), (1, 1, 1)])
+    def test_numeric(self, dims):
+        verify_single_level(SingleLevelMaxReuse(21, *dims), q=3)
+
+
+class TestEqual:
+    def test_t_default(self):
+        assert SingleLevelEqual(27, 6, 6, 6).t == 3
+
+    def test_exact_load_formula(self):
+        r = run_single_level("single-equal", 27, 6, 6, 6)
+        assert r.loads == 36 + 2 * 216 // 3
+        assert r.loads == r.predicted_loads
+
+    def test_worse_than_max_reuse(self):
+        """[7]'s point: the thirds split wastes memory (t=2 vs µ=4, M=21)."""
+        eq = run_single_level("single-equal", 21, 8, 8, 8)
+        mr = run_single_level("single-max-reuse", 21, 8, 8, 8)
+        assert mr.loads < eq.loads
+
+    def test_t_override_validation(self):
+        with pytest.raises(ParameterError):
+            SingleLevelEqual(11, 4, 4, 4, t=2)
+
+    @pytest.mark.parametrize("dims", [(6, 6, 6), (7, 5, 9), (2, 3, 1)])
+    def test_numeric(self, dims):
+        verify_single_level(SingleLevelEqual(27, *dims), q=3)
+
+
+class TestRunner:
+    def test_unknown_schedule(self):
+        with pytest.raises(ConfigurationError):
+            run_single_level("strassen", 21, 4, 4, 4)
+
+    def test_ccr_lower_bound(self):
+        r = run_single_level("single-max-reuse", 21, 8, 8, 8)
+        assert r.ccr_lower_bound() == pytest.approx(math.sqrt(27 / (8 * 21)))
+        assert r.ccr >= r.ccr_lower_bound()
+
+    @given(
+        st.integers(min_value=1, max_value=9),
+        st.integers(min_value=1, max_value=9),
+        st.integers(min_value=1, max_value=9),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_all_schedules_respect_bound_and_capacity(self, m, n, z):
+        for name in SINGLE_LEVEL_SCHEDULES:
+            r = run_single_level(name, 21, m, n, z)
+            assert r.peak <= 21
+            # compulsory floor: every block loaded at least once
+            assert r.loads >= m * n + m * z + z * n

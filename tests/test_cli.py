@@ -1,0 +1,127 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "shared-opt" in out
+        assert "q32" in out
+        assert "fig12" in out
+
+
+class TestParams:
+    def test_preset(self, capsys):
+        assert main(["params", "--preset", "q32"]) == 0
+        out = capsys.readouterr().out
+        assert "lambda (Shared Opt.):      30" in out
+        assert "mu (Distributed Opt.):     4" in out
+        assert "alpha=16" in out
+
+    def test_custom_machine(self, capsys):
+        assert main(["params", "--cores", "4", "--cs", "100", "--cd", "21"]) == 0
+        assert "lambda (Shared Opt.):      9" in capsys.readouterr().out
+
+    def test_non_square_cores(self, capsys):
+        assert main(["params", "--cores", "6", "--cs", "100", "--cd", "16"]) == 0
+        assert "n/a" in capsys.readouterr().out
+
+
+class TestRun:
+    def test_run_basic(self, capsys):
+        code = main(
+            ["run", "shared-opt", "-m", "8", "--preset", "q32", "--setting", "ideal"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MS" in out and "shared-opt" in out
+
+    def test_run_rectangular(self, capsys):
+        code = main(
+            [
+                "run", "outer-product", "-m", "4", "-n", "6", "-z", "8",
+                "--preset", "q32", "--setting", "lru",
+            ]
+        )
+        assert code == 0
+
+    def test_error_exit_code(self, capsys):
+        # distributed-opt on a non-square core count -> clean error
+        code = main(
+            ["run", "distributed-opt", "-m", "4", "--cores", "6", "--cs", "100",
+             "--cd", "16"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSweep:
+    def test_sweep(self, capsys):
+        code = main(
+            [
+                "sweep", "shared-opt", "outer-product",
+                "--orders", "4", "8", "--preset", "q32", "--setting", "ideal",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("shared-opt") == 2  # one row per order
+
+
+class TestFigure:
+    def test_figure_fig4(self, capsys):
+        assert main(["figure", "fig4", "--orders", "8", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out and "Formula" in out
+
+    def test_figure_csv_output(self, tmp_path, capsys):
+        code = main(
+            ["figure", "fig4", "--orders", "8", "--csv", str(tmp_path)]
+        )
+        assert code == 0
+        assert (tmp_path / "fig4a.csv").exists()
+
+
+class TestVerify:
+    def test_verify(self, capsys):
+        assert main(["verify", "tradeoff", "--preset", "q32", "-m", "8"]) == 0
+        assert "passed" in capsys.readouterr().out
+
+
+class TestTables:
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "977" in out and "lambda" in out
+
+
+class TestAnalyze:
+    def test_analyze_basic(self, capsys):
+        assert main(["analyze", "shared-opt", "--preset", "q32", "-m", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "distributed[0]" in out
+        assert "shared (alone)" in out
+
+    def test_analyze_curve(self, capsys):
+        assert main(
+            ["analyze", "shared-opt", "--preset", "q32", "-m", "6", "--curve"]
+        ) == 0
+        assert "miss curve" in capsys.readouterr().out
+
+    def test_analyze_extra_algorithm(self, capsys):
+        assert main(["analyze", "cannon", "--preset", "q32", "-m", "6"]) == 0
+
+
+class TestLU:
+    def test_lu_counts(self, capsys):
+        assert main(["lu", "--preset", "q32", "-n", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "right-looking-lu" in out and "left-looking-lu" in out
+
+    def test_lu_verify(self, capsys):
+        assert main(["lu", "--preset", "q32", "-n", "8", "--verify"]) == 0
+        assert "verification passed" in capsys.readouterr().out

@@ -1,0 +1,37 @@
+"""Smoke tests: every shipped example runs end-to-end at a small size."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+#: Small-size argument per example (all accept an order/size argv[1]).
+ARGS = {
+    "quickstart.py": ["12"],
+    "compare_algorithms.py": ["12"],
+    "bandwidth_tradeoff.py": ["8"],
+    "lru_vs_ideal.py": ["32"],
+    "numeric_verification.py": ["6", "5", "4"],
+    "lu_factorization.py": ["24"],
+    "cache_topologies.py": ["12"],
+    "replacement_policies.py": ["10"],
+}
+
+
+def test_every_example_is_covered():
+    assert {p.name for p in EXAMPLES} == set(ARGS)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(path):
+    proc = subprocess.run(
+        [sys.executable, str(path), *ARGS[path.name]],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip(), "example produced no output"
