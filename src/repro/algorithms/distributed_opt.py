@@ -102,8 +102,12 @@ class DistributedOpt(MatmulAlgorithm):
                         for j in range(j0, wj):
                             ctx.load_shared(brow | j)
                         for core in range(s * s):
-                            for j in cols[core // s]:
-                                ctx.load_dist(core, brow | j)
+                            # A core with an empty row range at a ragged
+                            # edge computes nothing: loading its B
+                            # fragment would be dead traffic.
+                            if rows[core % s]:
+                                for j in cols[core // s]:
+                                    ctx.load_dist(core, brow | j)
                     for gi in range(s):
                         for i in rows[gi]:
                             ka = A_BASE | (i << RS) | k
@@ -113,6 +117,8 @@ class DistributedOpt(MatmulAlgorithm):
                             # Cores on grid row gi share this element of A.
                             for gj in range(s):
                                 core = gj * s + gi
+                                if not cols[gj]:
+                                    continue  # ragged edge: no work, no load
                                 if explicit:
                                     ctx.load_dist(core, ka)
                                 for j in cols[gj]:
@@ -123,8 +129,9 @@ class DistributedOpt(MatmulAlgorithm):
                                 ctx.evict_shared(ka)
                     if explicit:
                         for core in range(s * s):
-                            for j in cols[core // s]:
-                                ctx.evict_dist(core, brow | j)
+                            if rows[core % s]:
+                                for j in cols[core // s]:
+                                    ctx.evict_dist(core, brow | j)
                         for j in range(j0, wj):
                             ctx.evict_shared(brow | j)
                 if explicit:

@@ -107,7 +107,7 @@ def miss_curve_rows(
     keys = ctx.keys()
     hist = distance_histogram(keys)
     if capacities is None:
-        capacities = []
+        capacities: List[int] = []
         c = 4
         while c < machine.cs:
             capacities.append(c)

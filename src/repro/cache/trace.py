@@ -15,7 +15,7 @@ references — the raw material of LRU simulation.  Traces let us:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, List, Tuple
+from typing import Dict, Iterable, Iterator, List, Tuple
 
 from repro.cache.hierarchy import LRUHierarchy
 
@@ -63,8 +63,8 @@ class AccessTrace:
         sticky so dirtiness is preserved.
         """
         out = AccessTrace()
-        last_by_core: dict = {}
-        last_index_by_core: dict = {}
+        last_by_core: Dict[int, int] = {}
+        last_index_by_core: Dict[int, int] = {}
         for core, key, write in self.entries:
             if last_by_core.get(core) == key:
                 if write:

@@ -1,0 +1,53 @@
+"""Static analysis of algorithm schedules.
+
+The paper's algorithms are *schedules* — fixed sequences of explicit
+cache movements and elementary block multiply-adds — and their
+optimality claims rest on invariants that can be proved over the
+*recorded* schedule without simulating a cache or touching a number:
+
+* **capacity** — the explicit working set never exceeds ``CS`` / ``CD``
+  and the derived tile parameters satisfy the paper's §3 constraints
+  (``1 + λ + λ² ≤ CS``, ``1 + µ + µ² ≤ CD``, ``α² + 2αβ ≤ CS``);
+* **presence** — no compute reads a block that was never loaded or was
+  already evicted; no dead loads, redundant loads or spurious
+  evictions; inclusivity is never violated;
+* **coverage** — every ``C[i, j]`` accumulates exactly ``z``
+  contributions, each ``(i, j, k)`` exactly once (the static analogue of
+  :func:`repro.numerics.executor.verify_schedule`);
+* **races** — a happens-before pass over the per-core event streams
+  flags write/write and read/write conflicts on the same block by
+  different cores with no intervening synchronization;
+* **lint** — an AST pass over the sources enforcing repo idioms
+  (directives wrapped in ``if ctx.explicit``, schedules registered, no
+  mutable defaults, no ``==`` on floating-point ``Tdata``).
+
+Entry points: :func:`repro.check.runner.analyze_schedule` for one
+algorithm instance, :func:`repro.check.runner.check_all` for the full
+algorithm × machine matrix, and ``repro-mmm check`` on the command
+line.
+"""
+
+from __future__ import annotations
+
+from repro.check.capacity import check_capacity, check_parameters
+from repro.check.coverage import check_coverage
+from repro.check.events import AnalysisContext
+from repro.check.findings import Finding
+from repro.check.lint import run_lint
+from repro.check.presence import check_presence
+from repro.check.races import check_races
+from repro.check.runner import ScheduleReport, analyze_schedule, check_all
+
+__all__ = [
+    "AnalysisContext",
+    "Finding",
+    "ScheduleReport",
+    "analyze_schedule",
+    "check_all",
+    "check_capacity",
+    "check_coverage",
+    "check_parameters",
+    "check_presence",
+    "check_races",
+    "run_lint",
+]

@@ -1,0 +1,155 @@
+"""Capacity checking: working sets and the paper's §3 parameter constraints.
+
+Two independent proofs:
+
+* :func:`check_capacity` walks the recorded event log and tracks the
+  exact resident set of the shared cache and of every distributed
+  cache.  The ideal cache model makes replacement the *algorithm's*
+  job, so a working set exceeding ``CS`` (or ``CD``) at any point is a
+  schedule bug, not a miss — the same condition
+  :class:`~repro.cache.hierarchy.IdealHierarchy` raises on dynamically,
+  proved here without simulating.
+
+* :func:`check_parameters` re-derives the cache-fitting constraints of
+  the paper's §3 from the algorithm's chosen parameters:
+  ``1 + λ + λ² ≤ CS`` (Algorithm 1), ``1 + µ + µ² ≤ CD`` (Algorithm 2),
+  ``α² + 2αβ ≤ CS`` with ``√p·µ | α`` (Algorithm 3), and ``3t² ≤ C``
+  for the equal-thirds baselines.  Constructors enforce these today;
+  the checker proves they *stay* enforced when parameters are
+  overridden or constructors refactored.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.algorithms.base import MatmulAlgorithm
+from repro.cache.block import key_name
+from repro.check.events import COMPUTE, EVICT_D, EVICT_S, LOAD_D, LOAD_S, Event
+from repro.check.findings import ERROR, Finding, FindingLimiter
+
+
+def working_set_peaks(events: Sequence[Event], p: int) -> Tuple[int, List[int]]:
+    """Peak resident block counts (shared, per-core) over the whole log."""
+    shared: Set[int] = set()
+    dist: List[Set[int]] = [set() for _ in range(p)]
+    peak_shared = 0
+    peak_dist = [0] * p
+    for ev in events:
+        op = ev[0]
+        if op == LOAD_S:
+            shared.add(ev[2])
+            if len(shared) > peak_shared:
+                peak_shared = len(shared)
+        elif op == EVICT_S:
+            shared.discard(ev[2])
+        elif op == LOAD_D:
+            dset = dist[ev[1]]
+            dset.add(ev[2])
+            if len(dset) > peak_dist[ev[1]]:
+                peak_dist[ev[1]] = len(dset)
+        elif op == EVICT_D:
+            dist[ev[1]].discard(ev[2])
+    return peak_shared, peak_dist
+
+
+def check_capacity(
+    events: Sequence[Event],
+    cs: int,
+    cd: int,
+    p: int,
+    *,
+    algorithm: str = "",
+    machine: str = "",
+    limit: int = 25,
+) -> List[Finding]:
+    """Prove the explicit working set never exceeds ``CS`` / ``CD``.
+
+    Every load that would push a resident set past its capacity yields
+    one error finding (evictions always succeed, mirroring the ideal
+    hierarchy).  Redundant loads (block already resident) do not grow
+    the set and are reported by the presence checker, not here.
+    """
+    out = FindingLimiter("capacity", limit)
+    shared: Set[int] = set()
+    dist: List[Set[int]] = [set() for _ in range(p)]
+    for index, ev in enumerate(events):
+        op = ev[0]
+        if op == LOAD_S:
+            key = ev[2]
+            if key not in shared and len(shared) >= cs:
+                out.add(
+                    Finding(
+                        "capacity",
+                        ERROR,
+                        f"shared cache overflow loading {key_name(key)}: "
+                        f"{len(shared)}/{cs} blocks resident",
+                        algorithm=algorithm,
+                        machine=machine,
+                        event=index,
+                    )
+                )
+            shared.add(key)
+        elif op == EVICT_S:
+            shared.discard(ev[2])
+        elif op == LOAD_D:
+            core, key = ev[1], ev[2]
+            dset = dist[core]
+            if key not in dset and len(dset) >= cd:
+                out.add(
+                    Finding(
+                        "capacity",
+                        ERROR,
+                        f"distributed cache of core {core} overflow loading "
+                        f"{key_name(key)}: {len(dset)}/{cd} blocks resident",
+                        algorithm=algorithm,
+                        machine=machine,
+                        event=index,
+                    )
+                )
+            dset.add(key)
+        elif op == EVICT_D:
+            dist[ev[1]].discard(ev[2])
+        elif op == COMPUTE:
+            pass
+    return out.results()
+
+
+def check_parameters(alg: MatmulAlgorithm, *, machine: str = "") -> List[Finding]:
+    """Prove the algorithm's tile parameters satisfy the §3 constraints."""
+    findings: List[Finding] = []
+    cs, cd, p = alg.machine.cs, alg.machine.cd, alg.machine.p
+
+    def fail(message: str) -> None:
+        findings.append(
+            Finding(
+                "capacity",
+                ERROR,
+                message,
+                algorithm=alg.name,
+                machine=machine,
+            )
+        )
+
+    params: Dict[str, object] = alg.parameters()
+    lam = params.get("lambda")
+    if isinstance(lam, int) and 1 + lam + lam * lam > cs:
+        fail(f"lambda={lam} violates 1 + λ + λ² <= CS={cs}")
+    mu = params.get("mu")
+    if isinstance(mu, int) and 1 + mu + mu * mu > cd:
+        fail(f"mu={mu} violates 1 + µ + µ² <= CD={cd}")
+    alpha, beta = params.get("alpha"), params.get("beta")
+    if isinstance(alpha, int) and isinstance(beta, int):
+        if alpha * alpha + 2 * alpha * beta > cs:
+            fail(f"(alpha={alpha}, beta={beta}) violates α² + 2αβ <= CS={cs}")
+        if isinstance(mu, int):
+            side = int(p**0.5)
+            if side * side == p and alpha % (side * mu) != 0:
+                fail(f"alpha={alpha} is not a multiple of √p·µ={side * mu}")
+    t = params.get("t")
+    if isinstance(t, int):
+        # Equal-thirds: the constraint binds the cache the variant targets.
+        target_cap = cs if alg.name == "shared-equal" else cd
+        if 3 * t * t > target_cap:
+            fail(f"t={t} violates 3t² <= {'CS' if target_cap == cs else 'CD'}={target_cap}")
+    return findings

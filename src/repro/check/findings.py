@@ -1,0 +1,108 @@
+"""The finding record shared by every analyzer in :mod:`repro.check`.
+
+Analyzers return plain lists of :class:`Finding`; the runner and the
+CLI aggregate, render and count them.  ``severity`` is ``"error"`` for
+invariant violations (wrong results, model violations, races) and
+``"warning"`` for inefficiencies that do not threaten correctness
+(dead loads, redundant loads).  Only errors fail ``repro-mmm check``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+#: Severity levels, in increasing order of gravity.
+WARNING = "warning"
+ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic produced by a schedule analyzer or the linter.
+
+    Attributes
+    ----------
+    analyzer:
+        Which pass produced the finding (``capacity``, ``presence``,
+        ``coverage``, ``race``, ``lint`` or ``schedule``).
+    severity:
+        ``"error"`` or ``"warning"``.
+    message:
+        Human-readable description, self-contained.
+    algorithm, machine:
+        The schedule and machine under analysis (empty for lint).
+    event:
+        Global sequence number of the offending event in the recorded
+        log, when applicable.
+    location:
+        ``path:line`` source position (lint findings only).
+    """
+
+    analyzer: str
+    severity: str
+    message: str
+    algorithm: str = ""
+    machine: str = ""
+    event: Optional[int] = None
+    location: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form for ``--json`` output."""
+        out: Dict[str, Any] = {
+            "analyzer": self.analyzer,
+            "severity": self.severity,
+            "message": self.message,
+        }
+        if self.algorithm:
+            out["algorithm"] = self.algorithm
+        if self.machine:
+            out["machine"] = self.machine
+        if self.event is not None:
+            out["event"] = self.event
+        if self.location:
+            out["location"] = self.location
+        return out
+
+    def render(self) -> str:
+        """One-line rendering for terminal output."""
+        where = ""
+        if self.algorithm:
+            where = f" [{self.algorithm}" + (
+                f" @ {self.machine}]" if self.machine else "]"
+            )
+        elif self.location:
+            where = f" [{self.location}]"
+        at = f" (event {self.event})" if self.event is not None else ""
+        return f"{self.severity}: {self.analyzer}{where}: {self.message}{at}"
+
+
+@dataclass
+class FindingLimiter:
+    """Cap the findings one analyzer emits so broken schedules do not flood.
+
+    After ``limit`` findings a single summary entry is appended and
+    further :meth:`add` calls are dropped (but still counted).
+    """
+
+    analyzer: str
+    limit: int = 25
+    findings: List[Finding] = field(default_factory=list)
+    dropped: int = 0
+
+    def add(self, finding: Finding) -> None:
+        if len(self.findings) < self.limit:
+            self.findings.append(finding)
+        else:
+            self.dropped += 1
+
+    def results(self) -> List[Finding]:
+        if self.dropped:
+            return self.findings + [
+                Finding(
+                    analyzer=self.analyzer,
+                    severity=WARNING,
+                    message=f"{self.dropped} further findings suppressed",
+                )
+            ]
+        return list(self.findings)

@@ -1,0 +1,254 @@
+"""AST lint pass enforcing repo idioms over :mod:`repro` sources.
+
+Four rules, each born from a real failure mode of this codebase:
+
+* ``explicit-guard`` — in ``algorithms/*.py``, calls to the explicit
+  directives (``load_shared``, ``evict_shared``, ``load_dist``,
+  ``evict_dist``) must sit under an ``if`` whose condition references
+  ``explicit`` (``if ctx.explicit:`` or a hoisted ``if explicit:``).
+  An unguarded directive silently burns cycles on the very hot LRU and
+  numeric paths, where the calls are no-ops.
+* ``unregistered-algorithm`` — every concrete
+  :class:`~repro.algorithms.base.MatmulAlgorithm` subclass defined in
+  ``algorithms/*.py`` must be registered in
+  :mod:`repro.algorithms.registry`; an unregistered schedule is
+  invisible to the CLI, the experiment harness, the tests *and* this
+  package's ``check_all``.
+* ``mutable-default`` — no mutable default arguments (``[]``, ``{}``,
+  ``set()``, …): results containers that survive across calls have
+  corrupted sweeps before.
+* ``float-equality`` — no ``==`` / ``!=`` on floating-point ``Tdata``
+  values (``Tdata = MS/σS + MD/σD`` mixes two float divisions; compare
+  with a tolerance instead).
+
+The pass is purely syntactic (:mod:`ast`), needs no imports of the
+linted code, and runs over the whole package in well under a second.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Set
+
+from repro.check.findings import ERROR, Finding
+
+#: The four explicit-directive method names of the execution contexts.
+DIRECTIVES = frozenset({"load_shared", "evict_shared", "load_dist", "evict_dist"})
+
+#: Call targets whose results are mutable (as default arguments).
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray", "defaultdict"})
+
+
+def _finding(rule: str, message: str, filename: str, line: int) -> Finding:
+    return Finding(
+        "lint",
+        ERROR,
+        f"{rule}: {message}",
+        location=f"{filename}:{line}",
+    )
+
+
+def _mentions_explicit(node: ast.AST) -> bool:
+    """Whether a condition expression references an ``explicit`` flag."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and sub.id == "explicit":
+            return True
+        if isinstance(sub, ast.Attribute) and sub.attr == "explicit":
+            return True
+    return False
+
+
+def _directive_name(call: ast.Call) -> Optional[str]:
+    func = call.func
+    if isinstance(func, ast.Attribute) and func.attr in DIRECTIVES:
+        return func.attr
+    if isinstance(func, ast.Name) and func.id in DIRECTIVES:
+        return func.id
+    return None
+
+
+def _check_explicit_guard(
+    tree: ast.AST, filename: str, findings: List[Finding]
+) -> None:
+    """Rule ``explicit-guard``: directives only under ``if … explicit …``."""
+
+    def visit(node: ast.AST, guarded: bool) -> None:
+        if isinstance(node, ast.If) and _mentions_explicit(node.test):
+            for child in node.body:
+                visit(child, True)
+            for child in node.orelse:
+                # The else-branch of `if explicit:` is the *unguarded* path.
+                visit(child, guarded)
+            return
+        if isinstance(node, ast.Call):
+            name = _directive_name(node)
+            if name is not None and not guarded:
+                findings.append(
+                    _finding(
+                        "explicit-guard",
+                        f"directive ctx.{name}(...) is not wrapped in "
+                        "'if ctx.explicit'",
+                        filename,
+                        node.lineno,
+                    )
+                )
+        for child in ast.iter_child_nodes(node):
+            visit(child, guarded)
+
+    visit(tree, False)
+
+
+def _check_registered(
+    tree: ast.AST,
+    filename: str,
+    registered: Set[str],
+    findings: List[Finding],
+) -> None:
+    """Rule ``unregistered-algorithm``: concrete schedules are registered."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        bases = {
+            base.id if isinstance(base, ast.Name) else getattr(base, "attr", "")
+            for base in node.bases
+        }
+        if "MatmulAlgorithm" not in bases:
+            continue
+        for stmt in node.body:
+            if (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and stmt.targets[0].id == "name"
+                and isinstance(stmt.value, ast.Constant)
+                and isinstance(stmt.value.value, str)
+            ):
+                name = stmt.value.value
+                if name != "abstract" and name not in registered:
+                    findings.append(
+                        _finding(
+                            "unregistered-algorithm",
+                            f"schedule {name!r} ({node.name}) is not "
+                            "registered in repro.algorithms.registry",
+                            filename,
+                            node.lineno,
+                        )
+                    )
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", "")
+        return name in _MUTABLE_CALLS
+    return False
+
+
+def _check_mutable_defaults(
+    tree: ast.AST, filename: str, findings: List[Finding]
+) -> None:
+    """Rule ``mutable-default``: no shared mutable default arguments."""
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        defaults: List[Optional[ast.expr]] = list(node.args.defaults)
+        defaults += list(node.args.kw_defaults)
+        for default in defaults:
+            if default is not None and _is_mutable_default(default):
+                findings.append(
+                    _finding(
+                        "mutable-default",
+                        f"function {node.name!r} has a mutable default argument",
+                        filename,
+                        default.lineno,
+                    )
+                )
+
+
+def _names_tdata(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name):
+        return "tdata" in node.id.lower()
+    if isinstance(node, ast.Attribute):
+        return "tdata" in node.attr.lower()
+    return False
+
+
+def _check_float_equality(
+    tree: ast.AST, filename: str, findings: List[Finding]
+) -> None:
+    """Rule ``float-equality``: no ``==`` / ``!=`` on ``Tdata`` values."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            continue
+        if _names_tdata(node.left) or any(_names_tdata(c) for c in node.comparators):
+            findings.append(
+                _finding(
+                    "float-equality",
+                    "'==' / '!=' on a floating-point Tdata value; compare "
+                    "with a tolerance (math.isclose / pytest.approx)",
+                    filename,
+                    node.lineno,
+                )
+            )
+
+
+def lint_source(
+    source: str,
+    filename: str,
+    *,
+    algorithms_module: bool = False,
+    registered: Optional[Set[str]] = None,
+) -> List[Finding]:
+    """Lint one module's source text; ``filename`` is for reporting only."""
+    findings: List[Finding] = []
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as exc:
+        findings.append(
+            _finding("syntax", f"cannot parse: {exc.msg}", filename, exc.lineno or 0)
+        )
+        return findings
+    _check_mutable_defaults(tree, filename, findings)
+    _check_float_equality(tree, filename, findings)
+    if algorithms_module:
+        _check_explicit_guard(tree, filename, findings)
+        _check_registered(tree, filename, registered or set(), findings)
+    return findings
+
+
+def _registered_names() -> Set[str]:
+    from repro.algorithms.registry import ALGORITHMS, EXTRA_ALGORITHMS
+
+    return set(ALGORITHMS) | set(EXTRA_ALGORITHMS)
+
+
+def run_lint(
+    root: Optional[Path] = None,
+    *,
+    paths: Optional[Iterable[Path]] = None,
+) -> List[Finding]:
+    """Lint the :mod:`repro` package (or an explicit list of files).
+
+    ``root`` defaults to the installed package directory, so the pass
+    always checks the code that would actually run.
+    """
+    if paths is None:
+        if root is None:
+            root = Path(__file__).resolve().parent.parent
+        paths = sorted(root.rglob("*.py"))
+    registered = _registered_names()
+    findings: List[Finding] = []
+    for path in paths:
+        is_algorithms = path.parent.name == "algorithms"
+        findings += lint_source(
+            path.read_text(encoding="utf-8"),
+            str(path),
+            algorithms_module=is_algorithms,
+            registered=registered,
+        )
+    return findings

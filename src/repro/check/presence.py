@@ -1,0 +1,158 @@
+"""Presence checking: loads cover computes, no dead traffic, inclusivity.
+
+A static proof of the "user responsibility" clause of the paper's IDEAL
+mode: *"it is the user responsibility to guarantee that a given data is
+present in every cache below the target cache"*.  Walking the recorded
+log with exact resident sets, the checker flags (as errors):
+
+* a compute whose operand is absent from the issuing core's cache;
+* a distributed load of a block absent from the shared cache, or a
+  shared eviction while some core still holds the block (inclusivity);
+* evicting a block that is not resident (double/spurious eviction);
+
+and (as warnings, they cost bandwidth but not correctness):
+
+* redundant loads — the block is already resident at that level;
+* dead loads — loaded, then evicted (or left behind at end of
+  schedule) without a single use: a shared-level load is used by a
+  distributed load or a dirty write-back of the same block; a
+  distributed-level load is used by a compute on that core;
+* blocks still resident when the schedule ends (leaked pins).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set
+
+from repro.cache.block import key_name
+from repro.check.events import COMPUTE, EVICT_D, EVICT_S, LOAD_D, LOAD_S, Event
+from repro.check.findings import ERROR, WARNING, Finding, FindingLimiter
+
+
+def check_presence(
+    events: Sequence[Event],
+    p: int,
+    *,
+    algorithm: str = "",
+    machine: str = "",
+    limit: int = 25,
+) -> List[Finding]:
+    """Prove the load schedule covers the compute schedule exactly."""
+    out = FindingLimiter("presence", limit)
+
+    def add(severity: str, message: str, index: int) -> None:
+        out.add(
+            Finding(
+                "presence",
+                severity,
+                message,
+                algorithm=algorithm,
+                machine=machine,
+                event=index,
+            )
+        )
+
+    # Resident maps: key -> True once the copy has been used.
+    shared: Dict[int, bool] = {}
+    dist: List[Dict[int, bool]] = [{} for _ in range(p)]
+    dirty: List[Set[int]] = [set() for _ in range(p)]
+
+    for index, ev in enumerate(events):
+        op = ev[0]
+        if op == LOAD_S:
+            key = ev[2]
+            if key in shared:
+                add(WARNING, f"redundant shared load of {key_name(key)}", index)
+            else:
+                shared[key] = False
+        elif op == LOAD_D:
+            core, key = ev[1], ev[2]
+            if key not in shared:
+                add(
+                    ERROR,
+                    f"core {core} loads {key_name(key)} absent from the shared cache",
+                    index,
+                )
+            else:
+                shared[key] = True
+            if key in dist[core]:
+                add(
+                    WARNING,
+                    f"redundant distributed load of {key_name(key)} on core {core}",
+                    index,
+                )
+            else:
+                dist[core][key] = False
+        elif op == EVICT_S:
+            key = ev[2]
+            holders = [c for c in range(p) if key in dist[c]]
+            if holders:
+                add(
+                    ERROR,
+                    f"evicting {key_name(key)} from the shared cache while "
+                    f"core(s) {holders} still hold it",
+                    index,
+                )
+            used = shared.pop(key, None)
+            if used is None:
+                add(
+                    ERROR,
+                    f"spurious shared eviction of {key_name(key)} (not resident)",
+                    index,
+                )
+            elif not used:
+                add(WARNING, f"dead shared load of {key_name(key)}", index)
+        elif op == EVICT_D:
+            core, key = ev[1], ev[2]
+            used = dist[core].pop(key, None)
+            if used is None:
+                add(
+                    ERROR,
+                    f"spurious distributed eviction of {key_name(key)} "
+                    f"on core {core} (not resident)",
+                    index,
+                )
+            elif not used:
+                add(
+                    WARNING,
+                    f"dead distributed load of {key_name(key)} on core {core}",
+                    index,
+                )
+            if key in dirty[core]:
+                # Write-back into the shared copy counts as a use of it.
+                dirty[core].discard(key)
+                if key in shared:
+                    shared[key] = True
+        elif op == COMPUTE:
+            core = ev[1]
+            ckey, akey, bkey = ev[2], ev[3], ev[4]
+            dset = dist[core]
+            for key in (akey, bkey, ckey):
+                if key in dset:
+                    dset[key] = True
+                else:
+                    add(
+                        ERROR,
+                        f"compute on core {core} touches {key_name(key)} which "
+                        "is not resident in its distributed cache",
+                        index,
+                    )
+            dirty[core].add(ckey)
+
+    end = len(events)
+    for core in range(p):
+        for key in dist[core]:
+            add(
+                WARNING,
+                f"{key_name(key)} still resident in core {core}'s cache "
+                "when the schedule ends",
+                end,
+            )
+    for key in shared:
+        add(
+            WARNING,
+            f"{key_name(key)} still resident in the shared cache "
+            "when the schedule ends",
+            end,
+        )
+    return out.results()

@@ -1,0 +1,127 @@
+"""Race detection: happens-before over the per-core event streams.
+
+The recorded log is one global sequence, but only *per-core* order is
+real: the schedule's emission order interleaves ``p`` streams that
+execute concurrently on hardware.  The synchronization structure is the
+one the paper's pseudocode implies — shared-cache directives
+(``load_shared`` / ``evict_shared``) are issued by the orchestrating
+master between parallel sections, so they are fork/join barriers:
+
+* events of the same core are ordered by program order;
+* every shared-level directive happens-after all earlier events and
+  happens-before all later ones (a global barrier);
+* distributed-level events of *different* cores between two consecutive
+  barriers are concurrent.
+
+Within one barrier-delimited epoch the detector classifies accesses to
+each logical block:
+
+* ``compute`` reads its ``A`` and ``B`` operands and *writes* its ``C``
+  operand (marking the core's copy dirty);
+* ``load_dist`` reads the block (copies it from the shared level);
+* ``evict_dist`` of a dirty block *writes* it (the write-back races
+  with any concurrent access to the same block);  clean evictions touch
+  no data.
+
+Two concurrent accesses to the same block by different cores where at
+least one is a write — write/write or read/write — are flagged.  The
+2-D cyclic ownership of ``C`` that `distributed-opt`, `tradeoff`,
+`cannon` and `outer-product` rely on makes their schedules race-free;
+a schedule that assigns one ``C`` block to two cores in the same epoch
+is caught immediately.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.cache.block import key_name
+from repro.check.events import COMPUTE, EVICT_D, EVICT_S, LOAD_D, LOAD_S, Event
+from repro.check.findings import ERROR, Finding, FindingLimiter
+
+#: Per-key access record within one epoch: (epoch, readers, writers).
+_Record = Tuple[int, Set[int], Set[int]]
+
+
+def check_races(
+    events: Sequence[Event],
+    p: int,
+    *,
+    algorithm: str = "",
+    machine: str = "",
+    limit: int = 25,
+) -> List[Finding]:
+    """Flag unsynchronized conflicting accesses between cores."""
+    out = FindingLimiter("race", limit)
+    epoch = 0
+    access: Dict[int, _Record] = {}
+    dirty: List[Set[int]] = [set() for _ in range(p)]
+    # Report each conflicting (key, core pair, kind) once, not per event.
+    reported: Set[Tuple[int, int, int, str]] = set()
+
+    def record(core: int, key: int, write: bool, index: int) -> None:
+        rec = access.get(key)
+        if rec is None or rec[0] != epoch:
+            rec = (epoch, set(), set())
+            access[key] = rec
+        _, readers, writers = rec
+        others_w = writers - {core}
+        if others_w:
+            kind = "write/write" if write else "read/write"
+            other = min(others_w)
+            tag = (key, min(core, other), max(core, other), kind)
+            if tag not in reported:
+                reported.add(tag)
+                out.add(
+                    Finding(
+                        "race",
+                        ERROR,
+                        f"{kind} race on {key_name(key)}: cores {other} and "
+                        f"{core} access it in the same epoch with no "
+                        "intervening synchronization",
+                        algorithm=algorithm,
+                        machine=machine,
+                        event=index,
+                    )
+                )
+        elif write:
+            others_r = readers - {core}
+            if others_r:
+                other = min(others_r)
+                tag = (key, min(core, other), max(core, other), "read/write")
+                if tag not in reported:
+                    reported.add(tag)
+                    out.add(
+                        Finding(
+                            "race",
+                            ERROR,
+                            f"read/write race on {key_name(key)}: core {other} "
+                            f"reads while core {core} writes in the same epoch "
+                            "with no intervening synchronization",
+                            algorithm=algorithm,
+                            machine=machine,
+                            event=index,
+                        )
+                    )
+        (writers if write else readers).add(core)
+
+    for index, ev in enumerate(events):
+        op = ev[0]
+        if op == LOAD_S or op == EVICT_S:
+            # Master-issued barrier: later events happen-after everything.
+            epoch += 1
+        elif op == LOAD_D:
+            record(ev[1], ev[2], False, index)
+        elif op == EVICT_D:
+            core, key = ev[1], ev[2]
+            if key in dirty[core]:
+                dirty[core].discard(key)
+                record(core, key, True, index)
+        elif op == COMPUTE:
+            core = ev[1]
+            ckey, akey, bkey = ev[2], ev[3], ev[4]
+            record(core, akey, False, index)
+            record(core, bkey, False, index)
+            record(core, ckey, True, index)
+            dirty[core].add(ckey)
+    return out.results()

@@ -15,6 +15,9 @@ Subcommands
     and optionally CSV files.
 ``verify``
     Numerically prove an algorithm's schedule computes ``A·B``.
+``check``
+    Static schedule analysis (capacity/presence/coverage/races) across
+    the algorithm × machine matrix, plus the repo lint pass.
 ``tables``
     The §4.1 cache-configuration and parameter tables.
 """
@@ -23,7 +26,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.algorithms.registry import algorithm_names, get_algorithm
 from repro.exceptions import ReproError
@@ -127,7 +130,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     machine = _machine_from_args(args)
     entries = [(alg, args.setting) for alg in args.algorithms]
     sweep = order_sweep(entries, machine, args.orders, policy=args.policy)
-    rows = []
+    rows: List[Dict[str, Any]] = []
     for label, results in sweep.series.items():
         for result in results:
             rows.append(result.to_row())
@@ -136,7 +139,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
-    kwargs = {}
+    kwargs: Dict[str, Any] = {}
     if args.fig_id == "fig12":
         if args.orders:
             kwargs["order"] = args.orders[0]
@@ -181,7 +184,7 @@ def _cmd_lu(args: argparse.Namespace) -> int:
     from repro.lu.schedules import LU_SCHEDULES
 
     machine = _machine_from_args(args)
-    rows = []
+    rows: List[Dict[str, Any]] = []
     for name, cls in LU_SCHEDULES.items():
         if args.verify:
             verify_lu_schedule(cls(machine, min(args.n, 6)), q=4)
@@ -201,6 +204,49 @@ def _cmd_lu(args: argparse.Namespace) -> int:
     if args.verify:
         print("numeric verification passed for both schedules")
     return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.check.findings import ERROR
+    from repro.check.lint import run_lint
+    from repro.check.runner import check_all
+
+    algorithms = args.algorithm or None
+    machines = None
+    if args.machine:
+        machines = {key: preset(key) for key in args.machine}
+    reports = check_all(algorithms, machines, orders=args.orders or None)
+    lint_findings = run_lint() if args.lint else []
+
+    findings = [f for r in reports for f in r.findings] + lint_findings
+    errors = sum(1 for f in findings if f.severity == ERROR)
+    warnings = len(findings) - errors
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "reports": [r.to_dict() for r in reports],
+                    "lint": [f.to_dict() for f in lint_findings],
+                    "errors": errors,
+                    "warnings": warnings,
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding.render())
+        cells = len(reports)
+        checked = sum(1 for r in reports if r.ok)
+        print(
+            f"check: {cells} schedule cells analyzed, {checked} clean; "
+            f"{errors} error(s), {warnings} warning(s)"
+            + (f"; lint over repro sources: {len(lint_findings)} finding(s)" if args.lint else "")
+        )
+    return 1 if errors else 0
 
 
 def _cmd_tables(args: argparse.Namespace) -> int:
@@ -263,6 +309,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_verify.add_argument("--block", type=int, default=4, help="numeric q")
     p_verify.add_argument("--seed", type=int, default=0)
     p_verify.set_defaults(func=_cmd_verify)
+
+    p_check = sub.add_parser(
+        "check", help="static schedule analysis (capacity/presence/coverage/races)"
+    )
+    p_check.add_argument(
+        "--algorithm",
+        action="append",
+        choices=algorithm_names(include_extras=True),
+        default=None,
+        help="restrict to one algorithm (repeatable; default: all)",
+    )
+    p_check.add_argument(
+        "--machine",
+        action="append",
+        choices=sorted(PRESETS),
+        default=None,
+        help="restrict to one machine preset (repeatable; default: all)",
+    )
+    p_check.add_argument(
+        "--orders",
+        type=int,
+        nargs="+",
+        default=None,
+        help="matrix orders to analyze (default: derived from tile sides)",
+    )
+    p_check.add_argument(
+        "--lint", action="store_true", help="also run the AST lint pass"
+    )
+    p_check.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    p_check.set_defaults(func=_cmd_check)
 
     p_tables = sub.add_parser("tables", help="cache configuration tables")
     p_tables.set_defaults(func=_cmd_tables)

@@ -160,7 +160,7 @@ def figure6(orders: Sequence[int] = DEFAULT_ORDERS) -> Figure:
 # ----------------------------------------------------------------------
 def figure7(orders: Sequence[int] = DEFAULT_ORDERS) -> Figure:
     """Fig. 7: MS of Shared Opt. vs Outer Product, Shared Equal, bound."""
-    panels = []
+    panels: List[FigurePanel] = []
     for key, preset_key in (("a", "q32"), ("b", "q64"), ("c", "q80")):
         machine = preset(preset_key)
         sweep = order_sweep(
@@ -203,7 +203,7 @@ def figure7(orders: Sequence[int] = DEFAULT_ORDERS) -> Figure:
 # ----------------------------------------------------------------------
 def figure8(orders: Sequence[int] = DEFAULT_ORDERS) -> Figure:
     """Fig. 8: MD of Distributed Opt. vs Distributed Equal, Outer Product."""
-    panels = []
+    panels: List[FigurePanel] = []
     for key, preset_key, note in (
         ("a", "q32", "data = 2/3 of distributed cache"),
         ("b", "q32-pessimistic", "data = 1/2 of distributed cache"),
@@ -272,7 +272,7 @@ def _tdata_figure(
     orders: Sequence[int],
 ) -> Figure:
     """Common shape of Figs. 9–11: four panels (LRU-50/IDEAL × two CD)."""
-    panels = []
+    panels: List[FigurePanel] = []
     panel_keys = iter("abcd")
     for preset_key in shared_preset_keys:
         machine = preset(preset_key)
@@ -332,7 +332,7 @@ def figure12(
     The Tradeoff algorithm re-plans ``(α, β)`` at every ratio; at the
     extremes it must tie Shared Opt. (r→0) and Distributed Opt. (r→1).
     """
-    panels = []
+    panels: List[FigurePanel] = []
     panel_keys = iter("abcdef")
     for preset_key in (
         "q32",
@@ -424,7 +424,7 @@ def figure_nested(orders: Sequence[int] = (16, 32)) -> Figure:
         ("nested-max-reuse", NestedMaxReuse),
         ("distributed-opt (flat)", DistributedOpt),
     ):
-        values = []
+        values: List[float] = []
         for order in orders:
             nest = NestedMaxReuse(machine, order, order, order)
             tree = nest.default_tree()

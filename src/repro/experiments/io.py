@@ -79,7 +79,7 @@ def figure_to_csv(figure: Figure, directory: Union[str, Path]) -> List[Path]:
     """Write every panel of a figure as ``<dir>/<figid><panel>.csv``."""
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
-    paths = []
+    paths: List[Path] = []
     for panel in figure.panels:
         path = directory / f"{figure.id}{panel.key}.csv"
         panel_to_csv(panel, path)

@@ -25,7 +25,7 @@ DISTRIBUTED_BYTES = 256 * 1024
 
 def cache_configuration_table() -> List[Dict[str, Any]]:
     """One row per preset: the paper's capacities vs the recomputed ones."""
-    rows = []
+    rows: List[Dict[str, Any]] = []
     for key, machine in PRESETS.items():
         fraction = 0.5 if "pessimistic" in key else 2.0 / 3.0
         block = machine.block_bytes
@@ -50,7 +50,7 @@ def cache_configuration_table() -> List[Dict[str, Any]]:
 
 def parameter_table() -> List[Dict[str, Any]]:
     """Derived algorithm parameters (λ, µ, α, β) for every preset."""
-    rows = []
+    rows: List[Dict[str, Any]] = []
     for key, machine in PRESETS.items():
         params = optimal_parameters(machine)
         rows.append(

@@ -8,7 +8,7 @@ run numeric execution and checked-IDEAL simulation simultaneously).
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import List, Sequence
 
 from repro.algorithms.base import ExecutionContext
 from repro.cache.hierarchy import IdealHierarchy, LRUHierarchy
@@ -106,7 +106,7 @@ class RecordingContext(ExecutionContext):
         record(core, ckey, True)
         self.comp[core] += 1
 
-    def keys(self) -> list:
+    def keys(self) -> List[int]:
         """The flat key sequence (core-agnostic), for trace analyses."""
         return [key for _, key, _ in self.trace]
 

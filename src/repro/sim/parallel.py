@@ -24,13 +24,14 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.exceptions import ConfigurationError
 from repro.model.machine import MulticoreMachine
 from repro.sim.results import SweepResult
 from repro.sim.runner import run_experiment
 from repro.sim.sweep import Entry, _unpack, series_label
 
 
-def _run_cell(args: Tuple) -> Tuple[str, int, Any]:
+def _run_cell(args: Tuple[Any, ...]) -> Tuple[str, int, Any]:
     """Worker entry: run one sweep cell, tagged for reassembly."""
     label, index, algorithm, setting, machine, m, n, z, kwargs = args
     result = run_experiment(algorithm, machine, m, n, z, setting, **kwargs)
@@ -39,6 +40,22 @@ def _run_cell(args: Tuple) -> Tuple[str, int, Any]:
 
 def _default_workers() -> int:
     return max(os.cpu_count() or 1, 1)
+
+
+def _resolve_workers(workers: Optional[int]) -> int:
+    """Validate an explicit worker count, defaulting to the CPU count.
+
+    Rejecting ``workers < 1`` here turns an opaque
+    ``ProcessPoolExecutor`` ``ValueError`` traceback into the library's
+    own :class:`~repro.exceptions.ConfigurationError`.
+    """
+    if workers is None:
+        return _default_workers()
+    if workers < 1:
+        raise ConfigurationError(
+            f"need at least one worker process, got workers={workers}"
+        )
+    return workers
 
 
 def parallel_order_sweep(
@@ -52,7 +69,7 @@ def parallel_order_sweep(
     policy: str = "lru",
 ) -> SweepResult:
     """Process-parallel equivalent of :func:`repro.sim.sweep.order_sweep`."""
-    cells = []
+    cells: List[Tuple[Any, ...]] = []
     labels: List[str] = []
     for entry in entries:
         algorithm, setting, params = _unpack(entry)
@@ -67,7 +84,7 @@ def parallel_order_sweep(
             )
     sweep = SweepResult(variable="order", xs=list(orders))
     buckets: Dict[str, List[Any]] = {label: [None] * len(orders) for label in labels}
-    with ProcessPoolExecutor(max_workers=workers or _default_workers()) as pool:
+    with ProcessPoolExecutor(max_workers=_resolve_workers(workers)) as pool:
         for label, index, result in pool.map(_run_cell, cells):
             buckets[label][index] = result
     for label in labels:
@@ -86,7 +103,7 @@ def parallel_ratio_sweep(
     check: bool = False,
 ) -> SweepResult:
     """Process-parallel equivalent of :func:`repro.sim.sweep.ratio_sweep`."""
-    cells = []
+    cells: List[Tuple[Any, ...]] = []
     labels: List[str] = []
     for entry in entries:
         algorithm, setting, params = _unpack(entry)
@@ -100,7 +117,7 @@ def parallel_ratio_sweep(
             )
     sweep = SweepResult(variable="r", xs=list(ratios))
     buckets: Dict[str, List[Any]] = {label: [None] * len(ratios) for label in labels}
-    with ProcessPoolExecutor(max_workers=workers or _default_workers()) as pool:
+    with ProcessPoolExecutor(max_workers=_resolve_workers(workers)) as pool:
         for label, index, result in pool.map(_run_cell, cells):
             buckets[label][index] = result
     for label in labels:

@@ -69,6 +69,52 @@ class TestCoalescing:
         assert coalesce(entries) == [(0, key(1), False)]
 
     @given(
+        st.data(),
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=2, max_value=12),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_interleaved_repeats_preserve_miss_counts(self, data, cd, cs):
+        """Interleaving other cores between a core's immediate repeats
+        must not change what coalescing preserves.
+
+        Per-core streams are built with *guaranteed* immediate repeats
+        (each reference duplicated 1-3 times), then merged in a drawn
+        interleaving — so every example exercises both the dropping
+        path and the cross-core adjacency that must NOT be dropped.
+        """
+        streams = []
+        for core in range(3):
+            refs = data.draw(
+                st.lists(
+                    st.tuples(st.integers(0, 6), st.booleans()),
+                    max_size=12,
+                ),
+                label=f"core{core}",
+            )
+            stream = []
+            for i, w in refs:
+                repeats = data.draw(st.integers(1, 3), label="repeats")
+                stream += [(core, key(i), w)] * repeats
+            streams.append(stream)
+        merged = []
+        while any(streams):
+            alive = [s for s in streams if s]
+            pick = data.draw(st.integers(0, len(alive) - 1), label="pick")
+            merged.append(alive[pick].pop(0))
+        t = AccessTrace(merged)
+        full = LRUHierarchy(p=3, cs=cs, cd=cd)
+        compact = LRUHierarchy(p=3, cs=cs, cd=cd)
+        t.replay(full)
+        t.coalesced().replay(compact)
+        fs, ms = full.snapshot(), compact.snapshot()
+        assert fs.ms == ms.ms
+        assert fs.md_per_core == ms.md_per_core
+        assert [c.writebacks for c in fs.distributed] == [
+            c.writebacks for c in ms.distributed
+        ]
+
+    @given(
         st.lists(
             st.tuples(
                 st.integers(0, 2),

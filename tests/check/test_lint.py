@@ -1,0 +1,137 @@
+"""Lint-pass tests: each rule fires on a seeded snippet, repo is clean."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.check.lint import lint_source, run_lint
+
+
+def rules(findings):
+    return [f.message.split(":", 1)[0] for f in findings]
+
+
+class TestExplicitGuard:
+    def test_unguarded_directive_flagged(self):
+        src = (
+            "def run(self, ctx):\n"
+            "    ctx.load_shared(1)\n"
+        )
+        found = lint_source(src, "alg.py", algorithms_module=True)
+        assert rules(found) == ["explicit-guard"]
+        assert "ctx.load_shared(...)" in found[0].message
+
+    def test_guarded_directive_clean(self):
+        src = (
+            "def run(self, ctx):\n"
+            "    if ctx.explicit:\n"
+            "        ctx.load_shared(1)\n"
+        )
+        assert lint_source(src, "alg.py", algorithms_module=True) == []
+
+    def test_hoisted_flag_clean(self):
+        src = (
+            "def run(self, ctx):\n"
+            "    explicit = ctx.explicit\n"
+            "    if explicit:\n"
+            "        ctx.evict_dist(0, 1)\n"
+        )
+        assert lint_source(src, "alg.py", algorithms_module=True) == []
+
+    def test_else_branch_is_unguarded(self):
+        src = (
+            "def run(self, ctx):\n"
+            "    if ctx.explicit:\n"
+            "        pass\n"
+            "    else:\n"
+            "        ctx.evict_shared(1)\n"
+        )
+        found = lint_source(src, "alg.py", algorithms_module=True)
+        assert rules(found) == ["explicit-guard"]
+
+    def test_rule_scoped_to_algorithms_modules(self):
+        # Contexts and caches implement the directives; only schedule
+        # modules must guard the calls.
+        src = "def f(ctx):\n    ctx.load_shared(1)\n"
+        assert lint_source(src, "other.py", algorithms_module=False) == []
+
+
+class TestUnregisteredAlgorithm:
+    SRC = (
+        "class Rogue(MatmulAlgorithm):\n"
+        "    name = 'rogue'\n"
+    )
+
+    def test_unregistered_flagged(self):
+        found = lint_source(
+            self.SRC, "alg.py", algorithms_module=True, registered={"shared-opt"}
+        )
+        assert rules(found) == ["unregistered-algorithm"]
+        assert "'rogue'" in found[0].message
+
+    def test_registered_clean(self):
+        assert (
+            lint_source(
+                self.SRC, "alg.py", algorithms_module=True, registered={"rogue"}
+            )
+            == []
+        )
+
+    def test_abstract_base_exempt(self):
+        src = (
+            "class Base(MatmulAlgorithm):\n"
+            "    name = 'abstract'\n"
+        )
+        assert lint_source(src, "alg.py", algorithms_module=True, registered=set()) == []
+
+
+class TestMutableDefault:
+    def test_list_default_flagged(self):
+        found = lint_source("def f(x=[]):\n    pass\n", "m.py")
+        assert rules(found) == ["mutable-default"]
+
+    def test_call_default_flagged(self):
+        found = lint_source("def f(x=dict()):\n    pass\n", "m.py")
+        assert rules(found) == ["mutable-default"]
+
+    def test_kwonly_default_flagged(self):
+        found = lint_source("def f(*, x={}):\n    pass\n", "m.py")
+        assert rules(found) == ["mutable-default"]
+
+    def test_none_default_clean(self):
+        assert lint_source("def f(x=None, y=0):\n    pass\n", "m.py") == []
+
+
+class TestFloatEquality:
+    def test_eq_on_tdata_flagged(self):
+        found = lint_source("ok = result.tdata == 1.5\n", "m.py")
+        assert rules(found) == ["float-equality"]
+
+    def test_neq_on_tdata_name_flagged(self):
+        found = lint_source("bad = tdata_serial != tdata_parallel\n", "m.py")
+        assert rules(found) == ["float-equality"]
+
+    def test_ordering_comparison_clean(self):
+        assert lint_source("ok = tdata < 1.5\n", "m.py") == []
+
+    def test_eq_on_other_names_clean(self):
+        assert lint_source("ok = ms == md\n", "m.py") == []
+
+
+class TestSyntaxError:
+    def test_unparseable_reported_not_raised(self):
+        found = lint_source("def f(:\n", "m.py")
+        assert rules(found) == ["syntax"]
+
+
+class TestRunLint:
+    def test_repo_sources_are_clean(self):
+        assert run_lint() == []
+
+    def test_explicit_paths(self, tmp_path: Path):
+        bad = tmp_path / "algorithms" / "rogue.py"
+        bad.parent.mkdir()
+        bad.write_text("def run(ctx):\n    ctx.load_shared(1)\n")
+        found = run_lint(paths=[bad])
+        assert len(found) == 1
+        assert found[0].location == f"{bad}:2"

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.exceptions import ConfigurationError
 from repro.model.machine import MulticoreMachine
 from repro.sim.parallel import parallel_order_sweep, parallel_ratio_sweep
 from repro.sim.sweep import order_sweep, ratio_sweep
@@ -30,6 +31,25 @@ class TestParallelOrderSweep:
             [("shared-opt", "ideal", {"lam": 4})], MACHINE, [8], workers=2
         )
         assert sweep.series["shared-opt ideal"][0].parameters["lambda"] == 4
+
+
+class TestWorkerValidation:
+    @pytest.mark.parametrize("workers", [0, -1, -8])
+    def test_order_sweep_rejects_nonpositive_workers(self, workers):
+        with pytest.raises(ConfigurationError, match="at least one worker"):
+            parallel_order_sweep(ENTRIES, MACHINE, [4], workers=workers)
+
+    @pytest.mark.parametrize("workers", [0, -1])
+    def test_ratio_sweep_rejects_nonpositive_workers(self, workers):
+        with pytest.raises(ConfigurationError, match="at least one worker"):
+            parallel_ratio_sweep(
+                [("tradeoff", "ideal")], MACHINE, [0.5], order=4, workers=workers
+            )
+
+    def test_none_means_default(self):
+        # The default (cpu-count) path must stay accessible.
+        sweep = parallel_order_sweep([("shared-opt", "ideal")], MACHINE, [4])
+        assert len(sweep.series["shared-opt ideal"]) == 1
 
 
 class TestParallelRatioSweep:

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -114,6 +116,57 @@ class TestAnalyze:
 
     def test_analyze_extra_algorithm(self, capsys):
         assert main(["analyze", "cannon", "--preset", "q32", "-m", "6"]) == 0
+
+
+class TestCheck:
+    def test_single_cell_clean(self, capsys):
+        code = main(["check", "--algorithm", "shared-opt", "--machine", "q32"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out and "clean" in out
+
+    def test_filters_multiply(self, capsys):
+        code = main(
+            [
+                "check",
+                "--algorithm", "shared-opt", "--algorithm", "cannon",
+                "--machine", "q32", "--machine", "q64",
+            ]
+        )
+        assert code == 0
+
+    def test_explicit_orders(self, capsys):
+        code = main(
+            ["check", "--algorithm", "cannon", "--machine", "q32",
+             "--orders", "4", "6"]
+        )
+        assert code == 0
+        assert "2 schedule cells" in capsys.readouterr().out
+
+    def test_lint_flag(self, capsys):
+        code = main(
+            ["check", "--algorithm", "shared-opt", "--machine", "q32", "--lint"]
+        )
+        assert code == 0
+        assert "lint over repro sources: 0 finding(s)" in capsys.readouterr().out
+
+    def test_json_output(self, capsys):
+        code = main(
+            ["check", "--algorithm", "tradeoff", "--machine", "q32",
+             "--lint", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["errors"] == 0
+        assert payload["lint"] == []
+        report = payload["reports"][0]
+        assert report["algorithm"] == "tradeoff"
+        assert report["findings"] == []
+        assert report["computes"] == report["m"] * report["n"] * report["z"]
+
+    def test_unknown_algorithm_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["check", "--algorithm", "nope"])
 
 
 class TestLU:
