@@ -17,9 +17,18 @@ optimality claims rest on invariants that can be proved over the
 * **races** — a happens-before pass over the per-core event streams
   flags write/write and read/write conflicts on the same block by
   different cores with no intervening synchronization;
+* **cost** — counted distinct-block load traffic must equal the
+  paper's closed-form ``MS``/``MD`` (exactly, on divisible orders) and
+  may never beat the §2.3 Loomis–Whitney lower bounds;
 * **lint** — an AST pass over the sources enforcing repo idioms
   (directives wrapped in ``if ctx.explicit``, schedules registered, no
   mutable defaults, no ``==`` on floating-point ``Tdata``).
+
+Every finding carries a stable ``rule`` id and a content fingerprint;
+:mod:`repro.check.baseline` suppresses accepted fingerprints,
+:mod:`repro.check.incremental` caches unchanged cells under
+``.repro-check-cache/`` and :mod:`repro.check.sarif` exports SARIF
+2.1.0 for GitHub code scanning.
 
 Entry points: :func:`repro.check.runner.analyze_schedule` for one
 algorithm instance, :func:`repro.check.runner.check_all` for the full
@@ -29,25 +38,38 @@ line.
 
 from __future__ import annotations
 
+from repro.check.baseline import apply_baseline, load_baseline, write_baseline
 from repro.check.capacity import check_capacity, check_parameters
+from repro.check.cost import CountedCosts, check_cost, count_costs
 from repro.check.coverage import check_coverage
 from repro.check.events import AnalysisContext
-from repro.check.findings import Finding
+from repro.check.findings import CHECKER_VERSION, Finding
+from repro.check.incremental import ReportCache
 from repro.check.lint import run_lint
 from repro.check.presence import check_presence
 from repro.check.races import check_races
 from repro.check.runner import ScheduleReport, analyze_schedule, check_all
+from repro.check.sarif import to_sarif, write_sarif
 
 __all__ = [
     "AnalysisContext",
+    "CHECKER_VERSION",
+    "CountedCosts",
     "Finding",
+    "ReportCache",
     "ScheduleReport",
     "analyze_schedule",
+    "apply_baseline",
     "check_all",
     "check_capacity",
+    "check_cost",
     "check_coverage",
     "check_parameters",
     "check_presence",
     "check_races",
+    "count_costs",
+    "load_baseline",
     "run_lint",
+    "to_sarif",
+    "write_sarif",
 ]

@@ -1,0 +1,94 @@
+"""Baseline suppression: known findings don't fail CI, new ones do.
+
+A baseline file (conventionally ``check-baseline.json`` at the repo
+root) records the stable :meth:`~repro.check.findings.Finding.fingerprint`
+of every accepted finding.  ``repro-mmm check --baseline`` subtracts
+those from the run's findings before counting errors, so a legacy
+warning doesn't block CI while any *new* finding still does — the
+ratchet pattern of every mature static analyzer.
+
+``--write-baseline`` regenerates the file from the current run; the
+entries keep the rule id and message alongside the fingerprint so the
+file reviews like a report, not like a hash dump.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Set, Tuple
+
+from repro.check.findings import Finding
+from repro.exceptions import ReproError
+
+#: Baseline file schema; bump on incompatible layout changes.
+BASELINE_SCHEMA = 1
+
+
+def load_baseline(path: Path) -> Set[str]:
+    """Fingerprints suppressed by ``path``; a missing file is empty.
+
+    Raises
+    ------
+    ReproError
+        If the file exists but is not a valid baseline document.
+    """
+    if not path.exists():
+        return set()
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise ReproError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("schema") != BASELINE_SCHEMA:
+        raise ReproError(
+            f"baseline {path} has unsupported schema "
+            f"{payload.get('schema') if isinstance(payload, dict) else '?'!r}; "
+            f"expected {BASELINE_SCHEMA}"
+        )
+    suppressions = payload.get("suppressions", [])
+    fingerprints: Set[str] = set()
+    for entry in suppressions:
+        if isinstance(entry, dict) and isinstance(entry.get("fingerprint"), str):
+            fingerprints.add(entry["fingerprint"])
+    return fingerprints
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> int:
+    """Write all current findings as the new baseline; returns the count.
+
+    Entries are sorted by (rule, fingerprint) so regenerating an
+    unchanged repo produces a byte-identical file.
+    """
+    entries: List[Dict[str, Any]] = []
+    seen: Set[str] = set()
+    for finding in findings:
+        fp = finding.fingerprint()
+        if fp in seen:
+            continue
+        seen.add(fp)
+        entries.append(
+            {
+                "fingerprint": fp,
+                "rule": finding.rule_id,
+                "severity": finding.severity,
+                "message": finding.message,
+            }
+        )
+    entries.sort(key=lambda e: (str(e["rule"]), str(e["fingerprint"])))
+    payload = {"schema": BASELINE_SCHEMA, "suppressions": entries}
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return len(entries)
+
+
+def apply_baseline(
+    findings: Sequence[Finding], suppressed: Set[str]
+) -> Tuple[List[Finding], List[Finding]]:
+    """Partition findings into (active, baselined) by fingerprint."""
+    active: List[Finding] = []
+    baselined: List[Finding] = []
+    for finding in findings:
+        if finding.fingerprint() in suppressed:
+            baselined.append(finding)
+        else:
+            active.append(finding)
+    return active, baselined

@@ -87,6 +87,7 @@ def check_capacity(
                         algorithm=algorithm,
                         machine=machine,
                         event=index,
+                        rule="capacity/ws-overflow",
                     )
                 )
             shared.add(key)
@@ -105,6 +106,7 @@ def check_capacity(
                         algorithm=algorithm,
                         machine=machine,
                         event=index,
+                        rule="capacity/ws-overflow",
                     )
                 )
             dset.add(key)
@@ -128,6 +130,7 @@ def check_parameters(alg: MatmulAlgorithm, *, machine: str = "") -> List[Finding
                 message,
                 algorithm=alg.name,
                 machine=machine,
+                rule="capacity/param-constraint",
             )
         )
 

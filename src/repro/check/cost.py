@@ -1,0 +1,218 @@
+"""Cost conformance: counted ``MS``/``MD`` vs closed forms and lower bounds.
+
+The paper's central quantitative claims are the miss-count formulas of
+§3 (``MS = mn + 2mnz/λ`` and friends, implemented in
+:mod:`repro.analysis.formulas`) and the §2.3 Loomis–Whitney lower
+bounds (:mod:`repro.model.bounds`).  This analyzer proves both against
+the *recorded* schedule, with no cache simulation:
+
+* :func:`count_costs` walks the event log with exact resident sets and
+  counts distinct-block load traffic — a shared load of a non-resident
+  block is one ``MS``, a distributed load of a block absent from that
+  core's cache is one ``MD`` for the core.  This is, by construction,
+  integer-for-integer the count
+  :class:`~repro.cache.hierarchy.IdealHierarchy` would produce for the
+  same directive stream (redundant loads move no data in either).
+
+* :func:`check_cost` then cross-checks three ways:
+
+  1. **Closed forms** — when
+     :func:`~repro.analysis.formulas.divisibility_ok` holds, the
+     counted ``MS`` and max per-core ``MD`` must equal the registered
+     formula *exactly* (``cost/formula-mismatch``).  On ragged tiles
+     the formulas are only asymptotic; the counts must stay within a
+     bounded ratio (``cost/formula-ratio``).
+  2. **Lower bounds** — no recorded count may beat
+     ``MS ≥ mnz·√(27/(8·CS))`` or ``MD ≥ (mnz/p)·√(27/(8·CD))``
+     (``cost/below-lower-bound``).  A schedule below the bound means
+     the counting model — not the schedule — is broken: hard error.
+  3. **Tdata** — pricing the counted misses through
+     :func:`repro.analysis.report.tdata_from_counts` must agree with
+     the formula-side prediction (``cost/tdata-mismatch``), proving the
+     reporting pipeline prices both the same way.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Set, Tuple
+
+from repro.algorithms.base import MatmulAlgorithm
+from repro.analysis.formulas import FORMULAS, divisibility_ok, predict
+from repro.analysis.report import tdata_from_counts
+from repro.check.events import EVICT_D, EVICT_S, LOAD_D, LOAD_S, Event
+from repro.check.findings import ERROR, Finding
+from repro.model.bounds import (
+    distributed_misses_lower_bound,
+    shared_misses_lower_bound,
+)
+from repro.model.machine import MulticoreMachine
+
+#: Ragged-tile tolerance (multiplier, slack): the closed forms must
+#: bracket the counted values within ``factor·x + slack`` both ways.
+#: Mirrors the envelope the simulator-vs-formula tests have always
+#: asserted; the slack term absorbs orders smaller than one tile.
+MS_RATIO_BOUND: Tuple[float, float] = (2.5, 100.0)
+MD_RATIO_BOUND: Tuple[float, float] = (4.0, 200.0)
+
+#: Relative tolerance for float comparisons that should be exact.
+EXACT_REL_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class CountedCosts:
+    """Distinct-block load traffic derived from one recorded schedule."""
+
+    ms: int
+    md: Tuple[int, ...]
+
+    @property
+    def md_max(self) -> int:
+        """Max per-core distributed misses — the paper's ``MD``."""
+        return max(self.md) if self.md else 0
+
+    def tdata(self, machine: MulticoreMachine) -> float:
+        """Data access time of the counted misses on ``machine``."""
+        return tdata_from_counts(self.ms, self.md_max, machine)
+
+
+def count_costs(events: Sequence[Event], p: int) -> CountedCosts:
+    """Count ``MS`` and per-core ``MD`` exactly from the event log.
+
+    A load only counts when the block is not already resident at that
+    level (a redundant load moves no data); evictions free residency.
+    Matches :class:`~repro.cache.hierarchy.IdealHierarchy` counting
+    integer for integer.
+    """
+    shared: Set[int] = set()
+    dist: List[Set[int]] = [set() for _ in range(p)]
+    ms = 0
+    md = [0] * p
+    for ev in events:
+        op = ev[0]
+        if op == LOAD_S:
+            key = ev[2]
+            if key not in shared:
+                shared.add(key)
+                ms += 1
+        elif op == EVICT_S:
+            shared.discard(ev[2])
+        elif op == LOAD_D:
+            core, key = ev[1], ev[2]
+            dset = dist[core]
+            if key not in dset:
+                dset.add(key)
+                md[core] += 1
+        elif op == EVICT_D:
+            dist[ev[1]].discard(ev[2])
+    return CountedCosts(ms=ms, md=tuple(md))
+
+
+def _within_envelope(
+    counted: float, predicted: float, bound: Tuple[float, float]
+) -> bool:
+    """Symmetric bounded-ratio check ``x ≤ factor·y + slack`` both ways."""
+    factor, slack = bound
+    return (
+        counted <= factor * predicted + slack
+        and predicted <= factor * counted + slack
+    )
+
+
+def check_cost(
+    alg: MatmulAlgorithm,
+    events: Sequence[Event],
+    *,
+    machine: str = "",
+    limit: int = 25,
+) -> List[Finding]:
+    """Prove the recorded traffic conforms to formulas and lower bounds.
+
+    ``limit`` is accepted for interface symmetry with the other
+    analyzers; this pass emits at most a handful of findings per cell.
+    """
+    del limit  # never floods: at most six findings per schedule
+    platform = alg.machine
+    counted = count_costs(events, platform.p)
+    findings: List[Finding] = []
+
+    def fail(rule: str, message: str) -> None:
+        findings.append(
+            Finding(
+                "cost",
+                ERROR,
+                message,
+                algorithm=alg.name,
+                machine=machine,
+                rule=rule,
+            )
+        )
+
+    m, n, z = alg.m, alg.n, alg.z
+
+    # (2) Loomis–Whitney lower bounds: beating one is a model bug.
+    ms_bound = shared_misses_lower_bound(platform, m, n, z)
+    if counted.ms < ms_bound * (1.0 - EXACT_REL_TOL):
+        fail(
+            "cost/below-lower-bound",
+            f"counted MS={counted.ms} beats the Loomis-Whitney lower bound "
+            f"{ms_bound:.1f} = mnz*sqrt(27/(8*CS)); the counting model is "
+            "unsound for this schedule",
+        )
+    md_bound = distributed_misses_lower_bound(platform, m, n, z)
+    if counted.md_max < md_bound * (1.0 - EXACT_REL_TOL):
+        fail(
+            "cost/below-lower-bound",
+            f"counted MD={counted.md_max} beats the Loomis-Whitney lower "
+            f"bound {md_bound:.1f} = (mnz/p)*sqrt(27/(8*CD)); the counting "
+            "model is unsound for this schedule",
+        )
+
+    if alg.name not in FORMULAS:
+        return findings
+
+    # (1) Closed forms: exact when divisibility holds, bracketed otherwise.
+    predicted = predict(alg)
+    if divisibility_ok(alg):
+        if not math.isclose(counted.ms, predicted.ms, rel_tol=EXACT_REL_TOL):
+            fail(
+                "cost/formula-mismatch",
+                f"counted MS={counted.ms} != predicted MS={predicted.ms:.1f} "
+                "although the divisibility conditions for exactness hold",
+            )
+        if not math.isclose(counted.md_max, predicted.md, rel_tol=EXACT_REL_TOL):
+            fail(
+                "cost/formula-mismatch",
+                f"counted MD={counted.md_max} != predicted MD="
+                f"{predicted.md:.1f} although the divisibility conditions "
+                "for exactness hold",
+            )
+        # (3) Tdata: counted misses priced through the report pipeline
+        # must match the formula-side prediction.
+        t_counted = counted.tdata(platform)
+        t_pred = predicted.tdata(platform)
+        if not math.isclose(t_counted, t_pred, rel_tol=1e-6):
+            fail(
+                "cost/tdata-mismatch",
+                f"Tdata from counted misses ({t_counted:.3f}) disagrees with "
+                f"the predicted Tdata ({t_pred:.3f}) on divisible orders",
+            )
+    else:
+        if not _within_envelope(counted.ms, predicted.ms, MS_RATIO_BOUND):
+            factor, slack = MS_RATIO_BOUND
+            fail(
+                "cost/formula-ratio",
+                f"counted MS={counted.ms} and predicted MS={predicted.ms:.1f} "
+                f"diverge beyond the ragged-tile envelope "
+                f"({factor}x + {slack:.0f})",
+            )
+        if not _within_envelope(counted.md_max, predicted.md, MD_RATIO_BOUND):
+            factor, slack = MD_RATIO_BOUND
+            fail(
+                "cost/formula-ratio",
+                f"counted MD={counted.md_max} and predicted MD="
+                f"{predicted.md:.1f} diverge beyond the ragged-tile envelope "
+                f"({factor}x + {slack:.0f})",
+            )
+    return findings

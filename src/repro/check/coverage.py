@@ -33,7 +33,7 @@ def check_coverage(
     """Prove the compute stream covers ``m × n × z`` exactly once each."""
     out = FindingLimiter("coverage", limit)
 
-    def add(message: str, index: int | None = None) -> None:
+    def add(message: str, rule: str, index: int | None = None) -> None:
         out.add(
             Finding(
                 "coverage",
@@ -42,6 +42,7 @@ def check_coverage(
                 algorithm=algorithm,
                 machine=machine,
                 event=index,
+                rule=rule,
             )
         )
 
@@ -58,6 +59,7 @@ def check_coverage(
             add(
                 "compute expects operands from A, B and C, got "
                 f"{key_name(akey)}, {key_name(bkey)}, {key_name(ckey)}",
+                "coverage/wrong-matrix",
                 index,
             )
             continue
@@ -65,6 +67,7 @@ def check_coverage(
             add(
                 f"inconsistent coordinates: C[{i_c},{j_c}] += "
                 f"A[{i_a},{k_a}] · B[{k_b},{j_b}]",
+                "coverage/inconsistent-update",
                 index,
             )
             continue
@@ -72,13 +75,18 @@ def check_coverage(
             add(
                 f"update (i={i_c}, j={j_c}, k={k_a}) outside the "
                 f"{m}×{n}×{z} iteration space",
+                "coverage/out-of-space",
                 index,
             )
             continue
         triple = (i_c, j_c, k_a)
         if triple in seen:
             duplicates += 1
-            add(f"update (i={i_c}, j={j_c}, k={k_a}) emitted twice", index)
+            add(
+                f"update (i={i_c}, j={j_c}, k={k_a}) emitted twice",
+                "coverage/duplicate-update",
+                index,
+            )
         else:
             seen.add(triple)
 
@@ -93,7 +101,10 @@ def check_coverage(
             for j in range(n):
                 got = per_cell.get((i, j), 0)
                 if got != z:
-                    add(f"C[{i},{j}] accumulated {got}/{z} contributions")
+                    add(
+                        f"C[{i},{j}] accumulated {got}/{z} contributions",
+                        "coverage/missing-update",
+                    )
                     reported += 1
                     if reported >= limit:
                         break

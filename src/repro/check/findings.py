@@ -5,16 +5,32 @@ CLI aggregate, render and count them.  ``severity`` is ``"error"`` for
 invariant violations (wrong results, model violations, races) and
 ``"warning"`` for inefficiencies that do not threaten correctness
 (dead loads, redundant loads).  Only errors fail ``repro-mmm check``.
+
+Every finding carries a stable ``rule`` id (``analyzer/short-name``,
+e.g. ``capacity/ws-overflow`` or ``cost/formula-mismatch``) and derives
+a content :meth:`~Finding.fingerprint` from it.  Rule ids name *what*
+went wrong independently of the message wording; fingerprints identify
+*this* finding across runs, which is what the baseline suppression file
+and the SARIF exporter key on.  Line numbers are deliberately excluded
+from the fingerprint so lint findings survive unrelated edits above
+them.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 #: Severity levels, in increasing order of gravity.
 WARNING = "warning"
 ERROR = "error"
+
+#: Version of the checker as a whole: findings schema, rule set and
+#: analyzer semantics.  Bumping it invalidates every incremental-cache
+#: entry (the cell fingerprint includes it) and dates SARIF output.
+#: v1 = PR-1 analyzers; v2 = rule ids + cost-conformance analyzer.
+CHECKER_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -25,7 +41,7 @@ class Finding:
     ----------
     analyzer:
         Which pass produced the finding (``capacity``, ``presence``,
-        ``coverage``, ``race``, ``lint`` or ``schedule``).
+        ``coverage``, ``race``, ``cost``, ``lint`` or ``schedule``).
     severity:
         ``"error"`` or ``"warning"``.
     message:
@@ -37,6 +53,9 @@ class Finding:
         log, when applicable.
     location:
         ``path:line`` source position (lint findings only).
+    rule:
+        Stable ``analyzer/short-name`` id of the violated invariant;
+        falls back to the bare analyzer name when unset.
     """
 
     analyzer: str
@@ -46,13 +65,36 @@ class Finding:
     machine: str = ""
     event: Optional[int] = None
     location: str = ""
+    rule: str = ""
+
+    @property
+    def rule_id(self) -> str:
+        """The stable rule id (``analyzer`` when no rule was assigned)."""
+        return self.rule or self.analyzer
+
+    def fingerprint(self) -> str:
+        """Stable content hash identifying this finding across runs.
+
+        Hashes rule, severity, schedule context, the location's *file*
+        (not its line — edits above a lint finding must not re-open it)
+        and the message.  Schedules are deterministic, so messages are
+        reproducible run to run.
+        """
+        loc_file = self.location.rsplit(":", 1)[0] if self.location else ""
+        payload = "|".join(
+            (self.rule_id, self.severity, self.algorithm, self.machine,
+             loc_file, self.message)
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
     def to_dict(self) -> Dict[str, Any]:
-        """Plain-data form for ``--json`` output."""
+        """Plain-data form for ``--json`` output and the report cache."""
         out: Dict[str, Any] = {
             "analyzer": self.analyzer,
             "severity": self.severity,
             "message": self.message,
+            "rule": self.rule_id,
+            "fingerprint": self.fingerprint(),
         }
         if self.algorithm:
             out["algorithm"] = self.algorithm
@@ -64,6 +106,20 @@ class Finding:
             out["location"] = self.location
         return out
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Finding":
+        """Rebuild a finding from :meth:`to_dict` output (cache replay)."""
+        return cls(
+            analyzer=str(data["analyzer"]),
+            severity=str(data["severity"]),
+            message=str(data["message"]),
+            algorithm=str(data.get("algorithm", "")),
+            machine=str(data.get("machine", "")),
+            event=data.get("event"),
+            location=str(data.get("location", "")),
+            rule=str(data.get("rule", "")),
+        )
+
     def render(self) -> str:
         """One-line rendering for terminal output."""
         where = ""
@@ -74,7 +130,7 @@ class Finding:
         elif self.location:
             where = f" [{self.location}]"
         at = f" (event {self.event})" if self.event is not None else ""
-        return f"{self.severity}: {self.analyzer}{where}: {self.message}{at}"
+        return f"{self.severity}: {self.rule_id}{where}: {self.message}{at}"
 
 
 @dataclass
@@ -103,6 +159,7 @@ class FindingLimiter:
                     analyzer=self.analyzer,
                     severity=WARNING,
                     message=f"{self.dropped} further findings suppressed",
+                    rule=f"{self.analyzer}/suppressed",
                 )
             ]
         return list(self.findings)

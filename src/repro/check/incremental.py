@@ -1,0 +1,162 @@
+"""Incremental checking: fingerprint cells, reuse unchanged reports.
+
+A full ``check_all`` re-records and re-proves every algorithm × machine
+cell even when nothing changed — fine at a few seconds, wasteful in CI
+on every push.  :class:`ReportCache` makes the checker incremental: each
+cell is keyed by a fingerprint of everything its verdict depends on —
+
+* the **source** of the algorithm class (every file in its MRO that
+  lives inside the :mod:`repro` package, so editing ``base.py``
+  invalidates every schedule);
+* the **machine** (full dataclass repr: capacities, bandwidths, core
+  count);
+* the **orders** the cell is analyzed at;
+* the **checker** itself: :data:`~repro.check.findings.CHECKER_VERSION`
+  plus a hash of the analyzer sources and of the formula/bound modules
+  they prove against.
+
+A hit replays the stored :class:`~repro.check.runner.ScheduleReport`
+list verbatim (findings included, flagged ``cached``); a miss analyzes
+and stores.  Entries are one JSON file per cell under
+``.repro-check-cache/`` — safe to delete at any time, content-addressed
+so stale entries are simply never read again.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+from repro.algorithms.base import MatmulAlgorithm
+from repro.check.findings import CHECKER_VERSION
+from repro.check.runner import ScheduleReport
+from repro.model.machine import MulticoreMachine
+
+#: Default cache directory, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro-check-cache"
+
+#: On-disk entry schema; bump on incompatible layout changes.
+CACHE_SCHEMA = 1
+
+#: Modules outside :mod:`repro.check` whose behaviour the cost analyzer
+#: proves against; their sources join the checker fingerprint.
+_ORACLE_MODULES = ("analysis/formulas.py", "model/bounds.py", "analysis/report.py")
+
+
+def _file_digest(path: Path) -> str:
+    try:
+        return hashlib.sha256(path.read_bytes()).hexdigest()
+    except OSError:
+        return "missing"
+
+
+def checker_fingerprint() -> str:
+    """Hash of the checker version, its sources and its oracle modules."""
+    package_root = Path(__file__).resolve().parent
+    repro_root = package_root.parent
+    digest = hashlib.sha256()
+    digest.update(f"checker-version:{CHECKER_VERSION}".encode())
+    for path in sorted(package_root.glob("*.py")):
+        digest.update(path.name.encode())
+        digest.update(_file_digest(path).encode())
+    for rel in _ORACLE_MODULES:
+        digest.update(rel.encode())
+        digest.update(_file_digest(repro_root / rel).encode())
+    return digest.hexdigest()
+
+
+def _algorithm_sources(cls: Type[MatmulAlgorithm]) -> List[Path]:
+    """Source files of every class in ``cls``'s MRO inside ``repro``."""
+    paths: List[Path] = []
+    seen = set()
+    for klass in cls.__mro__:
+        try:
+            source = inspect.getsourcefile(klass)
+        except TypeError:
+            source = None
+        if source is None or "repro" not in source:
+            continue
+        path = Path(source).resolve()
+        if path not in seen:
+            seen.add(path)
+            paths.append(path)
+    return paths
+
+
+class ReportCache:
+    """Content-addressed cell-report store for incremental checking."""
+
+    def __init__(self, root: Optional[Path] = None) -> None:
+        self.root = Path(root) if root is not None else Path(DEFAULT_CACHE_DIR)
+        self.checker_fp = checker_fingerprint()
+        self.hits = 0
+        self.misses = 0
+        self._source_digests: Dict[Path, str] = {}
+
+    def _source_digest(self, path: Path) -> str:
+        digest = self._source_digests.get(path)
+        if digest is None:
+            digest = _file_digest(path)
+            self._source_digests[path] = digest
+        return digest
+
+    def cell_key(
+        self,
+        cls: Type[MatmulAlgorithm],
+        machine: MulticoreMachine,
+        machine_label: str,
+        orders: Sequence[int],
+    ) -> str:
+        """Fingerprint of one algorithm × machine × orders cell."""
+        digest = hashlib.sha256()
+        digest.update(self.checker_fp.encode())
+        digest.update(cls.name.encode())
+        for path in _algorithm_sources(cls):
+            digest.update(self._source_digest(path).encode())
+        digest.update(machine_label.encode())
+        digest.update(repr(machine).encode())
+        digest.update(",".join(str(o) for o in orders).encode())
+        return digest.hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def load(self, key: str) -> Optional[List[ScheduleReport]]:
+        """Replay a cell's stored reports, or ``None`` on a cache miss."""
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if payload.get("schema") != CACHE_SCHEMA or payload.get("cell") != key:
+            self.misses += 1
+            return None
+        try:
+            reports = [ScheduleReport.from_dict(r) for r in payload["reports"]]
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        for report in reports:
+            report.cached = True
+        self.hits += 1
+        return reports
+
+    def store(self, key: str, reports: List[ScheduleReport]) -> None:
+        """Persist a cell's reports under its fingerprint."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": CACHE_SCHEMA,
+            "cell": key,
+            "reports": [r.to_dict() for r in reports],
+        }
+        self._path(key).write_text(
+            json.dumps(payload, indent=1), encoding="utf-8"
+        )
+
+    def stats(self) -> Tuple[int, int]:
+        """(cells replayed from cache, cells analyzed fresh)."""
+        return self.hits, self.misses

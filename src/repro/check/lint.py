@@ -46,6 +46,7 @@ def _finding(rule: str, message: str, filename: str, line: int) -> Finding:
         ERROR,
         f"{rule}: {message}",
         location=f"{filename}:{line}",
+        rule=f"lint/{rule}",
     )
 
 

@@ -40,7 +40,7 @@ def check_presence(
     """Prove the load schedule covers the compute schedule exactly."""
     out = FindingLimiter("presence", limit)
 
-    def add(severity: str, message: str, index: int) -> None:
+    def add(severity: str, message: str, index: int, rule: str) -> None:
         out.add(
             Finding(
                 "presence",
@@ -49,6 +49,7 @@ def check_presence(
                 algorithm=algorithm,
                 machine=machine,
                 event=index,
+                rule=rule,
             )
         )
 
@@ -62,7 +63,12 @@ def check_presence(
         if op == LOAD_S:
             key = ev[2]
             if key in shared:
-                add(WARNING, f"redundant shared load of {key_name(key)}", index)
+                add(
+                    WARNING,
+                    f"redundant shared load of {key_name(key)}",
+                    index,
+                    "presence/redundant-load",
+                )
             else:
                 shared[key] = False
         elif op == LOAD_D:
@@ -72,6 +78,7 @@ def check_presence(
                     ERROR,
                     f"core {core} loads {key_name(key)} absent from the shared cache",
                     index,
+                    "presence/load-absent",
                 )
             else:
                 shared[key] = True
@@ -80,6 +87,7 @@ def check_presence(
                     WARNING,
                     f"redundant distributed load of {key_name(key)} on core {core}",
                     index,
+                    "presence/redundant-load",
                 )
             else:
                 dist[core][key] = False
@@ -92,6 +100,7 @@ def check_presence(
                     f"evicting {key_name(key)} from the shared cache while "
                     f"core(s) {holders} still hold it",
                     index,
+                    "presence/inclusion",
                 )
             used = shared.pop(key, None)
             if used is None:
@@ -99,9 +108,15 @@ def check_presence(
                     ERROR,
                     f"spurious shared eviction of {key_name(key)} (not resident)",
                     index,
+                    "presence/spurious-evict",
                 )
             elif not used:
-                add(WARNING, f"dead shared load of {key_name(key)}", index)
+                add(
+                    WARNING,
+                    f"dead shared load of {key_name(key)}",
+                    index,
+                    "presence/dead-load",
+                )
         elif op == EVICT_D:
             core, key = ev[1], ev[2]
             used = dist[core].pop(key, None)
@@ -111,12 +126,14 @@ def check_presence(
                     f"spurious distributed eviction of {key_name(key)} "
                     f"on core {core} (not resident)",
                     index,
+                    "presence/spurious-evict",
                 )
             elif not used:
                 add(
                     WARNING,
                     f"dead distributed load of {key_name(key)} on core {core}",
                     index,
+                    "presence/dead-load",
                 )
             if key in dirty[core]:
                 # Write-back into the shared copy counts as a use of it.
@@ -136,6 +153,7 @@ def check_presence(
                         f"compute on core {core} touches {key_name(key)} which "
                         "is not resident in its distributed cache",
                         index,
+                        "presence/absent-operand",
                     )
             dirty[core].add(ckey)
 
@@ -147,6 +165,7 @@ def check_presence(
                 f"{key_name(key)} still resident in core {core}'s cache "
                 "when the schedule ends",
                 end,
+                "presence/leaked-resident",
             )
     for key in shared:
         add(
@@ -154,5 +173,6 @@ def check_presence(
             f"{key_name(key)} still resident in the shared cache "
             "when the schedule ends",
             end,
+            "presence/leaked-resident",
         )
     return out.results()

@@ -82,6 +82,9 @@ def check_races(
                         algorithm=algorithm,
                         machine=machine,
                         event=index,
+                        rule=(
+                            "race/write-write" if write else "race/read-write"
+                        ),
                     )
                 )
         elif write:
@@ -101,6 +104,7 @@ def check_races(
                             algorithm=algorithm,
                             machine=machine,
                             event=index,
+                            rule="race/read-write",
                         )
                     )
         (writers if write else readers).add(core)

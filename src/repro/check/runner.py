@@ -5,16 +5,37 @@ spans the registered algorithm × machine-preset matrix the way the
 experiment harness does, choosing per-cell matrix orders that exercise
 both the evenly-tiled and the ragged-edge paths of each schedule while
 staying in static-analysis (not simulation) territory time-wise.
+
+Cells with no feasible parameters on a machine (e.g. a non-square core
+grid for Algorithm 2) are not silently dropped: they come back as
+``status="skipped"`` reports carrying the reason, so a consumer (CI,
+``--json``) can tell an intentionally sparse matrix from an
+accidentally empty one.  Pass a
+:class:`~repro.check.incremental.ReportCache` to reuse the reports of
+cells whose inputs (algorithm source, machine, orders, checker
+version) have not changed.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Type
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+)
 
 from repro.algorithms.base import MatmulAlgorithm
 from repro.algorithms.registry import algorithm_names, get_algorithm
 from repro.check.capacity import check_capacity, check_parameters, working_set_peaks
+from repro.check.cost import check_cost
 from repro.check.coverage import check_coverage
 from repro.check.events import AnalysisContext
 from repro.check.findings import ERROR, Finding
@@ -22,6 +43,13 @@ from repro.check.presence import check_presence
 from repro.check.races import check_races
 from repro.exceptions import ReproError
 from repro.model.machine import PRESETS, MulticoreMachine
+
+if TYPE_CHECKING:  # imported lazily to keep runner import-light
+    from repro.check.incremental import ReportCache
+
+#: ``status`` values a :class:`ScheduleReport` can carry.
+ANALYZED = "analyzed"
+SKIPPED = "skipped"
 
 
 @dataclass
@@ -38,6 +66,10 @@ class ScheduleReport:
     peak_shared: int
     peak_dist: List[int]
     findings: List[Finding] = field(default_factory=list)
+    status: str = ANALYZED
+    skip_reason: str = ""
+    elapsed_s: float = 0.0
+    cached: bool = False
 
     @property
     def errors(self) -> int:
@@ -47,10 +79,15 @@ class ScheduleReport:
     def ok(self) -> bool:
         return self.errors == 0
 
+    @property
+    def skipped(self) -> bool:
+        return self.status == SKIPPED
+
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out: Dict[str, Any] = {
             "algorithm": self.algorithm,
             "machine": self.machine,
+            "status": self.status,
             "m": self.m,
             "n": self.n,
             "z": self.z,
@@ -58,8 +95,51 @@ class ScheduleReport:
             "computes": self.computes,
             "peak_shared": self.peak_shared,
             "peak_dist": list(self.peak_dist),
+            "elapsed_s": round(self.elapsed_s, 6),
             "findings": [f.to_dict() for f in self.findings],
         }
+        if self.skip_reason:
+            out["skip_reason"] = self.skip_reason
+        if self.cached:
+            out["cached"] = True
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ScheduleReport":
+        """Rebuild a report from :meth:`to_dict` output (cache replay)."""
+        return cls(
+            algorithm=str(data["algorithm"]),
+            machine=str(data["machine"]),
+            m=int(data["m"]),
+            n=int(data["n"]),
+            z=int(data["z"]),
+            events=int(data["events"]),
+            computes=int(data["computes"]),
+            peak_shared=int(data["peak_shared"]),
+            peak_dist=[int(d) for d in data["peak_dist"]],
+            findings=[Finding.from_dict(f) for f in data["findings"]],
+            status=str(data.get("status", ANALYZED)),
+            skip_reason=str(data.get("skip_reason", "")),
+            elapsed_s=float(data.get("elapsed_s", 0.0)),
+        )
+
+
+def _skipped_report(
+    algorithm: str, machine: str, order: int, reason: str
+) -> ScheduleReport:
+    return ScheduleReport(
+        algorithm=algorithm,
+        machine=machine,
+        m=order,
+        n=order,
+        z=order,
+        events=0,
+        computes=0,
+        peak_shared=0,
+        peak_dist=[],
+        status=SKIPPED,
+        skip_reason=reason,
+    )
 
 
 def analyze_schedule(
@@ -70,11 +150,12 @@ def analyze_schedule(
 ) -> ScheduleReport:
     """Record ``alg``'s schedule symbolically and run every analyzer.
 
-    Capacity and presence checking apply only to schedules that carry
-    explicit directives (``supports_ideal``); coverage and race
+    Capacity, presence and cost checking apply only to schedules that
+    carry explicit directives (``supports_ideal``); coverage and race
     detection always apply — a compute-only schedule is one concurrent
     epoch, so disjoint ``C`` ownership is still proved.
     """
+    started = time.perf_counter()
     machine = alg.machine
     label = machine_label or machine.name or f"p={machine.p},cs={machine.cs},cd={machine.cd}"
     ctx = AnalysisContext(machine.p)
@@ -86,6 +167,7 @@ def analyze_schedule(
     if ctx.directives:
         findings += check_capacity(events, machine.cs, machine.cd, machine.p, **common)
         findings += check_presence(events, machine.p, **common)
+        findings += check_cost(alg, events, machine=label, limit=limit)
     findings += check_coverage(events, alg.m, alg.n, alg.z, **common)
     findings += check_races(events, machine.p, **common)
 
@@ -101,6 +183,7 @@ def analyze_schedule(
         peak_shared=peak_shared,
         peak_dist=peak_dist,
         findings=findings,
+        elapsed_s=time.perf_counter() - started,
     )
 
 
@@ -139,14 +222,16 @@ def check_all(
     *,
     orders: Optional[Sequence[int]] = None,
     limit: int = 25,
+    cache: Optional["ReportCache"] = None,
 ) -> List[ScheduleReport]:
     """Analyze every algorithm × machine cell; returns one report each.
 
     Cells whose parameters are infeasible on a machine (e.g. a
-    non-square core grid for Algorithm 2) are skipped, mirroring the
-    experiment harness.  A cell that *raises* mid-schedule is reported
-    as a single ``schedule`` error finding rather than aborting the
-    sweep.
+    non-square core grid for Algorithm 2) come back as ``skipped``
+    reports rather than disappearing.  A cell that *raises*
+    mid-schedule is reported as a single ``schedule`` error finding
+    rather than aborting the sweep.  With ``cache`` set, unchanged
+    cells replay their stored reports instead of re-analyzing.
     """
     if algorithms is None:
         algorithms = algorithm_names(include_extras=True)
@@ -158,17 +243,28 @@ def check_all(
         for key, machine in machines.items():
             try:
                 cell_orders = tuple(orders) if orders else suggested_orders(cls, machine)
-            except ReproError:
+            except ReproError as exc:
+                reports.append(_skipped_report(name, key, 0, str(exc)))
                 continue  # no feasible parameters on this machine
+            if cache is not None:
+                cell_key = cache.cell_key(cls, machine, key, cell_orders)
+                cached = cache.load(cell_key)
+                if cached is not None:
+                    reports.extend(cached)
+                    continue
+            cell_reports: List[ScheduleReport] = []
             for order in cell_orders:
                 try:
                     alg = cls(machine, order, order, order)
-                except ReproError:
+                except ReproError as exc:
+                    cell_reports.append(_skipped_report(name, key, order, str(exc)))
                     continue
                 try:
-                    reports.append(analyze_schedule(alg, machine_label=key, limit=limit))
+                    cell_reports.append(
+                        analyze_schedule(alg, machine_label=key, limit=limit)
+                    )
                 except ReproError as exc:
-                    reports.append(
+                    cell_reports.append(
                         ScheduleReport(
                             algorithm=name,
                             machine=key,
@@ -186,8 +282,12 @@ def check_all(
                                     f"schedule raised while recording: {exc}",
                                     algorithm=name,
                                     machine=key,
+                                    rule="schedule/raised",
                                 )
                             ],
                         )
                     )
+            if cache is not None:
+                cache.store(cell_key, cell_reports)
+            reports.extend(cell_reports)
     return reports

@@ -1,0 +1,162 @@
+"""SARIF 2.1.0 export so checker findings annotate code on GitHub.
+
+The Static Analysis Results Interchange Format is what GitHub code
+scanning (and most editors) ingest: one ``run`` per tool, a ``rules``
+catalogue, and per-finding ``results`` carrying a level, a message, a
+physical location and stable ``partialFingerprints``.  We map:
+
+* lint findings → their recorded ``path:line``;
+* schedule findings (capacity, presence, coverage, race, cost,
+  schedule) → line 1 of the source file defining the offending
+  algorithm class, which is where a human starts reading anyway;
+* :meth:`Finding.fingerprint` → ``partialFingerprints`` under the
+  ``reproCheck/v1`` key, so GitHub tracks a finding's identity across
+  pushes exactly like the baseline file does.
+
+Only the subset of SARIF that code scanning consumes is emitted; the
+document validates against the 2.1.0 schema.
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.check.findings import CHECKER_VERSION, ERROR, Finding
+
+#: The canonical 2.1.0 schema URI GitHub validates against.
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+SARIF_VERSION = "2.1.0"
+
+#: Rule id → short description, for the driver's rule catalogue.
+RULE_DESCRIPTIONS: Dict[str, str] = {
+    "capacity/ws-overflow": "Explicit working set exceeds a cache capacity",
+    "capacity/param-constraint": "Tile parameters violate a paper-§3 cache constraint",
+    "presence/load-absent": "Distributed load of a block absent from the shared cache",
+    "presence/inclusion": "Shared eviction while a core still holds the block",
+    "presence/spurious-evict": "Eviction of a non-resident block",
+    "presence/absent-operand": "Compute touches a block absent from the core's cache",
+    "presence/redundant-load": "Load of an already-resident block",
+    "presence/dead-load": "Block loaded and evicted without a single use",
+    "presence/leaked-resident": "Block still resident when the schedule ends",
+    "coverage/wrong-matrix": "Compute operands drawn from the wrong matrices",
+    "coverage/inconsistent-update": "Update coordinates are not C[i,j] += A[i,k]*B[k,j]",
+    "coverage/out-of-space": "Update outside the m*n*z iteration space",
+    "coverage/duplicate-update": "Update emitted more than once",
+    "coverage/missing-update": "C cell accumulated fewer than z contributions",
+    "race/write-write": "Two cores write one block in the same epoch",
+    "race/read-write": "A core reads a block another core concurrently writes",
+    "cost/formula-mismatch": "Counted misses contradict the closed-form prediction",
+    "cost/formula-ratio": "Counted misses leave the ragged-tile envelope of the formula",
+    "cost/below-lower-bound": "Counted misses beat the Loomis-Whitney lower bound",
+    "cost/tdata-mismatch": "Tdata from counted misses disagrees with the prediction",
+    "schedule/raised": "Schedule raised while being recorded",
+    "lint/explicit-guard": "Cache directive not wrapped in 'if ctx.explicit'",
+    "lint/unregistered-algorithm": "Concrete schedule missing from the registry",
+    "lint/mutable-default": "Mutable default argument",
+    "lint/float-equality": "Equality comparison on a floating-point Tdata value",
+    "lint/syntax": "Source file does not parse",
+}
+
+
+def _relativize(path: str, root: Path) -> str:
+    """URI for a source path, repo-relative when possible."""
+    try:
+        return Path(path).resolve().relative_to(root).as_posix()
+    except ValueError:
+        return Path(path).as_posix()
+
+
+def _algorithm_location(algorithm: str, root: Path) -> Tuple[str, int]:
+    """``(uri, line)`` of the module defining a registered algorithm."""
+    from repro.algorithms.registry import get_algorithm
+    from repro.exceptions import ReproError
+
+    try:
+        cls = get_algorithm(algorithm)
+        source = inspect.getsourcefile(cls)
+    except (ReproError, TypeError):
+        source = None
+    if source is None:
+        return "src/repro/check/runner.py", 1
+    return _relativize(source, root), 1
+
+
+def _finding_location(finding: Finding, root: Path) -> Tuple[str, int]:
+    if finding.location:
+        path, _, line = finding.location.rpartition(":")
+        if path and line.isdigit():
+            return _relativize(path, root), max(int(line), 1)
+        return _relativize(finding.location, root), 1
+    if finding.algorithm:
+        return _algorithm_location(finding.algorithm, root)
+    return "src/repro/check/runner.py", 1
+
+
+def _result(finding: Finding, root: Path) -> Dict[str, Any]:
+    uri, line = _finding_location(finding, root)
+    message = finding.message
+    if finding.algorithm:
+        where = finding.algorithm + (f" @ {finding.machine}" if finding.machine else "")
+        message = f"[{where}] {message}"
+    return {
+        "ruleId": finding.rule_id,
+        "level": "error" if finding.severity == ERROR else "warning",
+        "message": {"text": message},
+        "partialFingerprints": {"reproCheck/v1": finding.fingerprint()},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": uri},
+                    "region": {"startLine": line},
+                }
+            }
+        ],
+    }
+
+
+def to_sarif(
+    findings: Sequence[Finding], *, root: Optional[Path] = None
+) -> Dict[str, Any]:
+    """Render findings as a single-run SARIF 2.1.0 document."""
+    base = (root or Path.cwd()).resolve()
+    rule_ids = sorted({f.rule_id for f in findings} | set(RULE_DESCRIPTIONS))
+    rules: List[Dict[str, Any]] = [
+        {
+            "id": rule_id,
+            "shortDescription": {
+                "text": RULE_DESCRIPTIONS.get(rule_id, rule_id)
+            },
+        }
+        for rule_id in rule_ids
+    ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-mmm-check",
+                        "informationUri": "https://example.invalid/repro-mmm",
+                        "version": f"{CHECKER_VERSION}.0.0",
+                        "rules": rules,
+                    }
+                },
+                "results": [_result(f, base) for f in findings],
+            }
+        ],
+    }
+
+
+def write_sarif(
+    path: Path, findings: Sequence[Finding], *, root: Optional[Path] = None
+) -> None:
+    """Serialize :func:`to_sarif` output to ``path``."""
+    document = to_sarif(findings, root=root)
+    path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")

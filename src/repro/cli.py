@@ -208,30 +208,64 @@ def _cmd_lu(args: argparse.Namespace) -> int:
 
 def _cmd_check(args: argparse.Namespace) -> int:
     import json
+    from pathlib import Path
 
-    from repro.check.findings import ERROR
+    from repro.check.baseline import apply_baseline, load_baseline, write_baseline
+    from repro.check.findings import CHECKER_VERSION, ERROR
+    from repro.check.incremental import ReportCache
     from repro.check.lint import run_lint
     from repro.check.runner import check_all
+    from repro.check.sarif import write_sarif
 
     algorithms = args.algorithm or None
     machines = None
     if args.machine:
         machines = {key: preset(key) for key in args.machine}
-    reports = check_all(algorithms, machines, orders=args.orders or None)
+    cache = ReportCache(Path(args.cache_dir)) if args.incremental else None
+    reports = check_all(
+        algorithms, machines, orders=args.orders or None, cache=cache
+    )
     lint_findings = run_lint() if args.lint else []
 
     findings = [f for r in reports for f in r.findings] + lint_findings
+
+    if args.write_baseline:
+        count = write_baseline(Path(args.write_baseline), findings)
+        print(f"wrote {count} suppression(s) to {args.write_baseline}")
+        return 0
+
+    baselined: List[Any] = []
+    if args.baseline:
+        suppressed = load_baseline(Path(args.baseline))
+        findings, baselined = apply_baseline(findings, suppressed)
+
     errors = sum(1 for f in findings if f.severity == ERROR)
     warnings = len(findings) - errors
+
+    if args.sarif:
+        write_sarif(Path(args.sarif), findings)
+
+    analyzed = [r for r in reports if not r.skipped]
+    skipped = [r for r in reports if r.skipped]
+    cached = sum(1 for r in reports if r.cached)
 
     if args.json:
         print(
             json.dumps(
                 {
+                    "schema": 2,
+                    "checker_version": CHECKER_VERSION,
                     "reports": [r.to_dict() for r in reports],
                     "lint": [f.to_dict() for f in lint_findings],
                     "errors": errors,
                     "warnings": warnings,
+                    "suppressed": len(baselined),
+                    "cells": {
+                        "analyzed": len(analyzed),
+                        "skipped": len(skipped),
+                        "cached": cached,
+                    },
+                    "elapsed_s": round(sum(r.elapsed_s for r in reports), 6),
                 },
                 indent=2,
             )
@@ -239,13 +273,20 @@ def _cmd_check(args: argparse.Namespace) -> int:
     else:
         for finding in findings:
             print(finding.render())
-        cells = len(reports)
-        checked = sum(1 for r in reports if r.ok)
-        print(
-            f"check: {cells} schedule cells analyzed, {checked} clean; "
+        clean = sum(1 for r in analyzed if r.ok)
+        summary = (
+            f"check: {len(analyzed)} schedule cells analyzed, {clean} clean; "
             f"{errors} error(s), {warnings} warning(s)"
-            + (f"; lint over repro sources: {len(lint_findings)} finding(s)" if args.lint else "")
         )
+        if skipped:
+            summary += f"; {len(skipped)} infeasible cell(s) skipped"
+        if cache is not None:
+            summary += f"; {cached} cell report(s) from cache"
+        if baselined:
+            summary += f"; {len(baselined)} finding(s) suppressed by baseline"
+        if args.lint:
+            summary += f"; lint over repro sources: {len(lint_findings)} finding(s)"
+        print(summary)
     return 1 if errors else 0
 
 
@@ -338,7 +379,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--lint", action="store_true", help="also run the AST lint pass"
     )
     p_check.add_argument(
-        "--json", action="store_true", help="machine-readable output"
+        "--json", action="store_true", help="machine-readable output (schema 2)"
+    )
+    p_check.add_argument(
+        "--incremental",
+        action="store_true",
+        help="reuse cached reports for unchanged cells",
+    )
+    p_check.add_argument(
+        "--cache-dir",
+        default=".repro-check-cache",
+        help="incremental report cache directory",
+    )
+    p_check.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="suppress findings fingerprinted in this baseline file",
+    )
+    p_check.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="PATH",
+        help="write current findings as the new baseline and exit",
+    )
+    p_check.add_argument(
+        "--sarif",
+        default=None,
+        metavar="PATH",
+        help="export findings as SARIF 2.1.0 (GitHub code scanning)",
     )
     p_check.set_defaults(func=_cmd_check)
 

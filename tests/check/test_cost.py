@@ -1,0 +1,218 @@
+"""Cost-conformance analyzer: counting soundness and violation detection.
+
+Three layers of evidence:
+
+* a hypothesis property proving :func:`count_costs` over the recorded
+  event log equals the checked IDEAL simulator's ``MS``/``MD`` integer
+  for integer, on random small orders (evenly tiled and ragged) across
+  every algorithm with a closed form;
+* seeded violations — a perturbed formula (the ``mn`` term dropped
+  from shared-opt's ``MS``) and a schedule whose counts beat the
+  Loomis–Whitney bound — each caught as an error;
+* the clean complement: real schedules produce zero cost findings.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.analysis.formulas as formulas
+from repro.algorithms.base import ExecutionContext, MatmulAlgorithm
+from repro.algorithms.registry import get_algorithm
+from repro.analysis.formulas import FORMULAS, PredictedCounts, divisibility_ok, predict
+from repro.check import AnalysisContext, analyze_schedule, check_cost, count_costs
+from repro.check.cost import CountedCosts
+from repro.check.events import COMPUTE, EVICT_S, LOAD_D, LOAD_S
+from repro.model.machine import MulticoreMachine
+from repro.sim.runner import run_experiment
+
+MACHINE = MulticoreMachine(p=4, cs=100, cd=21, q=8)
+
+FORMULA_ALGS = sorted(FORMULAS)
+
+
+def _tile_side(name: str) -> int:
+    """The natural tile side of ``name`` on :data:`MACHINE`."""
+    probe = get_algorithm(name)(MACHINE, 1, 1, 1)
+    params: Dict[str, Any] = probe.parameters()
+    sides = [
+        v
+        for k, v in params.items()
+        if k in ("lambda", "tile", "alpha", "t", "grid") and isinstance(v, int)
+    ]
+    return max(sides) if sides else 1
+
+
+def _recorded_counts(name: str, m: int, n: int, z: int) -> CountedCosts:
+    ctx = AnalysisContext(MACHINE.p)
+    get_algorithm(name)(MACHINE, m, n, z).run(ctx)
+    return count_costs(ctx.events, MACHINE.p)
+
+
+class TestCountingSoundness:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        name=st.sampled_from(FORMULA_ALGS),
+        dims=st.tuples(
+            st.integers(1, 12), st.integers(1, 12), st.integers(1, 12)
+        ),
+        snap=st.booleans(),
+        double=st.booleans(),
+    )
+    def test_counted_equals_ideal_simulation(self, name, dims, snap, double):
+        """Symbolic distinct-block counting == checked IDEAL simulation.
+
+        ``snap`` rounds the drawn dims to tile multiples so both the
+        evenly-tiled (exact-formula) and ragged paths are exercised.
+        """
+        m, n, z = dims
+        if snap:
+            tile = _tile_side(name)
+            factor = 2 if (double and tile <= 9) else 1
+            m, n, z = (tile * factor,) * 3
+        counted = _recorded_counts(name, m, n, z)
+        result = run_experiment(name, MACHINE, m, n, z, "ideal", check=True)
+        assert counted.ms == result.ms
+        assert counted.md_max == result.md
+
+    @pytest.mark.parametrize("name", FORMULA_ALGS)
+    def test_counted_matches_formula_on_divisible_orders(self, name):
+        # Smallest multi-tile order satisfying the exactness conditions
+        # (distributed-equal additionally needs p | n/t, hence the scan).
+        tile = _tile_side(name)
+        order = next(
+            k * tile
+            for k in range(2, 10)
+            if divisibility_ok(get_algorithm(name)(MACHINE, k * tile, k * tile, k * tile))
+        )
+        alg = get_algorithm(name)(MACHINE, order, order, order)
+        counted = _recorded_counts(name, order, order, order)
+        predicted = predict(alg)
+        assert counted.ms == predicted.ms
+        assert counted.md_max == predicted.md
+
+    def test_redundant_loads_and_evictions_tracked(self):
+        # Load twice (one MS), evict, load again (second MS).
+        events = [
+            (LOAD_S, -1, 7),
+            (LOAD_S, -1, 7),
+            (EVICT_S, -1, 7),
+            (LOAD_S, -1, 7),
+            (LOAD_D, 0, 7),
+            (LOAD_D, 0, 7),
+            (LOAD_D, 1, 7),
+        ]
+        counted = count_costs(events, p=2)
+        assert counted.ms == 2
+        assert counted.md == (1, 1)
+        assert counted.md_max == 1
+
+    def test_empty_log_counts_zero(self):
+        counted = count_costs([], p=0)
+        assert counted.ms == 0
+        assert counted.md_max == 0
+
+    def test_counted_tdata_prices_like_predictions(self):
+        machine = MulticoreMachine(p=2, cs=50, cd=10, sigma_s=2.0, sigma_d=0.5)
+        counted = CountedCosts(ms=100, md=(40, 30))
+        assert counted.tdata(machine) == pytest.approx(100 / 2.0 + 40 / 0.5)
+        assert counted.tdata(machine) == pytest.approx(
+            PredictedCounts(ms=100.0, md=40.0).tdata(machine)
+        )
+
+
+class TestCleanSchedules:
+    @pytest.mark.parametrize("name", FORMULA_ALGS)
+    def test_no_findings_on_real_schedules(self, name, quad):
+        for order in (8, 13):
+            alg = get_algorithm(name)(quad, order, order, order)
+            ctx = AnalysisContext(quad.p)
+            alg.run(ctx)
+            found = check_cost(alg, ctx.events, machine="quad")
+            assert found == [], [f.render() for f in found]
+
+
+class TestSeededViolations:
+    def test_perturbed_formula_is_caught(self, quad, monkeypatch):
+        """Dropping the ``mn`` term from shared-opt's MS must be flagged.
+
+        This is the analyzer's reason to exist: a silent edit to a
+        closed form that no longer matches the recorded schedule is a
+        hard error on divisible orders.
+        """
+
+        def broken(alg: MatmulAlgorithm) -> PredictedCounts:
+            m, n, z, p = alg.m, alg.n, alg.z, alg.machine.p
+            lam = alg.lam  # type: ignore[attr-defined]
+            ms = 2 * m * n * z / lam  # mn term dropped
+            md = (m * n * z / lam) * (1 + 2 * math.ceil(lam / p))
+            return PredictedCounts(ms=ms, md=md)
+
+        monkeypatch.setitem(formulas.FORMULAS, "shared-opt", broken)
+        alg = get_algorithm("shared-opt")(quad, 18, 18, 18)  # lambda=9 divides
+        assert divisibility_ok(alg)
+        report = analyze_schedule(alg, machine_label="quad")
+        assert not report.ok
+        rules = {f.rule_id for f in report.findings}
+        assert "cost/formula-mismatch" in rules
+        mismatch = next(
+            f for f in report.findings if f.rule_id == "cost/formula-mismatch"
+        )
+        assert mismatch.severity == "error"
+        assert "MS" in mismatch.message
+
+    def test_perturbed_md_formula_is_caught(self, quad, monkeypatch):
+        def broken(alg: MatmulAlgorithm) -> PredictedCounts:
+            good = formulas._shared_opt(alg)
+            return PredictedCounts(ms=good.ms, md=good.md + 1)
+
+        monkeypatch.setitem(formulas.FORMULAS, "shared-opt", broken)
+        alg = get_algorithm("shared-opt")(quad, 18, 18, 18)
+        found = check_cost(alg, _events_of(alg), machine="quad")
+        assert any(
+            f.rule_id == "cost/formula-mismatch" and "MD" in f.message
+            for f in found
+        )
+
+    def test_below_lower_bound_is_caught(self, quad):
+        """A log claiming almost no traffic for a big product is unsound."""
+
+        class Cheat(MatmulAlgorithm):
+            name = "abstract"  # no registered closed form
+
+            def parameters(self) -> Dict[str, Any]:
+                return {}
+
+            def run(self, ctx: ExecutionContext) -> None:  # pragma: no cover
+                pass
+
+        alg = Cheat(quad, 64, 64, 64)
+        events = [(LOAD_S, -1, 1), (LOAD_D, 0, 1), (COMPUTE, 0, 1, 1, 1)]
+        found = check_cost(alg, events, machine="quad")
+        rules = [f.rule_id for f in found]
+        assert rules.count("cost/below-lower-bound") == 2  # MS and MD
+        assert all(f.severity == "error" for f in found)
+
+    def test_ragged_envelope_violation_is_caught(self, quad, monkeypatch):
+        """Off by orders of magnitude on ragged tiles is still an error."""
+
+        def wild(alg: MatmulAlgorithm) -> PredictedCounts:
+            return PredictedCounts(ms=10**9, md=10**9)
+
+        monkeypatch.setitem(formulas.FORMULAS, "shared-opt", wild)
+        alg = get_algorithm("shared-opt")(quad, 13, 13, 13)  # ragged: 13 % 9
+        assert not divisibility_ok(alg)
+        found = check_cost(alg, _events_of(alg), machine="quad")
+        assert {f.rule_id for f in found} == {"cost/formula-ratio"}
+        assert len(found) == 2  # MS and MD both leave the envelope
+
+
+def _events_of(alg: MatmulAlgorithm):
+    ctx = AnalysisContext(alg.machine.p)
+    alg.run(ctx)
+    return ctx.events

@@ -1,0 +1,105 @@
+"""Incremental checking: cache hits replay, any input change invalidates."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro.check.incremental as incremental
+from repro.algorithms.registry import get_algorithm
+from repro.check import ReportCache, check_all
+from repro.check.incremental import checker_fingerprint
+from repro.model.machine import MulticoreMachine
+
+MACHINE = MulticoreMachine(p=4, cs=100, cd=21, q=8)
+
+
+def _sweep(cache: ReportCache):
+    return check_all(["shared-opt"], {"quad": MACHINE}, orders=[9], cache=cache)
+
+
+class TestReportCache:
+    def test_cold_then_warm(self, tmp_path: Path) -> None:
+        cache = ReportCache(tmp_path / "cache")
+        cold = _sweep(cache)
+        assert cache.stats() == (0, 1)
+        assert [r.cached for r in cold] == [False]
+        assert list((tmp_path / "cache").glob("*.json")), "cell not persisted"
+
+        warm_cache = ReportCache(tmp_path / "cache")
+        warm = _sweep(warm_cache)
+        assert warm_cache.stats() == (1, 0)
+        assert [r.cached for r in warm] == [True]
+        assert warm[0].to_dict()["cached"] is True
+        # Replay is verbatim: same verdict, counts and findings.
+        assert warm[0].findings == cold[0].findings
+        assert (warm[0].events, warm[0].computes) == (
+            cold[0].events,
+            cold[0].computes,
+        )
+
+    def test_cell_key_depends_on_every_input(self, tmp_path: Path) -> None:
+        cache = ReportCache(tmp_path)
+        cls = get_algorithm("shared-opt")
+        base = cache.cell_key(cls, MACHINE, "quad", (9,))
+        assert cache.cell_key(cls, MACHINE, "quad", (9,)) == base
+        assert cache.cell_key(cls, MACHINE, "quad", (9, 12)) != base
+        assert cache.cell_key(cls, MACHINE, "other", (9,)) != base
+        bigger = MulticoreMachine(p=4, cs=200, cd=21, q=8)
+        assert cache.cell_key(cls, bigger, "quad", (9,)) != base
+        other_cls = get_algorithm("outer-product")
+        assert cache.cell_key(other_cls, MACHINE, "quad", (9,)) != base
+
+    def test_checker_version_bump_invalidates(
+        self, tmp_path: Path, monkeypatch: pytest.MonkeyPatch
+    ) -> None:
+        cache = ReportCache(tmp_path / "cache")
+        _sweep(cache)
+        monkeypatch.setattr(incremental, "CHECKER_VERSION", 999)
+        bumped = ReportCache(tmp_path / "cache")
+        assert bumped.checker_fp != cache.checker_fp
+        bumped_reports = _sweep(bumped)
+        assert bumped.stats() == (0, 1)  # miss: key changed, re-analyzed
+        assert [r.cached for r in bumped_reports] == [False]
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path: Path) -> None:
+        root = tmp_path / "cache"
+        cache = ReportCache(root)
+        _sweep(cache)
+        for path in root.glob("*.json"):
+            path.write_text("garbage {")
+        again = ReportCache(root)
+        reports = _sweep(again)
+        assert again.stats() == (0, 1)
+        assert [r.cached for r in reports] == [False]
+
+    def test_tampered_cell_key_is_a_miss(self, tmp_path: Path) -> None:
+        # Content addressing: an entry claiming the wrong cell never replays.
+        root = tmp_path / "cache"
+        cache = ReportCache(root)
+        _sweep(cache)
+        (path,) = root.glob("*.json")
+        payload = json.loads(path.read_text())
+        payload["cell"] = "0" * 64
+        path.write_text(json.dumps(payload))
+        again = ReportCache(root)
+        _sweep(again)
+        assert again.stats() == (0, 1)
+
+    def test_fingerprint_is_stable_within_a_tree(self) -> None:
+        assert checker_fingerprint() == checker_fingerprint()
+
+    def test_skipped_cells_cache_too(self, tmp_path: Path) -> None:
+        hexa = MulticoreMachine(p=6, cs=120, cd=16, q=8)
+        cache = ReportCache(tmp_path / "cache")
+        cold = check_all(["distributed-opt"], {"hex": hexa}, orders=[8], cache=cache)
+        assert [r.skipped for r in cold] == [True]
+        warm_cache = ReportCache(tmp_path / "cache")
+        warm = check_all(
+            ["distributed-opt"], {"hex": hexa}, orders=[8], cache=warm_cache
+        )
+        assert warm_cache.stats() == (1, 0)
+        assert [r.skipped for r in warm] == [True]
+        assert warm[0].skip_reason == cold[0].skip_reason

@@ -84,6 +84,20 @@ class TestAnalyzeSchedule:
         assert d["algorithm"] == "cannon"
         assert d["machine"] == "quad"
         assert d["findings"] == []
+        assert d["status"] == "analyzed"
+        assert d["elapsed_s"] > 0  # per-cell wall time is recorded
+        assert "skip_reason" not in d and "cached" not in d
+
+    def test_report_round_trips_through_dict(self, quad):
+        cls = get_algorithm("shared-opt")
+        report = analyze_schedule(cls(quad, 9, 9, 9), machine_label="quad")
+        rebuilt = ScheduleReport.from_dict(report.to_dict())
+        assert rebuilt.algorithm == report.algorithm
+        assert rebuilt.machine == report.machine
+        assert (rebuilt.m, rebuilt.n, rebuilt.z) == (9, 9, 9)
+        assert rebuilt.computes == report.computes
+        assert rebuilt.peak_dist == report.peak_dist
+        assert rebuilt.findings == report.findings
 
 
 class TestCheckAll:
@@ -103,14 +117,39 @@ class TestCheckAll:
         assert (reports[0].algorithm, reports[0].machine) == ("shared-opt", "q32")
         assert (reports[0].m, reports[0].n, reports[0].z) == (7, 7, 7)
 
-    def test_infeasible_cells_skipped(self):
+    def test_infeasible_cells_reported_as_skipped(self):
         # 6 cores is not a square grid: distributed-opt has no feasible
-        # parameters there and the cell must be skipped, not reported.
+        # parameters there.  The cell must come back as an explicit
+        # skipped report (not vanish), carrying the reason and no
+        # findings, so a consumer can tell sparse from empty.
         from repro.model.machine import MulticoreMachine
 
         machine = MulticoreMachine(p=6, cs=120, cd=16, q=8)
         reports = check_all(["distributed-opt"], {"hex": machine})
-        assert reports == []
+        assert len(reports) == 1
+        (report,) = reports
+        assert report.skipped
+        assert report.status == "skipped"
+        assert report.skip_reason
+        assert report.findings == []
+        assert report.ok  # skipping is not an error
+        d = report.to_dict()
+        assert d["status"] == "skipped"
+        assert d["skip_reason"] == report.skip_reason
+
+    def test_skipped_cells_do_not_hide_analyzed_ones(self):
+        # Same sweep over two machines: the square grid analyzes, the
+        # non-square one skips; both appear.
+        from repro.model.machine import MulticoreMachine
+
+        machines = {
+            "hex": MulticoreMachine(p=6, cs=120, cd=16, q=8),
+            "quad": MulticoreMachine(p=4, cs=100, cd=21, q=8),
+        }
+        reports = check_all(["distributed-opt"], machines)
+        by_status = {r.machine: r.skipped for r in reports}
+        assert by_status["hex"] is True
+        assert by_status["quad"] is False
 
 
 class TestSuggestedOrders:

@@ -168,6 +168,75 @@ class TestCheck:
         with pytest.raises(SystemExit):
             main(["check", "--algorithm", "nope"])
 
+    def test_json_schema_versioned_with_cell_accounting(self, capsys):
+        code = main(
+            ["check", "--algorithm", "cannon", "--machine", "q32",
+             "--orders", "4", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == 2
+        assert payload["checker_version"] == 2
+        assert payload["cells"] == {"analyzed": 1, "skipped": 0, "cached": 0}
+        assert payload["suppressed"] == 0
+        assert payload["elapsed_s"] > 0
+        report = payload["reports"][0]
+        assert report["status"] == "analyzed"
+        assert report["elapsed_s"] > 0
+
+    def test_json_cell_accounting_consistent_on_full_matrix(self, capsys):
+        # analyzed + skipped must partition the reports, and skipped
+        # entries must carry a reason and no findings.
+        code = main(["check", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        cells = payload["cells"]
+        assert cells["analyzed"] + cells["skipped"] == len(payload["reports"])
+        for report in payload["reports"]:
+            if report["status"] == "skipped":
+                assert report["skip_reason"]
+                assert report["findings"] == []
+
+    def test_sarif_export(self, capsys, tmp_path):
+        out = tmp_path / "check.sarif"
+        code = main(
+            ["check", "--algorithm", "cannon", "--machine", "q64",
+             "--sarif", str(out)]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["version"] == "2.1.0"
+        assert payload["runs"][0]["tool"]["driver"]["name"] == "repro-mmm-check"
+        assert payload["runs"][0]["results"] == []  # clean matrix
+
+    def test_baseline_write_and_apply(self, capsys, tmp_path):
+        base = tmp_path / "baseline.json"
+        code = main(
+            ["check", "--algorithm", "cannon", "--machine", "q64",
+             "--write-baseline", str(base)]
+        )
+        assert code == 0
+        assert "wrote 0 suppression(s)" in capsys.readouterr().out
+        payload = json.loads(base.read_text())
+        assert payload == {"schema": 1, "suppressions": []}
+        code = main(
+            ["check", "--algorithm", "cannon", "--machine", "q64",
+             "--baseline", str(base)]
+        )
+        assert code == 0
+
+    def test_incremental_cache_round_trip(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cache"
+        argv = ["check", "--algorithm", "shared-equal", "--machine", "q64",
+                "--incremental", "--cache-dir", str(cache_dir), "--json"]
+        assert main(argv) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert cold["cells"]["cached"] == 0
+        assert main(argv) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["cells"]["cached"] == warm["cells"]["analyzed"] > 0
+        assert warm["errors"] == cold["errors"] == 0
+
 
 class TestLU:
     def test_lu_counts(self, capsys):
