@@ -60,3 +60,15 @@ def save_figure(figure, directory: Path) -> None:
 
     (directory / f"{figure.id}.txt").write_text(render_figure(figure))
     figure_to_csv(figure, directory)
+
+
+def save_manifest(sweep, directory: Path, name: str) -> None:
+    """Persist a sweep's engine run manifest next to the figure output.
+
+    No-op for serial sweeps (they carry no manifest); for engine runs
+    the JSON lands at ``<out>/<name>.manifest.json`` so a benchmark run
+    leaves its telemetry (attempts, wall times, worker utilization)
+    behind with the artifacts.
+    """
+    if getattr(sweep, "manifest", None) is not None:
+        sweep.manifest.write(directory / f"{name}.manifest.json")

@@ -60,12 +60,16 @@ class Cache:
         self.misses_by_matrix = [0, 0, 0]
         self.dirty: Set[int] = set()
 
-    def access(self, key: int, write: bool = False) -> Tuple[bool, Optional[int]]:
-        """Reference ``key``; return ``(hit, evicted_victim_or_None)``.
+    def access(
+        self, key: int, write: bool = False
+    ) -> Tuple[bool, Optional[int], bool]:
+        """Reference ``key``; return ``(hit, victim_or_None, victim_was_dirty)``.
 
         A miss inserts the key (evicting per policy); ``write`` marks it
         dirty.  Evicting a dirty victim counts one write-back and cleans
-        it.
+        it; the caller learns about it through ``victim_was_dirty`` so a
+        hierarchy can land the written-back contents in the level below
+        (see :meth:`repro.cache.hierarchy.LRUHierarchy.touch`).
         """
         hit, victim = self.policy.access(key)
         if hit:
@@ -75,10 +79,11 @@ class Cache:
             self.misses_by_matrix[key >> MAT_SHIFT] += 1
         if write:
             self.dirty.add(key)
-        if victim is not None and victim in self.dirty:
+        victim_was_dirty = victim is not None and victim in self.dirty
+        if victim_was_dirty:
             self.dirty.discard(victim)
             self.writebacks += 1
-        return hit, victim
+        return hit, victim, victim_was_dirty
 
     def invalidate(self, key: int) -> bool:
         """Drop ``key`` without statistics impact (back-invalidation).

@@ -86,14 +86,19 @@ class LRUHierarchy:
 
         A distributed miss is propagated to the shared cache; a shared
         miss loads from memory.  Writes mark the block dirty at the
-        distributed level.
+        distributed level.  A dirty victim evicted from the distributed
+        cache is written back into its shared copy, which becomes dirty
+        (mirroring :meth:`IdealHierarchy.evict_distributed`); if the
+        shared cache no longer holds the block, the write-back goes
+        straight to memory and was already counted at the distributed
+        level.
         """
-        hit, victim = self.distributed[core].access(key, write)
-        if victim is not None and victim in self.distributed[core].dirty:
-            pass  # Cache.access already handled the write-back counter.
+        hit, victim, victim_dirty = self.distributed[core].access(key, write)
+        if victim is not None and victim_dirty and victim in self.shared:
+            self.shared.dirty.add(victim)
         if hit:
             return True
-        s_hit, s_victim = self.shared.access(key)
+        s_hit, s_victim, _ = self.shared.access(key)
         if s_victim is not None and self.inclusive:
             for dc in self.distributed:
                 dc.invalidate(s_victim)
@@ -137,6 +142,8 @@ class LRUHierarchy:
                     if victim in ddirty:
                         ddirty.discard(victim)
                         dc.writebacks += 1
+                        if victim in sdata:
+                            sdirty.add(victim)
                 ddata[key] = None
                 # propagate to shared
                 if key in sdata:
@@ -346,7 +353,21 @@ class IdealHierarchy:
 
     def reset(self) -> None:
         """Empty both levels and zero every counter."""
-        self.__init__(self.p, self.cs, self.cd, self.check)
+        self.shared_set.clear()
+        self.shared_dirty.clear()
+        for dset in self.dist_sets:
+            dset.clear()
+        for ddirty in self.dist_dirty:
+            ddirty.clear()
+        self.ms = 0
+        self.ms_by_matrix = [0, 0, 0]
+        self.md = [0] * self.p
+        self.md_by_matrix = [[0, 0, 0] for _ in range(self.p)]
+        self.shared_writebacks = 0
+        self.dist_updates = [0] * self.p
+        self.redundant_loads = 0
+        self.peak_shared = 0
+        self.peak_dist = [0] * self.p
 
     def check_inclusion(self) -> bool:
         """Whether every distributed-resident block is shared-resident."""

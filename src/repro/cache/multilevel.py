@@ -121,7 +121,9 @@ class MultiLevelHierarchy:
         missed = 0
         for level in range(len(self.levels) - 1, -1, -1):
             cache = self.cache_of(level, core)
-            hit, _ = cache.access(key, write=(write and level == len(self.levels) - 1))
+            hit, _, _ = cache.access(
+                key, write=(write and level == len(self.levels) - 1)
+            )
             if hit:
                 return missed
             missed += 1

@@ -1,6 +1,6 @@
 """AST lint pass enforcing repo idioms over :mod:`repro` sources.
 
-Four rules, each born from a real failure mode of this codebase:
+Six rules, each born from a real failure mode of this codebase:
 
 * ``explicit-guard`` — in ``algorithms/*.py``, calls to the explicit
   directives (``load_shared``, ``evict_shared``, ``load_dist``,
@@ -20,6 +20,16 @@ Four rules, each born from a real failure mode of this codebase:
 * ``float-equality`` — no ``==`` / ``!=`` on floating-point ``Tdata``
   values (``Tdata = MS/σS + MD/σD`` mixes two float divisions; compare
   with a tolerance instead).
+* ``dead-branch`` — no ``if`` statement whose entire body is ``pass``
+  and that has no ``else``: the condition reads as if it handles a case
+  but does nothing.  The LRU hierarchy carried exactly such a branch
+  for dirty-victim write-back — it *looked* handled and masked a real
+  undercounting bug.  ``elif … : pass`` inside a dispatch chain is
+  exempt (there the no-op is an explicit "this case needs nothing").
+* ``init-self-call`` — no ``self.__init__(...)`` calls: re-running
+  ``__init__`` as a reset silently re-reads constructor arguments off
+  ``self`` and skips any state added outside ``__init__``; write an
+  explicit reinitialisation instead.
 
 The pass is purely syntactic (:mod:`ast`), needs no imports of the
 linted code, and runs over the whole package in well under a second.
@@ -33,7 +43,7 @@ from typing import Iterable, List, Optional, Sequence, Set
 
 from repro.check.findings import ERROR, Finding
 
-#: The four explicit-directive method names of the execution contexts.
+#: The explicit-directive method names of the execution contexts.
 DIRECTIVES = frozenset({"load_shared", "evict_shared", "load_dist", "evict_dist"})
 
 #: Call targets whose results are mutable (as default arguments).
@@ -198,6 +208,71 @@ def _check_float_equality(
             )
 
 
+def _elif_ifs(tree: ast.AST) -> Set[int]:
+    """Ids of ``ast.If`` nodes that are really ``elif`` arms.
+
+    An ``elif`` is encoded as an ``If`` standing alone in its parent
+    ``If``'s ``orelse``; those are part of a dispatch chain and exempt
+    from the ``dead-branch`` rule.
+    """
+    out: Set[int] = set()
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.If)
+            and len(node.orelse) == 1
+            and isinstance(node.orelse[0], ast.If)
+        ):
+            out.add(id(node.orelse[0]))
+    return out
+
+
+def _check_dead_branch(tree: ast.AST, filename: str, findings: List[Finding]) -> None:
+    """Rule ``dead-branch``: no ``if cond: pass`` with no ``else``."""
+    elifs = _elif_ifs(tree)
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.If) or id(node) in elifs:
+            continue
+        if node.orelse:
+            continue
+        if len(node.body) == 1 and isinstance(node.body[0], ast.Pass):
+            findings.append(
+                _finding(
+                    "dead-branch",
+                    "'if' whose whole body is 'pass' and that has no "
+                    "'else': the condition looks handled but does "
+                    "nothing — handle it or delete it",
+                    filename,
+                    node.lineno,
+                )
+            )
+
+
+def _check_init_self_call(
+    tree: ast.AST, filename: str, findings: List[Finding]
+) -> None:
+    """Rule ``init-self-call``: no ``self.__init__(...)`` resets."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "__init__"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+        ):
+            findings.append(
+                _finding(
+                    "init-self-call",
+                    "'self.__init__(...)' used as a reset; write an "
+                    "explicit reinitialisation (it is both clearer and "
+                    "robust to state added outside __init__)",
+                    filename,
+                    node.lineno,
+                )
+            )
+
+
 def lint_source(
     source: str,
     filename: str,
@@ -216,6 +291,8 @@ def lint_source(
         return findings
     _check_mutable_defaults(tree, filename, findings)
     _check_float_equality(tree, filename, findings)
+    _check_dead_branch(tree, filename, findings)
+    _check_init_self_call(tree, filename, findings)
     if algorithms_module:
         _check_explicit_guard(tree, filename, findings)
         _check_registered(tree, filename, registered or set(), findings)

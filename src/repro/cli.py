@@ -129,13 +129,47 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     machine = _machine_from_args(args)
     entries = [(alg, args.setting) for alg in args.algorithms]
-    sweep = order_sweep(entries, machine, args.orders, policy=args.policy)
+    if args.workers is not None or args.manifest is not None:
+        from repro.sim.parallel import parallel_order_sweep
+
+        sweep = parallel_order_sweep(
+            entries,
+            machine,
+            args.orders,
+            policy=args.policy,
+            workers=args.workers,
+            cell_timeout=args.cell_timeout,
+            retries=args.retries,
+            manifest_path=args.manifest,
+        )
+    else:
+        sweep = order_sweep(entries, machine, args.orders, policy=args.policy)
     rows: List[Dict[str, Any]] = []
     for label, results in sweep.series.items():
         for result in results:
-            rows.append(result.to_row())
+            if result is not None:
+                rows.append(result.to_row())
     print(render_rows(rows))
-    return 0
+    for record in sweep.failures:
+        print(
+            f"{record.status}: {record.label} @ {sweep.variable}={record.x} "
+            f"after {record.attempts} attempt(s): "
+            f"{record.error_type}: {record.error}",
+            file=sys.stderr,
+        )
+    if sweep.manifest is not None:
+        counts = sweep.manifest.counts()
+        print(
+            f"sweep: {counts['ok']} ok, {counts['failed']} failed, "
+            f"{counts['skipped']} skipped; "
+            f"{sweep.manifest.workers} worker(s), "
+            f"utilization {sweep.manifest.utilization():.0%}, "
+            f"{sweep.manifest.elapsed_s:.2f}s",
+            file=sys.stderr,
+        )
+        if args.manifest:
+            print(f"manifest: {args.manifest}", file=sys.stderr)
+    return 0 if sweep.complete else 1
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
@@ -333,6 +367,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument("--setting", choices=sorted(SETTINGS), default="lru-50")
     p_sweep.add_argument("--policy", choices=("lru", "fifo"), default="lru")
+    engine = p_sweep.add_argument_group("parallel engine")
+    engine.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="run cells on a process pool with this many workers "
+        "(default: serial in-process sweep)",
+    )
+    engine.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-cell deadline; an overdue cell is retried, then "
+        "recorded as failed (default: no timeout)",
+    )
+    engine.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="extra attempts per failed cell (default: 2)",
+    )
+    engine.add_argument(
+        "--manifest",
+        default=None,
+        metavar="PATH",
+        help="write the JSON run manifest here (implies the parallel engine)",
+    )
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")

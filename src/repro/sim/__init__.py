@@ -7,6 +7,12 @@
 * :mod:`repro.sim.runner` — one-call experiment execution producing
   :class:`~repro.sim.results.ExperimentResult`.
 * :mod:`repro.sim.sweep` — matrix-order and bandwidth-ratio sweeps.
+* :mod:`repro.sim.parallel` — the fault-tolerant process-parallel sweep
+  engine (timeouts, retries, crash recovery, run manifests).
+* :mod:`repro.sim.telemetry` — per-cell records, worker statistics and
+  the JSON run manifest.
+* :mod:`repro.sim.faults` — injectable crash/hang/flaky cells for
+  exercising the engine.
 """
 
 from repro.sim.contexts import (
@@ -18,8 +24,10 @@ from repro.sim.contexts import (
 from repro.sim.settings import SETTINGS, Setting, get_setting
 from repro.sim.results import ExperimentResult, SweepResult
 from repro.sim.runner import run_experiment
-from repro.sim.sweep import order_sweep, ratio_sweep
+from repro.sim.sweep import order_sweep, ratio_sweep, resolve_entries, series_label
 from repro.sim.parallel import parallel_order_sweep, parallel_ratio_sweep
+from repro.sim.faults import FaultInjectionError, FaultPlan, FaultSpec
+from repro.sim.telemetry import CellRecord, RunManifest, WorkerStats
 from repro.sim.timing import TimingEstimate, TimingModel
 
 __all__ = [
@@ -35,8 +43,16 @@ __all__ = [
     "run_experiment",
     "order_sweep",
     "ratio_sweep",
+    "resolve_entries",
+    "series_label",
     "parallel_order_sweep",
     "parallel_ratio_sweep",
+    "FaultInjectionError",
+    "FaultPlan",
+    "FaultSpec",
+    "CellRecord",
+    "RunManifest",
+    "WorkerStats",
     "TimingEstimate",
     "TimingModel",
 ]

@@ -1,0 +1,87 @@
+"""Injectable faults for exercising the sweep engine.
+
+The resilience claims of :mod:`repro.sim.parallel` — a crashed worker,
+a hung cell or a transiently flaky cell must not abort the sweep — are
+only worth anything if they are *tested*.  This module provides the
+test double: a :class:`FaultSpec` describes how one cell misbehaves,
+and a fault plan (``{(label, index): FaultSpec}``) is shipped to the
+worker processes through the pool initializer.  Before running a
+planned cell the worker calls :func:`fire`, which simulates the fault:
+
+* ``"crash"`` — the worker process dies on the spot (``os._exit``),
+  which surfaces in the parent as ``BrokenProcessPool``: the hardest
+  failure mode a process pool can produce.
+* ``"hang"`` — the worker sleeps far past any sane cell timeout,
+  exercising the engine's deadline tracking and pool replacement.
+* ``"flaky"`` — the first ``fail_attempts`` attempts raise
+  :class:`FaultInjectionError`; later attempts run normally, so the
+  cell succeeds if the engine retries enough.
+* ``"error"`` — every attempt raises: a deterministic per-cell failure
+  that must end as an explicit failure record, never an abort.
+
+Faults are keyed by attempt number (supplied by the engine), so the
+plan is plain immutable data and survives pool rebuilds — a flaky cell
+stays flaky even when every worker that ever saw it is dead.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.exceptions import ReproError
+
+#: Recognized fault kinds.
+KINDS = ("crash", "hang", "flaky", "error")
+
+
+class FaultInjectionError(ReproError):
+    """Raised by an injected ``flaky`` / ``error`` cell."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """How one sweep cell misbehaves.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`KINDS`.
+    fail_attempts:
+        For ``flaky``: how many leading attempts fail before the cell
+        starts succeeding.  Ignored by the other kinds.
+    hang_s:
+        For ``hang``: how long the worker sleeps.  Defaults to an hour —
+        effectively forever next to any realistic cell timeout.
+    """
+
+    kind: str
+    fail_attempts: int = 2
+    hang_s: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; valid: {KINDS}")
+
+
+#: A sweep's fault plan: ``(series label, x index) -> FaultSpec``.
+FaultPlan = Dict[Tuple[str, int], FaultSpec]
+
+
+def fire(spec: FaultSpec, attempt: int) -> None:
+    """Simulate ``spec`` for the given 1-based attempt (worker side)."""
+    if spec.kind == "crash":
+        # Bypass every cleanup handler: this is a segfault stand-in.
+        os._exit(13)
+    elif spec.kind == "hang":
+        time.sleep(spec.hang_s)
+    elif spec.kind == "flaky":
+        if attempt <= spec.fail_attempts:
+            raise FaultInjectionError(
+                f"injected flaky failure (attempt {attempt}/"
+                f"{spec.fail_attempts} failing attempts)"
+            )
+    elif spec.kind == "error":
+        raise FaultInjectionError(f"injected permanent failure (attempt {attempt})")

@@ -1,43 +1,176 @@
-"""Process-parallel sweep execution.
+"""Fault-tolerant, observable process-parallel sweep engine.
 
 Simulating one experiment is inherently sequential (a cache's state is
 a chain), but a *sweep* is embarrassingly parallel: every
 (algorithm, setting, order) cell is independent.  This module fans the
 cells of :func:`repro.sim.sweep.order_sweep` /
 :func:`~repro.sim.sweep.ratio_sweep` out over a
-:class:`~concurrent.futures.ProcessPoolExecutor` — results are
+:class:`~concurrent.futures.ProcessPoolExecutor` — successful cells are
 bit-identical to the serial versions (tests assert it), only wall-clock
 changes.
 
-Cells are submitted individually and reassembled in order, so the
-speedup is ``min(workers, cells)`` minus pickling overhead; for the
-full-scale figure sweeps (dozens of multi-second cells) that is near
-linear.  Everything passed across the process boundary
-(:class:`~repro.model.machine.MulticoreMachine`,
-:class:`~repro.sim.results.ExperimentResult`) is plain-data and
-picklable by construction.
+Unlike a bare ``pool.map``, the engine treats the pool as unreliable
+infrastructure:
+
+* **Bounded in-flight dispatch** — at most ``workers`` chunk tasks are
+  outstanding, so every submitted task starts immediately and per-task
+  deadlines are meaningful.
+* **Shared state ships once** — the machine(s), the per-series
+  algorithm/setting/kwargs table and the fault plan travel through the
+  pool *initializer*, not with every cell; a submitted cell is a tiny
+  index tuple, and first-round cells are submitted in chunks to
+  amortize IPC further.
+* **Per-cell timeouts** — a chunk gets ``cell_timeout × len(chunk)``
+  seconds; an overdue chunk's worker is presumed hung, the pool is
+  killed and rebuilt, and the chunk's cells are charged one attempt.
+* **Bounded retry with exponential backoff** — a failed cell is retried
+  (individually, never re-chunked) up to ``retries`` times, waiting
+  ``backoff · 2^(attempt-1)`` seconds between attempts.
+* **Graceful degradation** — a worker crash (``BrokenProcessPool``)
+  charges the cells that were in flight and rebuilds the pool; when a
+  pool cannot be (re)built at all, remaining cells run serially
+  in-process — except suspected worker-killers (cells whose last
+  failure was a crash or timeout), which are *skipped* with an explicit
+  record rather than risking the host process.
+* **Telemetry** — every cell ends as an ``ok``/``failed``/``skipped``
+  :class:`~repro.sim.telemetry.CellRecord` inside a
+  :class:`~repro.sim.telemetry.RunManifest` (attempt counts, per-cell
+  wall time, worker utilization, pool rebuilds) attached to the
+  returned :class:`~repro.sim.results.SweepResult` and optionally
+  written to JSON.
+
+See ``docs/SWEEPS.md`` for the full semantics.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+import time
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Executor,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, ParameterError, ScheduleError
 from repro.model.machine import MulticoreMachine
-from repro.sim.results import SweepResult
+from repro.sim.faults import FaultPlan, fire
+from repro.sim.results import ExperimentResult, SweepResult
 from repro.sim.runner import run_experiment
-from repro.sim.sweep import Entry, _unpack, series_label
+from repro.sim.sweep import Entry, resolve_entries
+from repro.sim.telemetry import (
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_SKIPPED,
+    CellRecord,
+    RunManifest,
+)
+
+#: One submitted cell: (label, x-index, machine-index, m, n, z, attempt).
+#: Everything heavy is resolved worker-side from the initializer state.
+CellSpec = Tuple[str, int, int, int, int, int, int]
+
+#: One per-cell outcome reported by a worker:
+#: (label, index, ok, payload, pid, wall_s).  ``payload`` is the
+#: ExperimentResult when ok, else (error_type, error_message, retryable).
+CellOutcome = Tuple[str, int, bool, Any, int, float]
+
+#: Errors that re-running cannot fix: bad configuration, infeasible
+#: parameters, or a deterministic schedule bug.
+_PERMANENT_ERRORS = (ConfigurationError, ParameterError, ScheduleError)
+
+#: Failure types that mark a cell as a suspected worker-killer: the
+#: in-process fallback refuses to re-run these (a crash would take the
+#: host process down, a hang could never be interrupted).
+_WORKER_KILLER_ERRORS = frozenset({"BrokenProcessPool", "TimeoutError"})
 
 
-def _run_cell(args: Tuple[Any, ...]) -> Tuple[str, int, Any]:
-    """Worker entry: run one sweep cell, tagged for reassembly."""
-    label, index, algorithm, setting, machine, m, n, z, kwargs = args
-    result = run_experiment(algorithm, machine, m, n, z, setting, **kwargs)
-    return label, index, result
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+#: Per-sweep state installed once per worker by the pool initializer.
+_WORKER_MACHINES: Sequence[MulticoreMachine] = ()
+_WORKER_ENTRIES: Dict[str, Tuple[str, str, Dict[str, Any]]] = {}
+_WORKER_FAULTS: Optional[FaultPlan] = None
 
 
+def _init_worker(
+    machines: Sequence[MulticoreMachine],
+    entries: Dict[str, Tuple[str, str, Dict[str, Any]]],
+    fault_plan: Optional[FaultPlan],
+) -> None:
+    """Pool initializer: receive the shared per-sweep state exactly once."""
+    global _WORKER_MACHINES, _WORKER_ENTRIES, _WORKER_FAULTS
+    _WORKER_MACHINES = machines
+    _WORKER_ENTRIES = entries
+    _WORKER_FAULTS = fault_plan
+
+
+def _execute_cells(
+    cells: Sequence[CellSpec],
+    machines: Sequence[MulticoreMachine],
+    entries: Dict[str, Tuple[str, str, Dict[str, Any]]],
+    fault_plan: Optional[FaultPlan],
+) -> List[CellOutcome]:
+    """Run a chunk of cells against explicit state; never raises for a
+    cell-level error — failures come back as data so one bad cell cannot
+    take its chunk-mates' results with it."""
+    pid = os.getpid()
+    outcomes: List[CellOutcome] = []
+    for label, index, machine_idx, m, n, z, attempt in cells:
+        start = time.perf_counter()
+        try:
+            spec = fault_plan.get((label, index)) if fault_plan else None
+            if spec is not None:
+                fire(spec, attempt)
+            algorithm, setting, kwargs = entries[label]
+            result = run_experiment(
+                algorithm, machines[machine_idx], m, n, z, setting, **kwargs
+            )
+            result.attempts = attempt
+            outcomes.append(
+                (label, index, True, result, pid, time.perf_counter() - start)
+            )
+        except Exception as exc:  # noqa: BLE001 — cell isolation is the point
+            retryable = not isinstance(exc, _PERMANENT_ERRORS)
+            outcomes.append(
+                (
+                    label,
+                    index,
+                    False,
+                    (type(exc).__name__, str(exc), retryable),
+                    pid,
+                    time.perf_counter() - start,
+                )
+            )
+    return outcomes
+
+
+def _run_chunk(cells: Sequence[CellSpec]) -> List[CellOutcome]:
+    """Worker entry point: run one chunk against the initializer state."""
+    return _execute_cells(cells, _WORKER_MACHINES, _WORKER_ENTRIES, _WORKER_FAULTS)
+
+
+# ----------------------------------------------------------------------
+# Engine
+# ----------------------------------------------------------------------
 def _default_workers() -> int:
     return max(os.cpu_count() or 1, 1)
 
@@ -58,6 +191,475 @@ def _resolve_workers(workers: Optional[int]) -> int:
     return workers
 
 
+def _kill_pool(pool: Executor) -> None:
+    """Tear a pool down even when a worker is wedged.
+
+    A hung worker never drains its call item, so a plain ``shutdown``
+    would block forever; terminate the worker processes first (internal
+    attribute, but stable across CPython 3.8–3.13), then release the
+    executor without waiting.
+    """
+    for process in list((getattr(pool, "_processes", None) or {}).values()):
+        process.terminate()
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+class _SweepEngine:
+    """One engine run: dispatch, retry, degrade, record."""
+
+    def __init__(
+        self,
+        *,
+        variable: str,
+        xs: Sequence[Any],
+        labels: Sequence[str],
+        cells: Sequence[CellSpec],
+        machines: Sequence[MulticoreMachine],
+        entries: Dict[str, Tuple[str, str, Dict[str, Any]]],
+        workers: int,
+        cell_timeout: Optional[float],
+        retries: int,
+        backoff: float,
+        chunksize: Optional[int],
+        fault_plan: Optional[FaultPlan],
+        serial_fallback: bool,
+        pool_factory: Optional[Callable[..., Executor]],
+    ) -> None:
+        if retries < 0:
+            raise ConfigurationError(f"retries must be >= 0, got {retries}")
+        if cell_timeout is not None and cell_timeout <= 0:
+            raise ConfigurationError(
+                f"cell_timeout must be positive, got {cell_timeout}"
+            )
+        self.variable = variable
+        self.xs = list(xs)
+        self.labels = list(labels)
+        self.machines = list(machines)
+        self.entries = entries
+        self.workers = workers
+        self.cell_timeout = cell_timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.fault_plan = fault_plan
+        self.serial_fallback = serial_fallback
+        self.pool_factory = pool_factory or ProcessPoolExecutor
+        if chunksize is None:
+            chunksize = max(1, len(cells) // (workers * 4))
+        self.chunksize = max(1, chunksize)
+
+        self.records: Dict[Tuple[str, int], CellRecord] = {}
+        for label, index, *_rest in cells:
+            self.records[(label, index)] = CellRecord(
+                label=label, index=index, x=self.xs[index], status=STATUS_SKIPPED
+            )
+        self.results: Dict[Tuple[str, int], ExperimentResult] = {}
+        self.outstanding = set(self.records)
+        self.ready: Deque[List[CellSpec]] = deque(
+            [
+                list(cells[i : i + self.chunksize])
+                for i in range(0, len(cells), self.chunksize)
+            ]
+        )
+        self.waiting_retry: List[Tuple[float, CellSpec]] = []
+        self.inflight: Dict[Future[List[CellOutcome]], Tuple[List[CellSpec], Optional[float]]] = {}
+        self.manifest = RunManifest(
+            variable=variable,
+            xs=self.xs,
+            workers=workers,
+            cell_timeout_s=cell_timeout,
+            retries=retries,
+            backoff_s=backoff,
+            chunksize=self.chunksize,
+        )
+
+    # -- bookkeeping ----------------------------------------------------
+    def _finalize_ok(
+        self, label: str, index: int, result: ExperimentResult, pid: int, wall: float
+    ) -> None:
+        record = self.records[(label, index)]
+        record.status = STATUS_OK
+        record.attempts = result.attempts
+        record.wall_s += wall
+        record.worker = pid
+        record.error_type = None
+        record.error = None
+        self.results[(label, index)] = result
+        self.outstanding.discard((label, index))
+
+    def _charge_failure(
+        self,
+        spec: CellSpec,
+        error_type: str,
+        error: str,
+        retryable: bool,
+        *,
+        pid: Optional[int] = None,
+        wall: float = 0.0,
+    ) -> None:
+        """One attempt of a cell ended badly: retry with backoff or fail."""
+        label, index = spec[0], spec[1]
+        key = (label, index)
+        if key not in self.outstanding:
+            return  # already finalized (defensive: stale duplicate)
+        record = self.records[key]
+        attempt = spec[6]
+        record.attempts = max(record.attempts, attempt)
+        record.wall_s += wall
+        record.error_type = error_type
+        record.error = error
+        if pid is not None:
+            record.worker = pid
+        if retryable and attempt <= self.retries:
+            delay = self.backoff * (2 ** (attempt - 1))
+            retry_spec = spec[:6] + (attempt + 1,)
+            self.waiting_retry.append((time.monotonic() + delay, retry_spec))
+        else:
+            record.status = STATUS_FAILED
+            self.outstanding.discard(key)
+
+    def _skip(self, spec: CellSpec, reason: str) -> None:
+        label, index = spec[0], spec[1]
+        key = (label, index)
+        if key not in self.outstanding:
+            return
+        record = self.records[key]
+        record.status = STATUS_SKIPPED
+        record.error = (
+            f"{reason}" + (f" (last error: {record.error})" if record.error else "")
+        )
+        if record.error_type is None:
+            record.error_type = "Skipped"
+        self.outstanding.discard(key)
+
+    # -- pool management ------------------------------------------------
+    def _make_pool(self) -> Optional[Executor]:
+        try:
+            return self.pool_factory(
+                max_workers=self.workers,
+                initializer=_init_worker,
+                initargs=(self.machines, self.entries, self.fault_plan),
+            )
+        except Exception:  # noqa: BLE001 — degrade, never abort the sweep
+            return None
+
+    def _handle_broken_pool(self) -> None:
+        """Every in-flight chunk died with the pool: charge and retry."""
+        for future, (chunk, _deadline) in list(self.inflight.items()):
+            future.cancel()
+            for spec in chunk:
+                self._charge_failure(
+                    spec,
+                    "BrokenProcessPool",
+                    "worker process died while the cell was in flight",
+                    retryable=True,
+                )
+        self.inflight.clear()
+        self.manifest.pool_rebuilds += 1
+
+    def _handle_timeouts(self, overdue: List[Future[List[CellOutcome]]]) -> None:
+        """Overdue chunks mean wedged workers: charge them, requeue the
+        innocent in-flight chunks uncharged, and replace the pool."""
+        assert self.cell_timeout is not None
+        for future in overdue:
+            chunk, _deadline = self.inflight.pop(future)
+            future.cancel()
+            budget = self.cell_timeout * len(chunk)
+            for spec in chunk:
+                self._charge_failure(
+                    spec,
+                    "TimeoutError",
+                    f"chunk of {len(chunk)} cell(s) exceeded its "
+                    f"{budget:.3g}s budget ({self.cell_timeout:.3g}s per cell)",
+                    retryable=True,
+                )
+        for future, (chunk, _deadline) in list(self.inflight.items()):
+            future.cancel()
+            self.ready.appendleft(chunk)
+        self.inflight.clear()
+        self.manifest.pool_rebuilds += 1
+
+    # -- serial degradation ---------------------------------------------
+    def _run_serial_fallback(self) -> None:
+        """Run every remaining cell in-process (no pool available).
+
+        Suspected worker-killers — cells whose last failure was a crash
+        or a timeout — are skipped with an explicit record: re-running
+        them here could kill or wedge the host process.
+        """
+        self.manifest.serial_fallback = True
+        pending: List[CellSpec] = [
+            spec for chunk in self.ready for spec in chunk
+        ] + [spec for _when, spec in self.waiting_retry]
+        self.ready.clear()
+        self.waiting_retry = []
+        for spec in sorted(pending, key=lambda s: (s[0], s[1])):
+            key = (spec[0], spec[1])
+            if key not in self.outstanding:
+                continue
+            record = self.records[key]
+            if record.error_type in _WORKER_KILLER_ERRORS:
+                self._skip(
+                    spec,
+                    "not re-run in-process: previous attempt crashed or "
+                    "hung a worker",
+                )
+                continue
+            attempt = spec[6]
+            while key in self.outstanding:
+                outcome = _execute_cells(
+                    [spec[:6] + (attempt,)],
+                    self.machines,
+                    self.entries,
+                    self.fault_plan,
+                )[0]
+                label, index, ok, payload, pid, wall = outcome
+                self.manifest.record_execution(pid, wall)
+                if ok:
+                    self._finalize_ok(label, index, payload, pid, wall)
+                else:
+                    error_type, error, retryable = payload
+                    serial_spec = spec[:6] + (attempt,)
+                    if retryable and attempt <= self.retries:
+                        time.sleep(self.backoff * (2 ** (attempt - 1)))
+                    self._charge_failure(
+                        serial_spec, error_type, error, retryable, pid=pid, wall=0.0
+                    )
+                    attempt += 1
+
+    # -- main loop -------------------------------------------------------
+    def run(self) -> SweepResult:
+        started = time.perf_counter()
+        pool = self._make_pool()
+        if pool is None and self.serial_fallback:
+            self._run_serial_fallback()
+        elif pool is None:
+            for key in sorted(self.outstanding):
+                record = self.records[key]
+                record.error_type = "PoolUnavailable"
+                record.error = "process pool could not be created"
+                self.outstanding.discard(key)
+        else:
+            try:
+                self._dispatch_loop(pool)
+            finally:
+                _kill_pool(pool)
+        self.manifest.elapsed_s = time.perf_counter() - started
+        return self._assemble()
+
+    def _dispatch_loop(self, pool: Executor) -> None:
+        while self.outstanding:
+            now = time.monotonic()
+            # Promote retries whose backoff has elapsed.
+            due = [spec for when, spec in self.waiting_retry if when <= now]
+            self.waiting_retry = [
+                (when, spec) for when, spec in self.waiting_retry if when > now
+            ]
+            for spec in due:
+                self.ready.append([spec])
+
+            # Keep at most `workers` chunks outstanding so every task
+            # starts immediately and submit-time deadlines are honest.
+            broken = False
+            while self.ready and len(self.inflight) < self.workers:
+                chunk = self.ready.popleft()
+                deadline = (
+                    now + self.cell_timeout * len(chunk)
+                    if self.cell_timeout is not None
+                    else None
+                )
+                try:
+                    future = pool.submit(_run_chunk, chunk)
+                except BrokenProcessPool:
+                    self.ready.appendleft(chunk)
+                    broken = True
+                    break
+                except RuntimeError:
+                    # shutdown executor (e.g. after a kill): rebuild
+                    self.ready.appendleft(chunk)
+                    broken = True
+                    break
+                self.inflight[future] = (chunk, deadline)
+
+            if broken:
+                self._handle_broken_pool()
+                _kill_pool(pool)
+                replacement = self._make_pool()
+                if replacement is None:
+                    if self.serial_fallback:
+                        self._run_serial_fallback()
+                    else:
+                        for key in list(self.outstanding):
+                            self._skip(
+                                self._spec_for(key), "process pool unavailable"
+                            )
+                    return
+                pool = replacement
+                continue
+
+            if not self.inflight:
+                if self.waiting_retry:
+                    next_due = min(when for when, _spec in self.waiting_retry)
+                    time.sleep(max(0.0, next_due - time.monotonic()))
+                    continue
+                break  # defensive: nothing queued, nothing running
+
+            done = self._wait_some()
+            pool_broke = self._process_done(done)
+            if pool_broke:
+                self._handle_broken_pool()
+                _kill_pool(pool)
+                replacement = self._make_pool()
+                if replacement is None:
+                    if self.serial_fallback:
+                        self._run_serial_fallback()
+                    else:
+                        for key in list(self.outstanding):
+                            self._skip(
+                                self._spec_for(key), "process pool unavailable"
+                            )
+                    return
+                pool = replacement
+                continue
+
+            now = time.monotonic()
+            overdue = [
+                future
+                for future, (_chunk, deadline) in self.inflight.items()
+                if deadline is not None and now >= deadline and not future.done()
+            ]
+            if overdue:
+                self._handle_timeouts(overdue)
+                _kill_pool(pool)
+                replacement = self._make_pool()
+                if replacement is None:
+                    if self.serial_fallback:
+                        self._run_serial_fallback()
+                    else:
+                        for key in list(self.outstanding):
+                            self._skip(
+                                self._spec_for(key), "process pool unavailable"
+                            )
+                    return
+                pool = replacement
+
+    def _spec_for(self, key: Tuple[str, int]) -> CellSpec:
+        """Reconstruct a minimal spec for bookkeeping-only paths."""
+        record = self.records[key]
+        return (key[0], key[1], 0, 0, 0, 0, max(record.attempts, 1))
+
+    def _wait_some(self) -> List[Future[List[CellOutcome]]]:
+        """Block until progress: a completion, a deadline, or a due retry."""
+        now = time.monotonic()
+        horizons = [
+            deadline
+            for _chunk, deadline in self.inflight.values()
+            if deadline is not None
+        ]
+        horizons.extend(when for when, _spec in self.waiting_retry)
+        timeout = max(0.0, min(horizons) - now) if horizons else None
+        done, _pending = wait(
+            set(self.inflight), timeout=timeout, return_when=FIRST_COMPLETED
+        )
+        return list(done)
+
+    def _process_done(self, done: List[Future[List[CellOutcome]]]) -> bool:
+        """Fold completed futures into records; returns pool-broke."""
+        pool_broke = False
+        for future in done:
+            chunk, _deadline = self.inflight.pop(future)
+            try:
+                outcomes = future.result()
+            except BrokenProcessPool:
+                pool_broke = True
+                for spec in chunk:
+                    self._charge_failure(
+                        spec,
+                        "BrokenProcessPool",
+                        "worker process died while the cell was in flight",
+                        retryable=True,
+                    )
+            except Exception as exc:  # noqa: BLE001 — e.g. unpicklable result
+                for spec in chunk:
+                    self._charge_failure(
+                        spec, type(exc).__name__, str(exc), retryable=True
+                    )
+            else:
+                for label, index, ok, payload, pid, wall in outcomes:
+                    self.manifest.record_execution(pid, wall)
+                    if ok:
+                        self._finalize_ok(label, index, payload, pid, wall)
+                    else:
+                        error_type, error, retryable = payload
+                        spec = next(
+                            s for s in chunk if s[0] == label and s[1] == index
+                        )
+                        self._charge_failure(
+                            spec, error_type, error, retryable, pid=pid, wall=wall
+                        )
+        return pool_broke
+
+    def _assemble(self) -> SweepResult:
+        sweep = SweepResult(variable=self.variable, xs=list(self.xs))
+        buckets: Dict[str, List[Optional[ExperimentResult]]] = {
+            label: [None] * len(self.xs) for label in self.labels
+        }
+        for (label, index), result in self.results.items():
+            buckets[label][index] = result
+        for label in self.labels:
+            sweep.add(label, buckets[label])
+        self.manifest.cells = list(self.records.values())
+        sweep.failures = [
+            record
+            for record in self.records.values()
+            if record.status != STATUS_OK
+        ]
+        sweep.manifest = self.manifest
+        return sweep
+
+
+def _run_engine_sweep(
+    *,
+    variable: str,
+    xs: Sequence[Any],
+    labels: Sequence[str],
+    cells: Sequence[CellSpec],
+    machines: Sequence[MulticoreMachine],
+    entries: Dict[str, Tuple[str, str, Dict[str, Any]]],
+    workers: Optional[int],
+    cell_timeout: Optional[float],
+    retries: int,
+    backoff: float,
+    chunksize: Optional[int],
+    fault_plan: Optional[FaultPlan],
+    serial_fallback: bool,
+    manifest_path: Optional[Union[str, Path]],
+    pool_factory: Optional[Callable[..., Executor]],
+) -> SweepResult:
+    engine = _SweepEngine(
+        variable=variable,
+        xs=xs,
+        labels=labels,
+        cells=cells,
+        machines=machines,
+        entries=entries,
+        workers=_resolve_workers(workers),
+        cell_timeout=cell_timeout,
+        retries=retries,
+        backoff=backoff,
+        chunksize=chunksize,
+        fault_plan=fault_plan,
+        serial_fallback=serial_fallback,
+        pool_factory=pool_factory,
+    )
+    sweep = engine.run()
+    if manifest_path is not None and sweep.manifest is not None:
+        sweep.manifest.write(manifest_path)
+    return sweep
+
+
+# ----------------------------------------------------------------------
+# Public sweeps
+# ----------------------------------------------------------------------
 def parallel_order_sweep(
     entries: Iterable[Entry],
     machine: MulticoreMachine,
@@ -67,29 +669,44 @@ def parallel_order_sweep(
     check: bool = False,
     inclusive: bool = False,
     policy: str = "lru",
+    cell_timeout: Optional[float] = None,
+    retries: int = 2,
+    backoff: float = 0.1,
+    chunksize: Optional[int] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    serial_fallback: bool = True,
+    manifest_path: Optional[Union[str, Path]] = None,
+    pool_factory: Optional[Callable[..., Executor]] = None,
 ) -> SweepResult:
-    """Process-parallel equivalent of :func:`repro.sim.sweep.order_sweep`."""
-    cells: List[Tuple[Any, ...]] = []
-    labels: List[str] = []
-    for entry in entries:
-        algorithm, setting, params = _unpack(entry)
-        label = series_label(algorithm, setting)
-        labels.append(label)
+    """Fault-tolerant parallel equivalent of :func:`repro.sim.sweep.order_sweep`."""
+    resolved = resolve_entries(entries)
+    labels = [label for _a, _s, _p, label in resolved]
+    entry_table: Dict[str, Tuple[str, str, Dict[str, Any]]] = {}
+    cells: List[CellSpec] = []
+    for algorithm, setting, params, label in resolved:
         kwargs: Dict[str, Any] = dict(
             check=check, inclusive=inclusive, policy=policy, **params
         )
+        entry_table[label] = (algorithm, setting, kwargs)
         for index, order in enumerate(orders):
-            cells.append(
-                (label, index, algorithm, setting, machine, order, order, order, kwargs)
-            )
-    sweep = SweepResult(variable="order", xs=list(orders))
-    buckets: Dict[str, List[Any]] = {label: [None] * len(orders) for label in labels}
-    with ProcessPoolExecutor(max_workers=_resolve_workers(workers)) as pool:
-        for label, index, result in pool.map(_run_cell, cells):
-            buckets[label][index] = result
-    for label in labels:
-        sweep.add(label, buckets[label])
-    return sweep
+            cells.append((label, index, 0, order, order, order, 1))
+    return _run_engine_sweep(
+        variable="order",
+        xs=list(orders),
+        labels=labels,
+        cells=cells,
+        machines=[machine],
+        entries=entry_table,
+        workers=workers,
+        cell_timeout=cell_timeout,
+        retries=retries,
+        backoff=backoff,
+        chunksize=chunksize,
+        fault_plan=fault_plan,
+        serial_fallback=serial_fallback,
+        manifest_path=manifest_path,
+        pool_factory=pool_factory,
+    )
 
 
 def parallel_ratio_sweep(
@@ -101,25 +718,47 @@ def parallel_ratio_sweep(
     workers: Optional[int] = None,
     total_bandwidth: float = 2.0,
     check: bool = False,
+    cell_timeout: Optional[float] = None,
+    retries: int = 2,
+    backoff: float = 0.1,
+    chunksize: Optional[int] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    serial_fallback: bool = True,
+    manifest_path: Optional[Union[str, Path]] = None,
+    pool_factory: Optional[Callable[..., Executor]] = None,
 ) -> SweepResult:
-    """Process-parallel equivalent of :func:`repro.sim.sweep.ratio_sweep`."""
-    cells: List[Tuple[Any, ...]] = []
-    labels: List[str] = []
-    for entry in entries:
-        algorithm, setting, params = _unpack(entry)
-        label = series_label(algorithm, setting)
-        labels.append(label)
+    """Fault-tolerant parallel equivalent of :func:`repro.sim.sweep.ratio_sweep`.
+
+    The per-ratio machines are derived once and shipped through the pool
+    initializer; each submitted cell carries only the index of its
+    machine.
+    """
+    resolved = resolve_entries(entries)
+    labels = [label for _a, _s, _p, label in resolved]
+    machines = [
+        machine.with_bandwidth_ratio(r, total=total_bandwidth) for r in ratios
+    ]
+    entry_table: Dict[str, Tuple[str, str, Dict[str, Any]]] = {}
+    cells: List[CellSpec] = []
+    for algorithm, setting, params, label in resolved:
         kwargs: Dict[str, Any] = dict(check=check, **params)
-        for index, r in enumerate(ratios):
-            m = machine.with_bandwidth_ratio(r, total=total_bandwidth)
-            cells.append(
-                (label, index, algorithm, setting, m, order, order, order, kwargs)
-            )
-    sweep = SweepResult(variable="r", xs=list(ratios))
-    buckets: Dict[str, List[Any]] = {label: [None] * len(ratios) for label in labels}
-    with ProcessPoolExecutor(max_workers=_resolve_workers(workers)) as pool:
-        for label, index, result in pool.map(_run_cell, cells):
-            buckets[label][index] = result
-    for label in labels:
-        sweep.add(label, buckets[label])
-    return sweep
+        entry_table[label] = (algorithm, setting, kwargs)
+        for index in range(len(ratios)):
+            cells.append((label, index, index, order, order, order, 1))
+    return _run_engine_sweep(
+        variable="r",
+        xs=list(ratios),
+        labels=labels,
+        cells=cells,
+        machines=machines,
+        entries=entry_table,
+        workers=workers,
+        cell_timeout=cell_timeout,
+        retries=retries,
+        backoff=backoff,
+        chunksize=chunksize,
+        fault_plan=fault_plan,
+        serial_fallback=serial_fallback,
+        manifest_path=manifest_path,
+        pool_factory=pool_factory,
+    )

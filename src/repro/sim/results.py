@@ -8,6 +8,12 @@ from typing import Any, Dict, List, Optional
 from repro.analysis.formulas import PredictedCounts
 from repro.cache.stats import HierarchyStats
 from repro.model.machine import MulticoreMachine
+from repro.sim.telemetry import (
+    STATUS_FAILED,
+    STATUS_SKIPPED,
+    CellRecord,
+    RunManifest,
+)
 
 
 @dataclass
@@ -30,6 +36,10 @@ class ExperimentResult:
     comp: List[int]
     predicted: Optional[PredictedCounts] = None
     elapsed_s: float = 0.0
+    #: Telemetry: how many sweep-engine attempts this result took (1 for
+    #: serial runs) and the pid of the process that produced it.
+    attempts: int = 1
+    worker: Optional[int] = None
 
     @property
     def ms(self) -> int:
@@ -93,13 +103,25 @@ class SweepResult:
 
     ``series`` maps a label (typically ``"<algorithm> <setting>"``) to
     the list of results in sweep order; ``xs`` are the swept values.
+
+    A series slot holds ``None`` when that cell never produced a result
+    — the sweep engine degraded it to an explicit :class:`CellRecord`
+    in ``failures`` instead of aborting the sweep.  ``failures`` and
+    ``cell_counts`` let downstream consumers (figures, conformance
+    checks) distinguish "ran and measured" from "never ran"; a serial
+    sweep always has ``failures == []``.
     """
 
     variable: str
     xs: List[Any]
-    series: Dict[str, List[ExperimentResult]] = field(default_factory=dict)
+    series: Dict[str, List[Optional[ExperimentResult]]] = field(default_factory=dict)
+    #: Per-cell failure/skip records from the sweep engine.
+    failures: List[CellRecord] = field(default_factory=list)
+    #: Run manifest of the engine execution that produced this sweep
+    #: (``None`` for serial sweeps).
+    manifest: Optional[RunManifest] = None
 
-    def add(self, label: str, results: List[ExperimentResult]) -> None:
+    def add(self, label: str, results: List[Optional[ExperimentResult]]) -> None:
         if len(results) != len(self.xs):
             raise ValueError(
                 f"series {label!r} has {len(results)} points, expected {len(self.xs)}"
@@ -107,8 +129,64 @@ class SweepResult:
         self.series[label] = results
 
     def values(self, label: str, metric: str) -> List[float]:
-        """Extract one metric (``"ms"``, ``"md"``, ``"tdata"``, …) of a series."""
-        return [getattr(r, metric) for r in self.series[label]]
+        """Extract one metric (``"ms"``, ``"md"``, ``"tdata"``, …) of a series.
+
+        Raises :class:`ValueError` when the series has holes — callers
+        that tolerate failed cells should consult :attr:`failures` and
+        :meth:`result` instead of assuming a dense series.
+        """
+        out: List[float] = []
+        for index, result in enumerate(self.series[label]):
+            if result is None:
+                record = self._record_for(label, index)
+                detail = (
+                    f" ({record.status}: {record.error_type}: {record.error})"
+                    if record is not None
+                    else ""
+                )
+                raise ValueError(
+                    f"series {label!r} has no result at "
+                    f"{self.variable}={self.xs[index]}{detail}; "
+                    "inspect SweepResult.failures"
+                )
+            out.append(getattr(result, metric))
+        return out
+
+    def result(self, label: str, index: int) -> Optional[ExperimentResult]:
+        """One cell's result, or ``None`` if it failed / was skipped."""
+        return self.series[label][index]
 
     def labels(self) -> List[str]:
         return list(self.series)
+
+    def _record_for(self, label: str, index: int) -> Optional[CellRecord]:
+        for record in self.failures:
+            if record.label == label and record.index == index:
+                return record
+        return None
+
+    @property
+    def complete(self) -> bool:
+        """Whether every cell of every series produced a result."""
+        return not self.failures and all(
+            result is not None for results in self.series.values() for result in results
+        )
+
+    def failed_cells(self) -> List[CellRecord]:
+        """Cells that ran (possibly several times) and never succeeded."""
+        return [r for r in self.failures if r.status == STATUS_FAILED]
+
+    def skipped_cells(self) -> List[CellRecord]:
+        """Cells the engine never (re)ran — e.g. suspected worker-killers."""
+        return [r for r in self.failures if r.status == STATUS_SKIPPED]
+
+    def cell_counts(self) -> Dict[str, int]:
+        """Cell totals: ``{"ok": …, "failed": …, "skipped": …}``."""
+        ok = sum(
+            1 for results in self.series.values() for r in results if r is not None
+        )
+        return {
+            "ok": ok,
+            "failed": len(self.failed_cells()),
+            "skipped": len(self.skipped_cells()),
+        }

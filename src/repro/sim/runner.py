@@ -8,6 +8,7 @@ examples) goes through.
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Any, Optional, Type, Union
 
@@ -113,4 +114,5 @@ def run_experiment(
         comp=list(ctx.comp),
         predicted=predicted,
         elapsed_s=elapsed,
+        worker=os.getpid(),
     )

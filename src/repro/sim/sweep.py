@@ -8,8 +8,9 @@ matrix order in blocks (Figs. 4–11) or the bandwidth ratio
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.exceptions import ConfigurationError
 from repro.model.machine import MulticoreMachine
 from repro.sim.results import ExperimentResult, SweepResult
 from repro.sim.runner import run_experiment
@@ -27,9 +28,49 @@ def _unpack(entry: Entry) -> Tuple[str, str, Dict[str, Any]]:
     return algorithm, setting, dict(params)
 
 
-def series_label(algorithm: str, setting: str) -> str:
-    """Canonical series label, e.g. ``"shared-opt lru-50"``."""
-    return f"{algorithm} {setting}"
+def series_label(
+    algorithm: str,
+    setting: str,
+    params: Optional[Mapping[str, Any]] = None,
+) -> str:
+    """Canonical series label, e.g. ``"shared-opt lru-50"``.
+
+    Parameter overrides are folded into the label
+    (``"shared-opt lru-50 lam=8"``) so that two entries differing only
+    in ``params`` produce *distinct* series instead of silently
+    overwriting each other's results.
+    """
+    label = f"{algorithm} {setting}"
+    if params:
+        overrides = " ".join(f"{key}={params[key]}" for key in sorted(params))
+        label = f"{label} {overrides}"
+    return label
+
+
+def resolve_entries(
+    entries: Iterable[Entry],
+) -> List[Tuple[str, str, Dict[str, Any], str]]:
+    """Unpack entries and assign each its unique series label.
+
+    Raises :class:`~repro.exceptions.ConfigurationError` when two
+    entries collapse to the same label (same algorithm, setting *and*
+    parameter overrides) — running a true duplicate would silently
+    discard one entry's results.
+    """
+    resolved: List[Tuple[str, str, Dict[str, Any], str]] = []
+    seen: Dict[str, int] = {}
+    for position, entry in enumerate(entries):
+        algorithm, setting, params = _unpack(entry)
+        label = series_label(algorithm, setting, params)
+        if label in seen:
+            raise ConfigurationError(
+                f"duplicate series label {label!r} (entries {seen[label] + 1} "
+                f"and {position + 1}): identical (algorithm, setting, params) "
+                "entries would overwrite each other's series"
+            )
+        seen[label] = position
+        resolved.append((algorithm, setting, params, label))
+    return resolved
 
 
 def order_sweep(
@@ -43,9 +84,8 @@ def order_sweep(
 ) -> SweepResult:
     """Run every (algorithm, setting) entry over square orders ``m=n=z``."""
     sweep = SweepResult(variable="order", xs=list(orders))
-    for entry in entries:
-        algorithm, setting, params = _unpack(entry)
-        results: List[ExperimentResult] = [
+    for algorithm, setting, params, label in resolve_entries(entries):
+        results: List[Optional[ExperimentResult]] = [
             run_experiment(
                 algorithm,
                 machine,
@@ -60,7 +100,7 @@ def order_sweep(
             )
             for order in orders
         ]
-        sweep.add(series_label(algorithm, setting), results)
+        sweep.add(label, results)
     return sweep
 
 
@@ -80,9 +120,8 @@ def ratio_sweep(
     re-plan at every point, exactly as in Fig. 12.
     """
     sweep = SweepResult(variable="r", xs=list(ratios))
-    for entry in entries:
-        algorithm, setting, params = _unpack(entry)
-        results = []
+    for algorithm, setting, params, label in resolve_entries(entries):
+        results: List[Optional[ExperimentResult]] = []
         for r in ratios:
             m = machine.with_bandwidth_ratio(r, total=total_bandwidth)
             results.append(
@@ -97,5 +136,5 @@ def ratio_sweep(
                     **params,
                 )
             )
-        sweep.add(series_label(algorithm, setting), results)
+        sweep.add(label, results)
     return sweep

@@ -1,0 +1,158 @@
+"""Sweep telemetry: per-cell records, worker utilization, run manifests.
+
+The sweep engine (:mod:`repro.sim.parallel`) is infrastructure: when a
+figure sweep of dozens of cells runs for minutes across a process pool,
+"it returned a SweepResult" is not enough evidence of *what* actually
+ran.  This module holds the observability layer:
+
+* :class:`CellRecord` — one (series, x) cell's outcome: status, attempt
+  count, cumulative in-worker wall time, the error that killed it (for
+  failed cells) and the worker that produced the final outcome.
+* :class:`WorkerStats` — per worker process: cells executed and busy
+  seconds, from which the manifest derives pool utilization.
+* :class:`RunManifest` — the JSON run manifest written alongside a
+  sweep: engine configuration (timeout/retry/backoff/chunking), every
+  cell record, worker statistics and ok/failed/skipped totals
+  (mirroring the checker's schema-2 cell accounting).
+
+Everything here is plain data; the engine owns the bookkeeping.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+#: Cell statuses in the manifest.  ``ok`` — produced a result; ``failed``
+#: — every attempt errored or timed out; ``skipped`` — never (re)ran,
+#: e.g. a suspected worker-killer that the in-process fallback refuses
+#: to execute.
+STATUS_OK = "ok"
+STATUS_FAILED = "failed"
+STATUS_SKIPPED = "skipped"
+
+#: Manifest schema version; bump on incompatible layout changes.
+MANIFEST_SCHEMA = 1
+
+
+@dataclass
+class CellRecord:
+    """Outcome of one sweep cell (one series label at one x value)."""
+
+    label: str
+    index: int
+    x: Any
+    status: str = STATUS_OK
+    attempts: int = 0
+    wall_s: float = 0.0
+    error_type: Optional[str] = None
+    error: Optional[str] = None
+    worker: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        d: Dict[str, Any] = {
+            "label": self.label,
+            "index": self.index,
+            "x": self.x,
+            "status": self.status,
+            "attempts": self.attempts,
+            "wall_s": round(self.wall_s, 6),
+        }
+        if self.error_type is not None:
+            d["error_type"] = self.error_type
+        if self.error is not None:
+            d["error"] = self.error
+        if self.worker is not None:
+            d["worker"] = self.worker
+        return d
+
+
+@dataclass
+class WorkerStats:
+    """Aggregate statistics of one worker process (keyed by pid)."""
+
+    pid: int
+    cells: int = 0
+    busy_s: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "pid": self.pid,
+            "cells": self.cells,
+            "busy_s": round(self.busy_s, 6),
+        }
+
+
+@dataclass
+class RunManifest:
+    """What one sweep engine run actually did, ready for JSON export."""
+
+    variable: str
+    xs: List[Any]
+    workers: int
+    cell_timeout_s: Optional[float]
+    retries: int
+    backoff_s: float
+    chunksize: int
+    elapsed_s: float = 0.0
+    pool_rebuilds: int = 0
+    serial_fallback: bool = False
+    cells: List[CellRecord] = field(default_factory=list)
+    worker_stats: List[WorkerStats] = field(default_factory=list)
+
+    def counts(self) -> Dict[str, int]:
+        """Cell totals by status: ``{"ok": …, "failed": …, "skipped": …}``."""
+        out = {STATUS_OK: 0, STATUS_FAILED: 0, STATUS_SKIPPED: 0}
+        for cell in self.cells:
+            out[cell.status] = out.get(cell.status, 0) + 1
+        return out
+
+    def utilization(self) -> float:
+        """Fraction of the pool's capacity spent running cells.
+
+        ``sum(worker busy time) / (elapsed * workers)``; 0 when the run
+        finished instantaneously or never dispatched.
+        """
+        denom = self.elapsed_s * max(self.workers, 1)
+        if denom <= 0:
+            return 0.0
+        return min(1.0, sum(w.busy_s for w in self.worker_stats) / denom)
+
+    def record_execution(self, pid: int, wall_s: float) -> None:
+        """Credit one cell execution to worker ``pid``."""
+        for stats in self.worker_stats:
+            if stats.pid == pid:
+                stats.cells += 1
+                stats.busy_s += wall_s
+                return
+        self.worker_stats.append(WorkerStats(pid=pid, cells=1, busy_s=wall_s))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": MANIFEST_SCHEMA,
+            "variable": self.variable,
+            "xs": list(self.xs),
+            "engine": {
+                "workers": self.workers,
+                "cell_timeout_s": self.cell_timeout_s,
+                "retries": self.retries,
+                "backoff_s": self.backoff_s,
+                "chunksize": self.chunksize,
+                "pool_rebuilds": self.pool_rebuilds,
+                "serial_fallback": self.serial_fallback,
+            },
+            "cells": [cell.to_dict() for cell in self.cells],
+            "cell_counts": self.counts(),
+            "workers": [w.to_dict() for w in sorted(self.worker_stats, key=lambda s: s.pid)],
+            "utilization": round(self.utilization(), 6),
+            "elapsed_s": round(self.elapsed_s, 6),
+        }
+
+    def write(self, path: Union[str, Path]) -> Path:
+        """Write the manifest as indented JSON; returns the path."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return target

@@ -61,6 +61,16 @@ class TestDirtyTracking:
         assert c.writebacks == 1
         assert not c.dirty
 
+    def test_dirty_eviction_reported_to_caller(self):
+        # The hierarchy needs to know the victim was dirty to land the
+        # write-back in the level below.
+        c = Cache("t", 1)
+        c.access(k(MAT_C, 0), write=True)
+        hit, victim, victim_dirty = c.access(k(MAT_C, 1))
+        assert not hit
+        assert victim == k(MAT_C, 0)
+        assert victim_dirty
+
     def test_clean_eviction_no_writeback(self):
         c = Cache("t", 1)
         c.access(k(MAT_A, 0))
@@ -86,8 +96,9 @@ class TestPolicyIntegration:
         c.access(1)
         c.access(2)
         c.access(1)  # FIFO: no refresh
-        _, victim = c.access(3)
+        _, victim, victim_dirty = c.access(3)
         assert victim == 1
+        assert not victim_dirty
 
     def test_policy_instance(self):
         from repro.cache.lru import LRUCache

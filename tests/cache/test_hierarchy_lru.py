@@ -65,6 +65,57 @@ class TestWritebacks:
         h.touch(0, kc(1))  # evicts dirty kc(0)
         assert h.distributed[0].writebacks == 1
 
+    def test_distributed_writeback_dirties_shared_copy(self):
+        # Mirrors IdealHierarchy.evict_distributed: a dirty victim
+        # written back from a distributed cache makes the shared copy
+        # dirty, so its later shared eviction counts a shared
+        # write-back.
+        h = LRUHierarchy(p=1, cs=16, cd=1)
+        h.touch(0, kc(0), write=True)
+        h.touch(0, kc(1))  # evicts dirty kc(0) -> shared copy dirty
+        assert kc(0) in h.shared.dirty
+        assert h.distributed[0].writebacks == 1
+
+    def test_shared_eviction_after_propagation_counts_writeback(self):
+        h = LRUHierarchy(p=1, cs=2, cd=1)
+        h.touch(0, kc(0), write=True)
+        h.touch(0, ka(0))  # evicts dirty kc(0) from distributed
+        assert kc(0) in h.shared.dirty
+        h.touch(0, kb(0))  # shared (cs=2) evicts kc(0): dirty -> write-back
+        assert kc(0) not in h.shared.dirty
+        assert h.shared.writebacks == 1
+
+    def test_writeback_to_memory_when_shared_copy_gone(self):
+        # If the shared cache already dropped the block, the distributed
+        # write-back goes straight to memory: counted once at the
+        # distributed level, no shared dirtiness appears.
+        h = LRUHierarchy(p=1, cs=1, cd=2)
+        h.touch(0, kc(0), write=True)
+        h.touch(0, ka(0))  # shared (cs=1) evicts kc(0); core keeps both
+        h.touch(0, kb(0))  # distributed evicts dirty kc(0); not in shared
+        assert h.distributed[0].writebacks == 1
+        assert kc(0) not in h.shared.dirty
+        assert h.shared.writebacks == 0
+
+    def test_matches_ideal_dirty_propagation_semantics(self):
+        # The same load/evict story expressed against IdealHierarchy
+        # must yield the same shared write-back count.
+        from repro.cache.hierarchy import IdealHierarchy
+
+        ideal = IdealHierarchy(p=1, cs=4, cd=1)
+        ideal.load_shared(kc(0))
+        ideal.load_distributed(0, kc(0))
+        ideal.mark_distributed_dirty(0, kc(0))
+        ideal.evict_distributed(0, kc(0))  # dirty -> shared copy dirty
+        ideal.evict_shared(kc(0))  # dirty shared eviction -> write-back
+        assert ideal.shared_writebacks == 1
+
+        lru = LRUHierarchy(p=1, cs=2, cd=1)
+        lru.touch(0, kc(0), write=True)
+        lru.touch(0, ka(0))  # distributed evicts dirty kc(0)
+        lru.touch(0, kb(0))  # shared evicts kc(0)
+        assert lru.shared.writebacks == ideal.shared_writebacks
+
 
 class TestInclusiveMode:
     def test_back_invalidation(self):
@@ -135,6 +186,14 @@ class TestFastPathEquivalence:
         assert [c.writebacks for c in fs.distributed] == [
             c.writebacks for c in ss.distributed
         ]
+        # Write-back accounting and dirtiness must agree everywhere:
+        # shared write-backs only match if distributed dirty evictions
+        # propagate identically on both paths.
+        assert fs.shared.writebacks == ss.shared.writebacks
+        assert fast.shared.dirty == slow.shared.dirty
+        for fdc, sdc in zip(fast.distributed, slow.distributed):
+            assert fdc.dirty == sdc.dirty
+        assert set(fast.shared.policy) == set(slow.shared.policy)
 
     def test_fifo_uses_generic_path(self):
         h = LRUHierarchy(p=1, cs=8, cd=3, policy="fifo")

@@ -118,6 +118,75 @@ class TestFloatEquality:
         assert lint_source("ok = ms == md\n", "m.py") == []
 
 
+class TestDeadBranch:
+    def test_if_pass_flagged(self):
+        src = (
+            "def f(x):\n"
+            "    if x > 0:\n"
+            "        pass\n"
+            "    return x\n"
+        )
+        found = lint_source(src, "m.py")
+        assert rules(found) == ["dead-branch"]
+
+    def test_if_pass_with_else_clean(self):
+        src = (
+            "def f(x):\n"
+            "    if x > 0:\n"
+            "        pass\n"
+            "    else:\n"
+            "        x = -x\n"
+            "    return x\n"
+        )
+        assert lint_source(src, "m.py") == []
+
+    def test_elif_pass_in_dispatch_chain_clean(self):
+        # `elif op == COMPUTE: pass` is a legitimate "nothing to do for
+        # this case" arm (repro.check.capacity uses exactly this).
+        src = (
+            "def f(op):\n"
+            "    if op == 1:\n"
+            "        handle()\n"
+            "    elif op == 2:\n"
+            "        pass\n"
+            "    elif op == 3:\n"
+            "        other()\n"
+        )
+        assert lint_source(src, "m.py") == []
+
+    def test_body_with_real_statements_clean(self):
+        src = (
+            "def f(x):\n"
+            "    if x > 0:\n"
+            "        x += 1\n"
+            "    return x\n"
+        )
+        assert lint_source(src, "m.py") == []
+
+
+class TestInitSelfCall:
+    def test_reset_via_init_flagged(self):
+        src = (
+            "class C:\n"
+            "    def reset(self):\n"
+            "        self.__init__(self.p, self.cs)\n"
+        )
+        found = lint_source(src, "m.py")
+        assert rules(found) == ["init-self-call"]
+
+    def test_super_init_clean(self):
+        src = (
+            "class C(B):\n"
+            "    def __init__(self):\n"
+            "        super().__init__()\n"
+        )
+        assert lint_source(src, "m.py") == []
+
+    def test_other_objects_init_clean(self):
+        src = "def f(obj):\n    obj.__init__()\n"
+        assert lint_source(src, "m.py") == []
+
+
 class TestSyntaxError:
     def test_unparseable_reported_not_raised(self):
         found = lint_source("def f(:\n", "m.py")

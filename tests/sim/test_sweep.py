@@ -2,8 +2,9 @@
 
 import pytest
 
+from repro.exceptions import ConfigurationError
 from repro.sim.results import SweepResult
-from repro.sim.sweep import order_sweep, ratio_sweep, series_label
+from repro.sim.sweep import order_sweep, ratio_sweep, resolve_entries, series_label
 
 
 class TestOrderSweep:
@@ -26,8 +27,36 @@ class TestOrderSweep:
         sweep = order_sweep(
             [("shared-opt", "ideal", {"lam": 4})], quad, [8]
         )
-        result = sweep.series["shared-opt ideal"][0]
+        result = sweep.series["shared-opt ideal lam=4"][0]
         assert result.parameters["lambda"] == 4
+
+    def test_param_variants_keep_distinct_series(self, quad):
+        # Regression: two entries differing only in params used to
+        # collapse onto one label, silently dropping the first series.
+        sweep = order_sweep(
+            [
+                ("shared-opt", "ideal", {"lam": 4}),
+                ("shared-opt", "ideal", {"lam": 8}),
+            ],
+            quad,
+            [8],
+        )
+        assert set(sweep.labels()) == {
+            "shared-opt ideal lam=4",
+            "shared-opt ideal lam=8",
+        }
+        r4 = sweep.series["shared-opt ideal lam=4"][0]
+        r8 = sweep.series["shared-opt ideal lam=8"][0]
+        assert r4.parameters["lambda"] == 4
+        assert r8.parameters["lambda"] == 8
+
+    def test_duplicate_entries_rejected(self, quad):
+        with pytest.raises(ConfigurationError, match="duplicate series label"):
+            order_sweep(
+                [("shared-opt", "ideal"), ("shared-opt", "ideal")],
+                quad,
+                [4],
+            )
 
     def test_square_dims(self, quad):
         sweep = order_sweep([("shared-opt", "ideal")], quad, [6])
@@ -62,3 +91,28 @@ class TestSweepResult:
 
     def test_series_label(self):
         assert series_label("tradeoff", "lru-50") == "tradeoff lru-50"
+
+    def test_series_label_with_params(self):
+        # Params are sorted by name so the label is deterministic.
+        assert (
+            series_label("shared-opt", "lru-50", {"lam": 8, "alpha": 2})
+            == "shared-opt lru-50 alpha=2 lam=8"
+        )
+        assert series_label("tradeoff", "ideal", {}) == "tradeoff ideal"
+
+
+class TestResolveEntries:
+    def test_positions_in_duplicate_error(self):
+        entries = [
+            ("tradeoff", "ideal"),
+            ("shared-opt", "ideal"),
+            ("tradeoff", "ideal", {}),
+        ]
+        with pytest.raises(ConfigurationError, match="entries 1 and 3"):
+            resolve_entries(entries)
+
+    def test_resolves_params_and_labels(self):
+        resolved = resolve_entries([("shared-opt", "lru", {"lam": 2})])
+        assert resolved == [
+            ("shared-opt", "lru", {"lam": 2}, "shared-opt lru lam=2")
+        ]
