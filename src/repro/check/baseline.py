@@ -20,6 +20,7 @@ from typing import Any, Dict, List, Sequence, Set, Tuple
 
 from repro.check.findings import Finding
 from repro.exceptions import ReproError
+from repro.store.atomic import atomic_write_text
 
 #: Baseline file schema; bump on incompatible layout changes.
 BASELINE_SCHEMA = 1
@@ -76,7 +77,7 @@ def write_baseline(path: Path, findings: Sequence[Finding]) -> int:
         )
     entries.sort(key=lambda e: (str(e["rule"]), str(e["fingerprint"])))
     payload = {"schema": BASELINE_SCHEMA, "suppressions": entries}
-    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    atomic_write_text(path, json.dumps(payload, indent=2) + "\n")
     return len(entries)
 
 

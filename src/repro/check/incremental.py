@@ -34,6 +34,7 @@ from repro.algorithms.base import MatmulAlgorithm
 from repro.check.findings import CHECKER_VERSION
 from repro.check.runner import ScheduleReport
 from repro.model.machine import MulticoreMachine
+from repro.store.atomic import atomic_write_text
 
 #: Default cache directory, relative to the working directory.
 DEFAULT_CACHE_DIR = ".repro-check-cache"
@@ -146,16 +147,19 @@ class ReportCache:
         return reports
 
     def store(self, key: str, reports: List[ScheduleReport]) -> None:
-        """Persist a cell's reports under its fingerprint."""
-        self.root.mkdir(parents=True, exist_ok=True)
+        """Persist a cell's reports under its fingerprint.
+
+        Written atomically: a cache entry torn by a crash would
+        otherwise replay as a silent miss-parse forever (the key — a
+        content hash — never changes, so the bad file is never
+        overwritten by normal operation).
+        """
         payload = {
             "schema": CACHE_SCHEMA,
             "cell": key,
             "reports": [r.to_dict() for r in reports],
         }
-        self._path(key).write_text(
-            json.dumps(payload, indent=1), encoding="utf-8"
-        )
+        atomic_write_text(self._path(key), json.dumps(payload, indent=1))
 
     def stats(self) -> Tuple[int, int]:
         """(cells replayed from cache, cells analyzed fresh)."""

@@ -1,6 +1,6 @@
 """AST lint pass enforcing repo idioms over :mod:`repro` sources.
 
-Six rules, each born from a real failure mode of this codebase:
+Seven rules, each born from a real failure mode of this codebase:
 
 * ``explicit-guard`` — in ``algorithms/*.py``, calls to the explicit
   directives (``load_shared``, ``evict_shared``, ``load_dist``,
@@ -30,6 +30,13 @@ Six rules, each born from a real failure mode of this codebase:
   ``__init__`` as a reset silently re-reads constructor arguments off
   ``self`` and skips any state added outside ``__init__``; write an
   explicit reinitialisation instead.
+* ``nonatomic-artifact-write`` — outside :mod:`repro.store`, no direct
+  ``write_text``/``write_bytes`` calls and no write-mode ``open``:
+  every artifact writer must go through the atomic tmp-file + fsync +
+  rename helper (:mod:`repro.store.atomic`), because a plain write torn
+  by a crash leaves silently truncated JSON/CSV that every reader then
+  trusts.  Manifests, CSVs, cache entries and baselines all carried
+  exactly this bug before the run store existed.
 
 The pass is purely syntactic (:mod:`ast`), needs no imports of the
 linted code, and runs over the whole package in well under a second.
@@ -273,14 +280,78 @@ def _check_init_self_call(
             )
 
 
+def _open_write_mode(call: ast.Call) -> bool:
+    """Whether a call is a write/append-mode ``open`` / ``Path.open``."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        if func.id != "open":
+            return False
+        mode_position = 1  # builtin: open(file, mode, ...)
+    elif isinstance(func, ast.Attribute) and func.attr == "open":
+        mode_position = 0  # method: path.open(mode, ...)
+    else:
+        return False
+    mode: Optional[ast.expr] = None
+    if len(call.args) > mode_position:
+        mode = call.args[mode_position]
+    for keyword in call.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if not isinstance(mode, ast.Constant) or not isinstance(mode.value, str):
+        return False  # default mode is "r"; dynamic modes stay out of scope
+    return any(ch in mode.value for ch in "wax")
+
+
+def _check_nonatomic_write(
+    tree: ast.AST, filename: str, findings: List[Finding]
+) -> None:
+    """Rule ``nonatomic-artifact-write``: writes go through repro.store."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in (
+            "write_text",
+            "write_bytes",
+        ):
+            findings.append(
+                _finding(
+                    "nonatomic-artifact-write",
+                    f"direct .{func.attr}(...) outside repro.store: a crash "
+                    "mid-write leaves a silently truncated artifact; use "
+                    "repro.store.atomic.atomic_write_text/_bytes",
+                    filename,
+                    node.lineno,
+                )
+            )
+        elif _open_write_mode(node):
+            findings.append(
+                _finding(
+                    "nonatomic-artifact-write",
+                    "write-mode open(...) outside repro.store: a crash "
+                    "mid-write leaves a silently truncated artifact; use "
+                    "repro.store.atomic (or repro.store.checkpoint for "
+                    "append-only logs)",
+                    filename,
+                    node.lineno,
+                )
+            )
+
+
 def lint_source(
     source: str,
     filename: str,
     *,
     algorithms_module: bool = False,
+    store_module: bool = False,
     registered: Optional[Set[str]] = None,
 ) -> List[Finding]:
-    """Lint one module's source text; ``filename`` is for reporting only."""
+    """Lint one module's source text; ``filename`` is for reporting only.
+
+    ``store_module`` marks files inside :mod:`repro.store`, the one
+    place allowed to perform raw writes (it implements the atomic
+    protocol everything else must use).
+    """
     findings: List[Finding] = []
     try:
         tree = ast.parse(source, filename=filename)
@@ -293,6 +364,8 @@ def lint_source(
     _check_float_equality(tree, filename, findings)
     _check_dead_branch(tree, filename, findings)
     _check_init_self_call(tree, filename, findings)
+    if not store_module:
+        _check_nonatomic_write(tree, filename, findings)
     if algorithms_module:
         _check_explicit_guard(tree, filename, findings)
         _check_registered(tree, filename, registered or set(), findings)
@@ -323,10 +396,12 @@ def run_lint(
     findings: List[Finding] = []
     for path in paths:
         is_algorithms = path.parent.name == "algorithms"
+        is_store = path.parent.name == "store"
         findings += lint_source(
             path.read_text(encoding="utf-8"),
             str(path),
             algorithms_module=is_algorithms,
+            store_module=is_store,
             registered=registered,
         )
     return findings

@@ -25,6 +25,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.check.findings import CHECKER_VERSION, ERROR, Finding
+from repro.store.atomic import atomic_write_text
 
 #: The canonical 2.1.0 schema URI GitHub validates against.
 SARIF_SCHEMA = (
@@ -60,6 +61,9 @@ RULE_DESCRIPTIONS: Dict[str, str] = {
     "lint/unregistered-algorithm": "Concrete schedule missing from the registry",
     "lint/mutable-default": "Mutable default argument",
     "lint/float-equality": "Equality comparison on a floating-point Tdata value",
+    "lint/dead-branch": "Branch condition is a compile-time constant",
+    "lint/init-self-call": "Explicit self.__init__(...) call used as a reset",
+    "lint/nonatomic-artifact-write": "Artifact written without the atomic store helper",
     "lint/syntax": "Source file does not parse",
 }
 
@@ -157,6 +161,6 @@ def to_sarif(
 def write_sarif(
     path: Path, findings: Sequence[Finding], *, root: Optional[Path] = None
 ) -> None:
-    """Serialize :func:`to_sarif` output to ``path``."""
+    """Atomically serialize :func:`to_sarif` output to ``path``."""
     document = to_sarif(findings, root=root)
-    path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    atomic_write_text(path, json.dumps(document, indent=2) + "\n")

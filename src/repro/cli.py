@@ -9,7 +9,10 @@ Subcommands
 ``run``
     One experiment: algorithm × machine × dimensions × setting.
 ``sweep``
-    Square-order sweep for one or more algorithms.
+    Square-order sweep for one or more algorithms; ``--run-dir`` makes
+    the run durable (checkpointed, resumable with ``--resume``).
+``runs``
+    Inspect durable run directories: ``list``, ``show``, ``verify``.
 ``figure``
     Regenerate a paper figure (``fig4`` … ``fig12``) as ASCII tables
     and optionally CSV files.
@@ -129,7 +132,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     machine = _machine_from_args(args)
     entries = [(alg, args.setting) for alg in args.algorithms]
-    if args.workers is not None or args.manifest is not None:
+    use_engine = (
+        args.workers is not None
+        or args.manifest is not None
+        or args.run_dir is not None
+    )
+    if use_engine:
         from repro.sim.parallel import parallel_order_sweep
 
         sweep = parallel_order_sweep(
@@ -141,8 +149,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             cell_timeout=args.cell_timeout,
             retries=args.retries,
             manifest_path=args.manifest,
+            run_dir=args.run_dir,
+            resume=args.resume,
         )
     else:
+        if args.resume:
+            print("error: --resume requires --run-dir", file=sys.stderr)
+            return 2
         sweep = order_sweep(entries, machine, args.orders, policy=args.policy)
     rows: List[Dict[str, Any]] = []
     for label, results in sweep.series.items():
@@ -159,16 +172,28 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
     if sweep.manifest is not None:
         counts = sweep.manifest.counts()
-        print(
+        summary = (
             f"sweep: {counts['ok']} ok, {counts['failed']} failed, "
-            f"{counts['skipped']} skipped; "
-            f"{sweep.manifest.workers} worker(s), "
-            f"utilization {sweep.manifest.utilization():.0%}, "
-            f"{sweep.manifest.elapsed_s:.2f}s",
-            file=sys.stderr,
+            f"{counts['skipped']} skipped"
         )
+        if sweep.manifest.resumed_cells:
+            summary += f" ({sweep.manifest.resumed_cells} resumed from checkpoint)"
+        summary += (
+            f"; {sweep.manifest.workers} worker(s), "
+            f"utilization {sweep.manifest.utilization():.0%}, "
+            f"{sweep.manifest.elapsed_s:.2f}s"
+        )
+        print(summary, file=sys.stderr)
         if args.manifest:
             print(f"manifest: {args.manifest}", file=sys.stderr)
+        if args.run_dir:
+            print(f"run dir: {args.run_dir}", file=sys.stderr)
+    if sweep.interrupted is not None:
+        import signal as _signal
+
+        print(f"sweep interrupted by {sweep.interrupted}", file=sys.stderr)
+        signum = getattr(_signal, sweep.interrupted, None)
+        return 128 + int(signum) if signum is not None else 1
     return 0 if sweep.complete else 1
 
 
@@ -324,6 +349,86 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 1 if errors else 0
 
 
+def _cmd_runs_list(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.store import list_runs
+
+    runs = list_runs(Path(args.root))
+    if not runs:
+        print(f"no run directories under {args.root}")
+        return 0
+    rows: List[Dict[str, Any]] = []
+    for path, meta in runs:
+        created = meta.get("created_at", "?")
+        if isinstance(created, (int, float)):
+            from datetime import datetime, timezone
+
+            created = datetime.fromtimestamp(created, tz=timezone.utc).strftime(
+                "%Y-%m-%d %H:%M:%S"
+            )
+        row: Dict[str, Any] = {
+            "run": str(path),
+            "status": meta.get("status", "?"),
+            "created": created,
+            "resumes": meta.get("resumes", 0),
+        }
+        counts = meta.get("cell_counts")
+        if isinstance(counts, dict):
+            row["ok"] = counts.get("ok", 0)
+            row["failed"] = counts.get("failed", 0)
+            row["skipped"] = counts.get("skipped", 0)
+        rows.append(row)
+    print(render_rows(rows))
+    return 0
+
+
+def _cmd_runs_show(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.store import RunStore
+
+    store = RunStore(Path(args.run_dir))
+    meta = store.load_meta()
+    if meta is None:
+        print(f"error: {args.run_dir} is not a run directory", file=sys.stderr)
+        return 2
+    for key in sorted(meta):
+        if key in ("schema", "kind"):
+            continue
+        print(f"{key}: {meta[key]}")
+    loaded = store.load_checkpoint()
+    counts: Dict[str, int] = {}
+    for record in loaded.ok_records().values():
+        status = str(record.get("status", "?"))
+        counts[status] = counts.get(status, 0) + 1
+    checkpoint = ", ".join(f"{n} {s}" for s, n in sorted(counts.items()))
+    print(f"checkpoint: {checkpoint or 'empty'} ({loaded.total_lines} record(s))")
+    if loaded.quarantined:
+        print(f"quarantined: {len(loaded.quarantined)} corrupt record(s)")
+    for warning in loaded.warnings:
+        print(f"warning: {warning}")
+    print(f"manifest: {'present' if store.manifest_path.exists() else 'missing'}")
+    return 0
+
+
+def _cmd_runs_verify(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.store import RunStore
+
+    audit = RunStore(Path(args.run_dir)).audit()
+    for error in audit.errors:
+        print(f"error: {error}")
+    for warning in audit.warnings:
+        print(f"warning: {warning}")
+    counts = audit.counts()
+    summary = ", ".join(f"{n} {s}" for s, n in sorted(counts.items()))
+    verdict = "ok" if audit.ok else "CORRUPT"
+    print(f"{args.run_dir}: {verdict} ({summary or 'no checkpoint records'})")
+    return 0 if audit.ok else 1
+
+
 def _cmd_tables(args: argparse.Namespace) -> int:
     print("Cache configurations (paper 4.1):")
     print(render_rows(cache_configuration_table()))
@@ -394,6 +499,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="write the JSON run manifest here (implies the parallel engine)",
+    )
+    durability = p_sweep.add_argument_group("durability")
+    durability.add_argument(
+        "--run-dir",
+        default=None,
+        metavar="DIR",
+        help="checkpoint every completed cell into this run directory "
+        "(implies the parallel engine); SIGINT/SIGTERM drain in-flight "
+        "work and flush the checkpoint before exiting",
+    )
+    durability.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from --run-dir's checkpoint: completed cells are "
+        "restored, only failed/skipped/missing cells re-run",
     )
     p_sweep.set_defaults(func=_cmd_sweep)
 
@@ -472,6 +592,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="export findings as SARIF 2.1.0 (GitHub code scanning)",
     )
     p_check.set_defaults(func=_cmd_check)
+
+    p_runs = sub.add_parser("runs", help="inspect durable run directories")
+    runs_sub = p_runs.add_subparsers(dest="runs_command", required=True)
+    p_runs_list = runs_sub.add_parser("list", help="list run directories")
+    p_runs_list.add_argument(
+        "root", nargs="?", default=".", help="directory to scan (default: .)"
+    )
+    p_runs_list.set_defaults(func=_cmd_runs_list)
+    p_runs_show = runs_sub.add_parser("show", help="show one run's metadata")
+    p_runs_show.add_argument("run_dir")
+    p_runs_show.set_defaults(func=_cmd_runs_show)
+    p_runs_verify = runs_sub.add_parser(
+        "verify", help="audit a run directory for corruption"
+    )
+    p_runs_verify.add_argument("run_dir")
+    p_runs_verify.set_defaults(func=_cmd_runs_verify)
 
     p_tables = sub.add_parser("tables", help="cache configuration tables")
     p_tables.set_defaults(func=_cmd_tables)

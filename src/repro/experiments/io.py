@@ -10,9 +10,27 @@ from __future__ import annotations
 import csv
 import io
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Sequence, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.experiments.figures import Figure, Panel
+from repro.store.atomic import atomic_write_text
+
+
+def fieldname_union(rows: Sequence[Mapping[str, Any]]) -> List[str]:
+    """Union of all rows' keys, preserving first-seen order.
+
+    Using only ``rows[0]``'s keys silently drops every column that
+    first appears in a later row (e.g. ``MS_pred`` on the first
+    algorithm with a registered formula mid-table).
+    """
+    names: List[str] = []
+    seen = set()
+    for row in rows:
+        for key in row:
+            if key not in seen:
+                seen.add(key)
+                names.append(key)
+    return names
 
 
 def _fmt(value: Any, width: int = 0) -> str:
@@ -32,7 +50,7 @@ def render_rows(rows: Sequence[Mapping[str, Any]]) -> str:
     """Render a list of dict rows as an aligned ASCII table."""
     if not rows:
         return "(empty)"
-    headers = list(rows[0])
+    headers = fieldname_union(rows)
     cells = [[_fmt(row.get(h, "")) for h in headers] for row in rows]
     widths = [
         max(len(h), *(len(c[i]) for c in cells)) for i, h in enumerate(headers)
@@ -66,13 +84,13 @@ def render_figure(figure: Figure) -> str:
 
 
 def panel_to_csv(panel: Panel, path: Union[str, Path]) -> None:
-    """Write one panel as CSV (x column + one column per series)."""
-    path = Path(path)
-    with path.open("w", newline="") as fh:
-        writer = csv.writer(fh)
-        writer.writerow([panel.xlabel, *panel.series])
-        for idx, x in enumerate(panel.xs):
-            writer.writerow([x, *(vals[idx] for vals in panel.series.values())])
+    """Atomically write one panel as CSV (x column + one column per series)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow([panel.xlabel, *panel.series])
+    for idx, x in enumerate(panel.xs):
+        writer.writerow([x, *(vals[idx] for vals in panel.series.values())])
+    atomic_write_text(path, buffer.getvalue())
 
 
 def figure_to_csv(figure: Figure, directory: Union[str, Path]) -> List[Path]:
@@ -87,13 +105,23 @@ def figure_to_csv(figure: Figure, directory: Union[str, Path]) -> List[Path]:
     return paths
 
 
-def rows_to_csv(rows: Sequence[Mapping[str, Any]], path: Union[str, Path]) -> None:
-    """Write dict rows as CSV."""
-    path = Path(path)
-    if not rows:
-        path.write_text("")
-        return
-    with path.open("w", newline="") as fh:
-        writer = csv.DictWriter(fh, fieldnames=list(rows[0]))
-        writer.writeheader()
-        writer.writerows(rows)
+def rows_to_csv(
+    rows: Sequence[Mapping[str, Any]],
+    path: Union[str, Path],
+    fieldnames: Optional[Sequence[str]] = None,
+) -> None:
+    """Atomically write dict rows as CSV.
+
+    Columns are the first-seen-order union of every row's keys (not
+    just ``rows[0]``'s), with missing cells left empty.  With no rows a
+    header-only file is written — pass ``fieldnames`` to pin the header
+    (otherwise an empty input yields an empty header line), so a
+    downstream CSV reader always finds a parseable document instead of
+    a zero-byte file.
+    """
+    names = list(fieldnames) if fieldnames is not None else fieldname_union(rows)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=names, restval="")
+    writer.writeheader()
+    writer.writerows(rows)
+    atomic_write_text(path, buffer.getvalue())

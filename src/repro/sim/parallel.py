@@ -38,13 +38,22 @@ infrastructure:
   wall time, worker utilization, pool rebuilds) attached to the
   returned :class:`~repro.sim.results.SweepResult` and optionally
   written to JSON.
+* **Durability** — with ``run_dir=`` the sweep is backed by a
+  :class:`~repro.store.rundir.RunStore`: every completed cell is
+  flushed to an append-only, checksummed checkpoint log the moment it
+  finishes, so a SIGKILL/OOM/power loss costs at most the cell in
+  flight.  ``resume=True`` reloads ``ok`` cells by deterministic
+  fingerprint (engine knobs excluded) and dispatches only the rest;
+  SIGINT/SIGTERM drain in-flight cells, flush the checkpoint and write
+  a partial manifest instead of aborting.
 
-See ``docs/SWEEPS.md`` for the full semantics.
+See ``docs/SWEEPS.md`` and ``docs/RUNSTORE.md`` for the full semantics.
 """
 
 from __future__ import annotations
 
 import os
+import signal
 import time
 from collections import deque
 from concurrent.futures import (
@@ -82,6 +91,15 @@ from repro.sim.telemetry import (
     CellRecord,
     RunManifest,
 )
+from repro.store.checkpoint import CheckpointWriter, cell_fingerprint
+from repro.store.rundir import (
+    STATUS_COMPLETE,
+    STATUS_INCOMPLETE,
+    STATUS_INTERRUPTED,
+    STATUS_RUNNING,
+    RunStore,
+)
+from repro.store.serde import result_from_dict, result_to_dict
 
 #: One submitted cell: (label, x-index, machine-index, m, n, z, attempt).
 #: Everything heavy is resolved worker-side from the initializer state.
@@ -100,6 +118,10 @@ _PERMANENT_ERRORS = (ConfigurationError, ParameterError, ScheduleError)
 #: in-process fallback refuses to re-run these (a crash would take the
 #: host process down, a hang could never be interrupted).
 _WORKER_KILLER_ERRORS = frozenset({"BrokenProcessPool", "TimeoutError"})
+
+#: How often a store-backed engine wakes from blocking waits to notice
+#: a pending SIGINT/SIGTERM drain request.
+_SIGNAL_POLL_S = 0.25
 
 
 # ----------------------------------------------------------------------
@@ -121,6 +143,19 @@ def _init_worker(
     _WORKER_MACHINES = machines
     _WORKER_ENTRIES = entries
     _WORKER_FAULTS = fault_plan
+    # A store-backed engine traps SIGINT/SIGTERM in the host process —
+    # and forked workers inherit those handlers.  A worker that treats
+    # SIGTERM as "set the drain flag" can never be torn down by
+    # ``_kill_pool`` (``process.terminate()`` would be a no-op on a hung
+    # worker, wedging the executor's manager thread until interpreter
+    # exit).  Reset: SIGTERM kills the worker again; SIGINT is ignored
+    # so a terminal Ctrl-C reaches only the host, which drains
+    # gracefully instead of losing in-flight cells to a broken pool.
+    try:
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover — exotic platforms
+        pass
 
 
 def _execute_cells(
@@ -224,12 +259,19 @@ class _SweepEngine:
         fault_plan: Optional[FaultPlan],
         serial_fallback: bool,
         pool_factory: Optional[Callable[..., Executor]],
+        store: Optional[RunStore] = None,
+        resume: bool = False,
+        drain_grace_s: float = 5.0,
     ) -> None:
         if retries < 0:
             raise ConfigurationError(f"retries must be >= 0, got {retries}")
         if cell_timeout is not None and cell_timeout <= 0:
             raise ConfigurationError(
                 f"cell_timeout must be positive, got {cell_timeout}"
+            )
+        if drain_grace_s < 0:
+            raise ConfigurationError(
+                f"drain_grace_s must be >= 0, got {drain_grace_s}"
             )
         self.variable = variable
         self.xs = list(xs)
@@ -243,9 +285,13 @@ class _SweepEngine:
         self.fault_plan = fault_plan
         self.serial_fallback = serial_fallback
         self.pool_factory = pool_factory or ProcessPoolExecutor
-        if chunksize is None:
-            chunksize = max(1, len(cells) // (workers * 4))
-        self.chunksize = max(1, chunksize)
+        self.store = store
+        self.resume = resume
+        self.drain_grace_s = drain_grace_s
+        self.writer: Optional[CheckpointWriter] = None
+        #: Signal number once SIGINT/SIGTERM asked the run to drain.
+        self.interrupt: Optional[int] = None
+        self._old_handlers: Dict[int, Any] = {}
 
         self.records: Dict[Tuple[str, int], CellRecord] = {}
         for label, index, *_rest in cells:
@@ -254,14 +300,6 @@ class _SweepEngine:
             )
         self.results: Dict[Tuple[str, int], ExperimentResult] = {}
         self.outstanding = set(self.records)
-        self.ready: Deque[List[CellSpec]] = deque(
-            [
-                list(cells[i : i + self.chunksize])
-                for i in range(0, len(cells), self.chunksize)
-            ]
-        )
-        self.waiting_retry: List[Tuple[float, CellSpec]] = []
-        self.inflight: Dict[Future[List[CellOutcome]], Tuple[List[CellSpec], Optional[float]]] = {}
         self.manifest = RunManifest(
             variable=variable,
             xs=self.xs,
@@ -269,8 +307,143 @@ class _SweepEngine:
             cell_timeout_s=cell_timeout,
             retries=retries,
             backoff_s=backoff,
-            chunksize=self.chunksize,
+            chunksize=1,  # finalized below once pending cells are known
         )
+
+        self.fingerprints: Dict[Tuple[str, int], str] = {}
+        if store is not None:
+            for spec in cells:
+                self.fingerprints[(spec[0], spec[1])] = self._cell_fp(spec)
+            if resume:
+                self._restore_from_checkpoint()
+
+        pending = [s for s in cells if (s[0], s[1]) in self.outstanding]
+        if chunksize is None:
+            chunksize = max(1, len(pending) // (workers * 4))
+        self.chunksize = max(1, chunksize)
+        self.manifest.chunksize = self.chunksize
+        self.ready: Deque[List[CellSpec]] = deque(
+            [
+                list(pending[i : i + self.chunksize])
+                for i in range(0, len(pending), self.chunksize)
+            ]
+        )
+        self.waiting_retry: List[Tuple[float, CellSpec]] = []
+        self.inflight: Dict[Future[List[CellOutcome]], Tuple[List[CellSpec], Optional[float]]] = {}
+
+    # -- durability -----------------------------------------------------
+    def _cell_fp(self, spec: CellSpec) -> str:
+        """Deterministic result fingerprint of one cell (engine knobs excluded)."""
+        label, index, machine_idx, m, n, z, _attempt = spec
+        algorithm, setting, kwargs = self.entries[label]
+        return cell_fingerprint(
+            algorithm=algorithm,
+            setting=setting,
+            kwargs=kwargs,
+            machine=self.machines[machine_idx],
+            variable=self.variable,
+            x=self.xs[index],
+            m=m,
+            n=n,
+            z=z,
+        )
+
+    def _restore_from_checkpoint(self) -> None:
+        """Reload ``ok`` cells from the run directory's checkpoint log.
+
+        A restored cell is finalized without dispatch and flagged
+        ``resumed``; quarantined (corrupt) records are counted and their
+        cells recompute.  Failure records never restore — a resumed
+        sweep re-runs every failed/skipped/missing cell.
+        """
+        assert self.store is not None
+        loaded = self.store.load_checkpoint()
+        self.manifest.quarantined_records = len(loaded.quarantined)
+        ok = loaded.ok_records()
+        for key, fp in self.fingerprints.items():
+            record = ok.get(fp)
+            if record is None:
+                continue
+            try:
+                result: ExperimentResult = result_from_dict(record["result"])
+            except (KeyError, TypeError, ValueError):
+                # A sealed record whose payload still doesn't deserialize
+                # is treated exactly like a checksum mismatch: recompute.
+                self.manifest.quarantined_records += 1
+                continue
+            cell = self.records[key]
+            cell.status = STATUS_OK
+            cell.attempts = result.attempts
+            cell.wall_s = float(record.get("wall_s", 0.0))
+            cell.worker = result.worker
+            cell.resumed = True
+            self.results[key] = result
+            self.outstanding.discard(key)
+            self.manifest.resumed_cells += 1
+
+    def _checkpoint(
+        self,
+        key: Tuple[str, int],
+        status: str,
+        *,
+        result: Optional[ExperimentResult] = None,
+    ) -> None:
+        """Flush one finalized cell to the checkpoint log (durable on return)."""
+        if self.writer is None:
+            return
+        record = self.records[key]
+        payload: Dict[str, Any] = {
+            "fp": self.fingerprints[key],
+            "label": key[0],
+            "index": key[1],
+            "x": self.xs[key[1]],
+            "status": status,
+            "attempts": record.attempts,
+            "wall_s": round(record.wall_s, 6),
+        }
+        if result is not None:
+            payload["result"] = result_to_dict(result)
+        else:
+            payload["error_type"] = record.error_type
+            payload["error"] = record.error
+        self.writer.append(payload)
+
+    # -- signals ---------------------------------------------------------
+    def _on_signal(self, signum: int, _frame: Any) -> None:
+        if self.interrupt is not None:
+            # Second signal: the user means it — abort hard.
+            raise KeyboardInterrupt
+        self.interrupt = signum
+
+    def _signal_name(self) -> Optional[str]:
+        if self.interrupt is None:
+            return None
+        try:
+            return signal.Signals(self.interrupt).name
+        except ValueError:
+            return f"signal {self.interrupt}"
+
+    def _install_signal_handlers(self) -> None:
+        """Trap SIGINT/SIGTERM for graceful draining (store-backed runs).
+
+        Only installable from the main thread; elsewhere the engine
+        keeps the default behaviour (the run is still crash-safe — the
+        checkpoint is flushed per cell)."""
+        if self.store is None:
+            return
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                self._old_handlers[sig] = signal.signal(sig, self._on_signal)
+            except (ValueError, OSError):
+                pass
+
+    def _restore_signal_handlers(self) -> None:
+        for sig, handler in self._old_handlers.items():
+            try:
+                signal.signal(sig, handler)
+            except (ValueError, OSError):
+                pass
+        self._old_handlers = {}
 
     # -- bookkeeping ----------------------------------------------------
     def _finalize_ok(
@@ -285,6 +458,7 @@ class _SweepEngine:
         record.error = None
         self.results[(label, index)] = result
         self.outstanding.discard((label, index))
+        self._checkpoint((label, index), STATUS_OK, result=result)
 
     def _charge_failure(
         self,
@@ -316,8 +490,11 @@ class _SweepEngine:
         else:
             record.status = STATUS_FAILED
             self.outstanding.discard(key)
+            self._checkpoint(key, STATUS_FAILED)
 
-    def _skip(self, spec: CellSpec, reason: str) -> None:
+    def _skip(
+        self, spec: CellSpec, reason: str, *, error_type: str = "Skipped"
+    ) -> None:
         label, index = spec[0], spec[1]
         key = (label, index)
         if key not in self.outstanding:
@@ -328,8 +505,9 @@ class _SweepEngine:
             f"{reason}" + (f" (last error: {record.error})" if record.error else "")
         )
         if record.error_type is None:
-            record.error_type = "Skipped"
+            record.error_type = error_type
         self.outstanding.discard(key)
+        self._checkpoint(key, STATUS_SKIPPED)
 
     # -- pool management ------------------------------------------------
     def _make_pool(self) -> Optional[Executor]:
@@ -396,6 +574,13 @@ class _SweepEngine:
             key = (spec[0], spec[1])
             if key not in self.outstanding:
                 continue
+            if self.interrupt is not None:
+                self._skip(
+                    spec,
+                    f"interrupted by {self._signal_name()} before the cell ran",
+                    error_type="Interrupted",
+                )
+                continue
             record = self.records[key]
             if record.error_type in _WORKER_KILLER_ERRORS:
                 self._skip(
@@ -405,7 +590,7 @@ class _SweepEngine:
                 )
                 continue
             attempt = spec[6]
-            while key in self.outstanding:
+            while key in self.outstanding and self.interrupt is None:
                 outcome = _execute_cells(
                     [spec[:6] + (attempt,)],
                     self.machines,
@@ -429,25 +614,95 @@ class _SweepEngine:
     # -- main loop -------------------------------------------------------
     def run(self) -> SweepResult:
         started = time.perf_counter()
-        pool = self._make_pool()
-        if pool is None and self.serial_fallback:
-            self._run_serial_fallback()
-        elif pool is None:
-            for key in sorted(self.outstanding):
-                record = self.records[key]
-                record.error_type = "PoolUnavailable"
-                record.error = "process pool could not be created"
-                self.outstanding.discard(key)
-        else:
-            try:
-                self._dispatch_loop(pool)
-            finally:
-                _kill_pool(pool)
+        self._prepare_store()
+        self._install_signal_handlers()
+        try:
+            if self.outstanding:
+                pool = self._make_pool()
+                if pool is None and self.serial_fallback:
+                    self._run_serial_fallback()
+                elif pool is None:
+                    for key in sorted(self.outstanding):
+                        record = self.records[key]
+                        record.error_type = "PoolUnavailable"
+                        record.error = "process pool could not be created"
+                        self.outstanding.discard(key)
+                        self._checkpoint(key, STATUS_SKIPPED)
+                else:
+                    try:
+                        self._dispatch_loop(pool)
+                    finally:
+                        _kill_pool(pool)
+            if self.interrupt is not None:
+                self.manifest.interrupted = self._signal_name()
+                for key in sorted(self.outstanding):
+                    self._skip(
+                        self._spec_for(key),
+                        f"interrupted by {self._signal_name()}",
+                        error_type="Interrupted",
+                    )
+        finally:
+            self._restore_signal_handlers()
+            if self.writer is not None:
+                self.writer.close()
+                self.writer = None
         self.manifest.elapsed_s = time.perf_counter() - started
-        return self._assemble()
+        sweep = self._assemble()
+        self._finalize_store()
+        return sweep
+
+    def _prepare_store(self) -> None:
+        """Stamp ``run.json``, open the checkpoint log for appending."""
+        if self.store is None:
+            return
+        config = {
+            "variable": self.variable,
+            "xs": self.xs,
+            "labels": self.labels,
+            "engine": {
+                "workers": self.workers,
+                "cell_timeout_s": self.cell_timeout,
+                "retries": self.retries,
+                "backoff_s": self.backoff,
+                "chunksize": self.chunksize,
+            },
+        }
+        if self.resume and self.store.exists():
+            meta = self.store.load_meta() or {}
+            self.store.update_meta(
+                status=STATUS_RUNNING,
+                resumes=int(meta.get("resumes", 0)) + 1,
+                **config,
+            )
+        else:
+            self.store.initialize(config)
+        self.writer = self.store.checkpoint_writer()
+
+    def _finalize_store(self) -> None:
+        """Write the manifest and final status into the run directory."""
+        if self.store is None:
+            return
+        self.manifest.write(self.store.manifest_path)
+        counts = self.manifest.counts()
+        if self.manifest.interrupted is not None:
+            status = STATUS_INTERRUPTED
+        elif counts[STATUS_FAILED] or counts[STATUS_SKIPPED]:
+            status = STATUS_INCOMPLETE
+        else:
+            status = STATUS_COMPLETE
+        self.store.update_meta(
+            status=status,
+            cell_counts=counts,
+            resumed_cells=self.manifest.resumed_cells,
+            interrupted=self.manifest.interrupted,
+            elapsed_s=round(self.manifest.elapsed_s, 6),
+        )
 
     def _dispatch_loop(self, pool: Executor) -> None:
         while self.outstanding:
+            if self.interrupt is not None:
+                self._drain(pool)
+                return
             now = time.monotonic()
             # Promote retries whose backoff has elapsed.
             due = [spec for when, spec in self.waiting_retry if when <= now]
@@ -499,7 +754,11 @@ class _SweepEngine:
             if not self.inflight:
                 if self.waiting_retry:
                     next_due = min(when for when, _spec in self.waiting_retry)
-                    time.sleep(max(0.0, next_due - time.monotonic()))
+                    pause = max(0.0, next_due - time.monotonic())
+                    if self.store is not None:
+                        # Stay responsive to SIGINT/SIGTERM drains.
+                        pause = min(pause, _SIGNAL_POLL_S)
+                    time.sleep(pause)
                     continue
                 break  # defensive: nothing queued, nothing running
 
@@ -557,10 +816,38 @@ class _SweepEngine:
         ]
         horizons.extend(when for when, _spec in self.waiting_retry)
         timeout = max(0.0, min(horizons) - now) if horizons else None
+        if self.store is not None:
+            # A store-backed run traps SIGINT/SIGTERM; wake periodically
+            # so the drain starts promptly even when nothing completes.
+            timeout = _SIGNAL_POLL_S if timeout is None else min(timeout, _SIGNAL_POLL_S)
         done, _pending = wait(
             set(self.inflight), timeout=timeout, return_when=FIRST_COMPLETED
         )
         return list(done)
+
+    def _drain(self, pool: Executor) -> None:
+        """Graceful shutdown: finish in-flight chunks, dispatch nothing new.
+
+        In-flight chunks get ``drain_grace_s`` to complete and be
+        checkpointed; whatever is still running then (or queued, or
+        waiting on a retry) is cancelled and recorded as an explicit
+        ``skipped`` cell with ``error_type="Interrupted"`` — the caller
+        (:meth:`run`) stamps those records after the drain."""
+        deadline = time.monotonic() + self.drain_grace_s
+        while self.inflight and time.monotonic() < deadline:
+            budget = max(0.0, deadline - time.monotonic())
+            done, _pending = wait(
+                set(self.inflight),
+                timeout=min(budget, _SIGNAL_POLL_S),
+                return_when=FIRST_COMPLETED,
+            )
+            if done and self._process_done(list(done)):
+                self._handle_broken_pool()
+                break
+        for future, (_chunk, _deadline) in list(self.inflight.items()):
+            future.cancel()
+        self.inflight.clear()
+        _kill_pool(pool)
 
     def _process_done(self, done: List[Future[List[CellOutcome]]]) -> bool:
         """Fold completed futures into records; returns pool-broke."""
@@ -614,6 +901,7 @@ class _SweepEngine:
             if record.status != STATUS_OK
         ]
         sweep.manifest = self.manifest
+        sweep.interrupted = self.manifest.interrupted
         return sweep
 
 
@@ -634,7 +922,12 @@ def _run_engine_sweep(
     serial_fallback: bool,
     manifest_path: Optional[Union[str, Path]],
     pool_factory: Optional[Callable[..., Executor]],
+    run_dir: Optional[Union[str, Path]],
+    resume: bool,
+    drain_grace_s: float,
 ) -> SweepResult:
+    if resume and run_dir is None:
+        raise ConfigurationError("resume=True requires a run_dir")
     engine = _SweepEngine(
         variable=variable,
         xs=xs,
@@ -650,6 +943,9 @@ def _run_engine_sweep(
         fault_plan=fault_plan,
         serial_fallback=serial_fallback,
         pool_factory=pool_factory,
+        store=RunStore(run_dir) if run_dir is not None else None,
+        resume=resume,
+        drain_grace_s=drain_grace_s,
     )
     sweep = engine.run()
     if manifest_path is not None and sweep.manifest is not None:
@@ -677,8 +973,16 @@ def parallel_order_sweep(
     serial_fallback: bool = True,
     manifest_path: Optional[Union[str, Path]] = None,
     pool_factory: Optional[Callable[..., Executor]] = None,
+    run_dir: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    drain_grace_s: float = 5.0,
 ) -> SweepResult:
-    """Fault-tolerant parallel equivalent of :func:`repro.sim.sweep.order_sweep`."""
+    """Fault-tolerant parallel equivalent of :func:`repro.sim.sweep.order_sweep`.
+
+    With ``run_dir`` the sweep is durably checkpointed per cell;
+    ``resume=True`` reloads completed cells from that directory and
+    dispatches only the rest (see ``docs/RUNSTORE.md``).
+    """
     resolved = resolve_entries(entries)
     labels = [label for _a, _s, _p, label in resolved]
     entry_table: Dict[str, Tuple[str, str, Dict[str, Any]]] = {}
@@ -706,6 +1010,9 @@ def parallel_order_sweep(
         serial_fallback=serial_fallback,
         manifest_path=manifest_path,
         pool_factory=pool_factory,
+        run_dir=run_dir,
+        resume=resume,
+        drain_grace_s=drain_grace_s,
     )
 
 
@@ -718,6 +1025,8 @@ def parallel_ratio_sweep(
     workers: Optional[int] = None,
     total_bandwidth: float = 2.0,
     check: bool = False,
+    inclusive: bool = False,
+    policy: str = "lru",
     cell_timeout: Optional[float] = None,
     retries: int = 2,
     backoff: float = 0.1,
@@ -726,6 +1035,9 @@ def parallel_ratio_sweep(
     serial_fallback: bool = True,
     manifest_path: Optional[Union[str, Path]] = None,
     pool_factory: Optional[Callable[..., Executor]] = None,
+    run_dir: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    drain_grace_s: float = 5.0,
 ) -> SweepResult:
     """Fault-tolerant parallel equivalent of :func:`repro.sim.sweep.ratio_sweep`.
 
@@ -741,7 +1053,9 @@ def parallel_ratio_sweep(
     entry_table: Dict[str, Tuple[str, str, Dict[str, Any]]] = {}
     cells: List[CellSpec] = []
     for algorithm, setting, params, label in resolved:
-        kwargs: Dict[str, Any] = dict(check=check, **params)
+        kwargs: Dict[str, Any] = dict(
+            check=check, inclusive=inclusive, policy=policy, **params
+        )
         entry_table[label] = (algorithm, setting, kwargs)
         for index in range(len(ratios)):
             cells.append((label, index, index, order, order, order, 1))
@@ -761,4 +1075,7 @@ def parallel_ratio_sweep(
         serial_fallback=serial_fallback,
         manifest_path=manifest_path,
         pool_factory=pool_factory,
+        run_dir=run_dir,
+        resume=resume,
+        drain_grace_s=drain_grace_s,
     )

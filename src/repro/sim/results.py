@@ -120,6 +120,9 @@ class SweepResult:
     #: Run manifest of the engine execution that produced this sweep
     #: (``None`` for serial sweeps).
     manifest: Optional[RunManifest] = None
+    #: Signal name when a store-backed run was interrupted and drained
+    #: (``"SIGINT"``/``"SIGTERM"``); ``None`` for runs that finished.
+    interrupted: Optional[str] = None
 
     def add(self, label: str, results: List[Optional[ExperimentResult]]) -> None:
         if len(results) != len(self.xs):

@@ -112,12 +112,17 @@ def ratio_sweep(
     *,
     total_bandwidth: float = 2.0,
     check: bool = False,
+    inclusive: bool = False,
+    policy: str = "lru",
 ) -> SweepResult:
     """Run entries over bandwidth ratios ``r = σS/(σS+σD)`` at fixed order.
 
     Each ratio rescales the machine's bandwidths (keeping their sum at
     ``total_bandwidth``); algorithms that adapt to bandwidths (Tradeoff)
-    re-plan at every point, exactly as in Fig. 12.
+    re-plan at every point, exactly as in Fig. 12.  ``policy`` and
+    ``inclusive`` forward to :func:`~repro.sim.runner.run_experiment`
+    exactly as in :func:`order_sweep`, so ratio sweeps can exercise the
+    FIFO and inclusive-hierarchy variants too.
     """
     sweep = SweepResult(variable="r", xs=list(ratios))
     for algorithm, setting, params, label in resolve_entries(entries):
@@ -133,6 +138,8 @@ def ratio_sweep(
                     order,
                     setting,
                     check=check,
+                    inclusive=inclusive,
+                    policy=policy,
                     **params,
                 )
             )

@@ -25,6 +25,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
+from repro.store.atomic import atomic_write_text
+
 #: Cell statuses in the manifest.  ``ok`` — produced a result; ``failed``
 #: — every attempt errored or timed out; ``skipped`` — never (re)ran,
 #: e.g. a suspected worker-killer that the in-process fallback refuses
@@ -34,7 +36,9 @@ STATUS_FAILED = "failed"
 STATUS_SKIPPED = "skipped"
 
 #: Manifest schema version; bump on incompatible layout changes.
-MANIFEST_SCHEMA = 1
+#: Schema 2 adds resume/interruption accounting (``resumed_cells``,
+#: ``quarantined_records``, ``interrupted``, per-cell ``resumed``).
+MANIFEST_SCHEMA = 2
 
 
 @dataclass
@@ -50,6 +54,9 @@ class CellRecord:
     error_type: Optional[str] = None
     error: Optional[str] = None
     worker: Optional[int] = None
+    #: Whether the result was restored from a run-directory checkpoint
+    #: instead of being executed by this engine run.
+    resumed: bool = False
 
     def to_dict(self) -> Dict[str, Any]:
         d: Dict[str, Any] = {
@@ -66,6 +73,8 @@ class CellRecord:
             d["error"] = self.error
         if self.worker is not None:
             d["worker"] = self.worker
+        if self.resumed:
+            d["resumed"] = True
         return d
 
 
@@ -99,6 +108,13 @@ class RunManifest:
     elapsed_s: float = 0.0
     pool_rebuilds: int = 0
     serial_fallback: bool = False
+    #: Cells restored from a run-directory checkpoint (never dispatched).
+    resumed_cells: int = 0
+    #: Checkpoint records rejected on load (checksum mismatch / corrupt).
+    quarantined_records: int = 0
+    #: Signal name (``"SIGINT"``/``"SIGTERM"``) when the run was
+    #: interrupted and drained instead of finishing.
+    interrupted: Optional[str] = None
     cells: List[CellRecord] = field(default_factory=list)
     worker_stats: List[WorkerStats] = field(default_factory=list)
 
@@ -143,6 +159,9 @@ class RunManifest:
                 "pool_rebuilds": self.pool_rebuilds,
                 "serial_fallback": self.serial_fallback,
             },
+            "resumed_cells": self.resumed_cells,
+            "quarantined_records": self.quarantined_records,
+            "interrupted": self.interrupted,
             "cells": [cell.to_dict() for cell in self.cells],
             "cell_counts": self.counts(),
             "workers": [w.to_dict() for w in sorted(self.worker_stats, key=lambda s: s.pid)],
@@ -151,8 +170,5 @@ class RunManifest:
         }
 
     def write(self, path: Union[str, Path]) -> Path:
-        """Write the manifest as indented JSON; returns the path."""
-        target = Path(path)
-        target.parent.mkdir(parents=True, exist_ok=True)
-        target.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
-        return target
+        """Atomically write the manifest as indented JSON; returns the path."""
+        return atomic_write_text(path, json.dumps(self.to_dict(), indent=2) + "\n")

@@ -1,0 +1,82 @@
+"""The one atomic artifact writer: tmp file + fsync + rename.
+
+Every artifact this repository produces — run manifests, figure CSVs,
+check-cache entries, baselines, SARIF exports, run metadata — goes
+through :func:`atomic_write_text` / :func:`atomic_write_bytes`.  A
+plain ``write_text`` that dies mid-write (crash, OOM kill, Ctrl-C,
+full disk) leaves a *silently truncated* file behind: valid-looking
+JSON/CSV prefixes are the worst kind of corruption, because every
+reader happily consumes them.  The atomic protocol guarantees a reader
+only ever sees the old complete file or the new complete file:
+
+1. write the full payload to a temporary file *in the target
+   directory* (``os.replace`` is only atomic within one filesystem);
+2. flush and ``fsync`` the temporary file, so the payload is durable
+   before it becomes visible;
+3. ``os.replace`` it over the target — atomic on POSIX and Windows;
+4. best-effort ``fsync`` the directory so the rename itself survives a
+   power cut (skipped on platforms that refuse directory fds).
+
+The ``lint/nonatomic-artifact-write`` rule (:mod:`repro.check.lint`)
+enforces that no artifact writer outside :mod:`repro.store` bypasses
+this module.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Union
+
+
+def fsync_directory(directory: Path) -> None:
+    """Best-effort fsync of a directory (making renames durable).
+
+    Some platforms/filesystems cannot open directories for syncing;
+    that only weakens durability against power loss, never atomicity,
+    so failures are deliberately swallowed.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: Union[str, Path], data: bytes) -> Path:
+    """Atomically replace ``path`` with ``data``; returns the path.
+
+    The payload is durable (fsynced) before the rename makes it
+    visible; on any failure the target is untouched and the temporary
+    file is removed.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=target.parent, prefix=f".{target.name}.", suffix=".tmp"
+    )
+    tmp = Path(tmp_name)
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, target)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    fsync_directory(target.parent)
+    return target
+
+
+def atomic_write_text(
+    path: Union[str, Path], text: str, encoding: str = "utf-8"
+) -> Path:
+    """Atomically replace ``path`` with ``text`` (see :func:`atomic_write_bytes`)."""
+    return atomic_write_bytes(path, text.encode(encoding))

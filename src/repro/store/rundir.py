@@ -1,0 +1,201 @@
+"""Run directories: durable, auditable homes for sweep executions.
+
+One sweep run owns one directory::
+
+    <run_dir>/
+      run.json          # run metadata: config, status, resume counters
+      checkpoint.jsonl  # append-only per-cell checkpoint log
+      manifest.json     # full RunManifest of the last engine execution
+
+``run.json`` and ``manifest.json`` go through the atomic writer, so a
+reader never observes a torn document; the checkpoint log has its own
+crash semantics (:mod:`repro.store.checkpoint`).  :class:`RunStore` is
+deliberately dumb storage — the sweep engine owns all scheduling
+decisions; the CLI's ``repro-mmm runs`` subcommands are thin views
+over :meth:`RunStore.audit` and :func:`list_runs`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.store.atomic import atomic_write_text
+from repro.store.checkpoint import (
+    CheckpointWriter,
+    LoadedCheckpoint,
+    load_checkpoint,
+)
+
+#: ``run.json`` schema; bump on incompatible layout changes.
+RUN_SCHEMA = 1
+
+#: Marker distinguishing a run directory from any other directory.
+RUN_KIND = "repro-sweep-run"
+
+#: Run lifecycle states recorded in ``run.json``.
+STATUS_RUNNING = "running"
+STATUS_COMPLETE = "complete"
+STATUS_INCOMPLETE = "incomplete"
+STATUS_INTERRUPTED = "interrupted"
+
+
+@dataclass
+class RunAudit:
+    """Integrity report of one run directory (``repro-mmm runs verify``)."""
+
+    path: Path
+    meta: Optional[Dict[str, Any]]
+    checkpoint: LoadedCheckpoint
+    has_manifest: bool
+    #: Problems that mean data was lost or cannot be trusted.
+    errors: List[str] = field(default_factory=list)
+    #: Recoverable oddities (torn tail, missing manifest, run left running).
+    warnings: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def counts(self) -> Dict[str, int]:
+        """Checkpointed record totals by status."""
+        out: Dict[str, int] = {}
+        for record in self.checkpoint.records.values():
+            status = str(record.get("status"))
+            out[status] = out.get(status, 0) + 1
+        return out
+
+
+class RunStore:
+    """Filesystem handle on one run directory."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    @property
+    def run_path(self) -> Path:
+        return self.root / "run.json"
+
+    @property
+    def checkpoint_path(self) -> Path:
+        return self.root / "checkpoint.jsonl"
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / "manifest.json"
+
+    def exists(self) -> bool:
+        return self.run_path.exists()
+
+    # -- metadata -------------------------------------------------------
+    def initialize(self, config: Dict[str, Any]) -> Dict[str, Any]:
+        """Create/overwrite ``run.json`` for a fresh run; returns the meta."""
+        meta: Dict[str, Any] = {
+            "schema": RUN_SCHEMA,
+            "kind": RUN_KIND,
+            "created_at": time.time(),
+            "status": STATUS_RUNNING,
+            "resumes": 0,
+            **config,
+        }
+        self._write_meta(meta)
+        return meta
+
+    def load_meta(self) -> Optional[Dict[str, Any]]:
+        """Parse ``run.json``; ``None`` when missing or unreadable."""
+        try:
+            payload = json.loads(self.run_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict) or payload.get("kind") != RUN_KIND:
+            return None
+        return payload
+
+    def update_meta(self, **fields: Any) -> Dict[str, Any]:
+        """Merge ``fields`` into ``run.json`` atomically; returns the meta."""
+        meta = self.load_meta() or {
+            "schema": RUN_SCHEMA,
+            "kind": RUN_KIND,
+            "created_at": time.time(),
+        }
+        meta.update(fields)
+        self._write_meta(meta)
+        return meta
+
+    def _write_meta(self, meta: Dict[str, Any]) -> None:
+        atomic_write_text(self.run_path, json.dumps(meta, indent=2) + "\n")
+
+    # -- checkpoint -----------------------------------------------------
+    def checkpoint_writer(self) -> CheckpointWriter:
+        """Open the append-only checkpoint log (repairing a torn tail)."""
+        return CheckpointWriter(self.checkpoint_path)
+
+    def load_checkpoint(self) -> LoadedCheckpoint:
+        return load_checkpoint(self.checkpoint_path)
+
+    # -- audit ----------------------------------------------------------
+    def audit(self) -> RunAudit:
+        """Full integrity check of the directory (metadata + checkpoint)."""
+        meta = self.load_meta()
+        checkpoint = self.load_checkpoint()
+        audit = RunAudit(
+            path=self.root,
+            meta=meta,
+            checkpoint=checkpoint,
+            has_manifest=self.manifest_path.exists(),
+        )
+        if meta is None:
+            if self.run_path.exists():
+                audit.errors.append("run.json exists but is not a valid run document")
+            else:
+                audit.errors.append("run.json is missing")
+        elif meta.get("status") == STATUS_RUNNING:
+            audit.warnings.append(
+                "run.json status is 'running': the run is live or died "
+                "without a graceful shutdown (resume to recover)"
+            )
+        for bad in checkpoint.quarantined:
+            if bad.fingerprint is not None and bad.fingerprint in checkpoint.records:
+                # The log is append-only, so a corrupt line is never
+                # rewritten — but an intact record for the same cell
+                # (e.g. the recompute a resume appended) means no data
+                # was lost: recovered, not corrupt.
+                audit.warnings.append(
+                    f"superseded corrupt checkpoint record: {bad.describe()} "
+                    "(an intact record for the cell exists)"
+                )
+            else:
+                audit.errors.append(f"corrupt checkpoint record: {bad.describe()}")
+        if checkpoint.torn_tail:
+            audit.warnings.append(
+                "checkpoint has a torn tail (crash mid-append); the final "
+                "record was dropped and its cell will be recomputed on resume"
+            )
+        if not audit.has_manifest:
+            audit.warnings.append("manifest.json is missing (run never finished)")
+        return audit
+
+
+def list_runs(root: Union[str, Path]) -> List[Tuple[Path, Dict[str, Any]]]:
+    """Run directories directly under ``root``, with their metadata.
+
+    ``root`` itself is included when it is a run directory, so
+    ``repro-mmm runs list some-run`` and ``… runs list runs/`` both do
+    what they look like they do.
+    """
+    base = Path(root)
+    out: List[Tuple[Path, Dict[str, Any]]] = []
+    candidates = [base]
+    if base.is_dir():
+        candidates += sorted(p for p in base.iterdir() if p.is_dir())
+    for candidate in candidates:
+        store = RunStore(candidate)
+        if not store.exists():
+            continue
+        meta = store.load_meta()
+        if meta is not None:
+            out.append((candidate, meta))
+    return out

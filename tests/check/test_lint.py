@@ -187,6 +187,51 @@ class TestInitSelfCall:
         assert lint_source(src, "m.py") == []
 
 
+class TestNonatomicArtifactWrite:
+    def test_write_text_flagged(self):
+        src = "def save(path, doc):\n    path.write_text(doc)\n"
+        assert rules(lint_source(src, "m.py")) == ["nonatomic-artifact-write"]
+
+    def test_write_bytes_flagged(self):
+        src = "def save(path, doc):\n    path.write_bytes(doc)\n"
+        assert rules(lint_source(src, "m.py")) == ["nonatomic-artifact-write"]
+
+    def test_builtin_open_write_mode_flagged(self):
+        src = 'def save(path):\n    with open(path, "w") as fh:\n        fh.write("x")\n'
+        assert rules(lint_source(src, "m.py")) == ["nonatomic-artifact-write"]
+
+    def test_path_open_append_mode_flagged(self):
+        src = 'def save(path):\n    fh = path.open(mode="ab")\n'
+        assert rules(lint_source(src, "m.py")) == ["nonatomic-artifact-write"]
+
+    def test_read_mode_clean(self):
+        src = (
+            'def load(path):\n'
+            '    with open(path) as fh:\n'
+            "        a = fh.read()\n"
+            '    with open(path, "rb") as fh:\n'
+            "        b = fh.read()\n"
+            "    return a, b\n"
+        )
+        assert lint_source(src, "m.py") == []
+
+    def test_dynamic_mode_out_of_scope(self):
+        src = "def touch(path, mode):\n    return open(path, mode)\n"
+        assert lint_source(src, "m.py") == []
+
+    def test_store_module_exempt(self):
+        src = 'def save(path, doc):\n    path.write_text(doc)\n'
+        assert lint_source(src, "m.py", store_module=True) == []
+
+    def test_atomic_helper_usage_clean(self):
+        src = (
+            "from repro.store.atomic import atomic_write_text\n"
+            "def save(path, doc):\n"
+            "    atomic_write_text(path, doc)\n"
+        )
+        assert lint_source(src, "m.py") == []
+
+
 class TestSyntaxError:
     def test_unparseable_reported_not_raised(self):
         found = lint_source("def f(:\n", "m.py")

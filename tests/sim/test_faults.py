@@ -220,7 +220,7 @@ class TestCombined:
         assert counts["ok"] == 4 and counts["failed"] == 2
         # The JSON manifest on disk mirrors the in-memory accounting.
         on_disk = json.loads(open(manifest_path).read())
-        assert on_disk["schema"] == 1
+        assert on_disk["schema"] == 2  # v2 added resume/durability fields
         assert on_disk["cell_counts"] == {"ok": 4, "failed": 2, "skipped": 0}
         assert on_disk["engine"]["pool_rebuilds"] >= 2
         assert len(on_disk["cells"]) == 6

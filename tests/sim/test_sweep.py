@@ -82,6 +82,32 @@ class TestRatioSweep:
         assert r1.ms == r2.ms and r1.md == r2.md
         assert r1.tdata != r2.tdata
 
+    def test_policy_forwarded(self, quad):
+        # ratio_sweep silently dropped policy/inclusive before PR 4: the
+        # kwargs never reached run_experiment, so every "fifo" ratio
+        # sweep quietly simulated LRU.  shared-opt at order 10 on the
+        # quad machine provably distinguishes the two policies.
+        label = "shared-opt lru"
+        lru = ratio_sweep([("shared-opt", "lru")], quad, [0.5], order=10)
+        fifo = ratio_sweep(
+            [("shared-opt", "lru")], quad, [0.5], order=10, policy="fifo"
+        )
+        assert (lru.series[label][0].ms, lru.series[label][0].md) != (
+            fifo.series[label][0].ms,
+            fifo.series[label][0].md,
+        )
+
+    def test_inclusive_forwarded(self, quad):
+        label = "shared-opt lru"
+        base = ratio_sweep([("shared-opt", "lru")], quad, [0.5], order=10)
+        incl = ratio_sweep(
+            [("shared-opt", "lru")], quad, [0.5], order=10, inclusive=True
+        )
+        assert (base.series[label][0].ms, base.series[label][0].md) != (
+            incl.series[label][0].ms,
+            incl.series[label][0].md,
+        )
+
 
 class TestSweepResult:
     def test_add_length_mismatch(self):

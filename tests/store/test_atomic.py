@@ -1,0 +1,53 @@
+"""Tests for the atomic tmp-file + fsync + rename writer."""
+
+import os
+
+import pytest
+
+from repro.store.atomic import atomic_write_bytes, atomic_write_text
+
+
+class TestAtomicWrite:
+    def test_writes_content(self, tmp_path):
+        path = tmp_path / "out.json"
+        atomic_write_text(path, '{"a": 1}\n')
+        assert path.read_text(encoding="utf-8") == '{"a": 1}\n'
+
+    def test_overwrites_existing(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("old")
+        atomic_write_text(path, "new")
+        assert path.read_text() == "new"
+
+    def test_bytes_roundtrip(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        atomic_write_bytes(path, b"\x00\xff\x01")
+        assert path.read_bytes() == b"\x00\xff\x01"
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "a" / "b" / "out.txt"
+        atomic_write_text(path, "x")
+        assert path.read_text() == "x"
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "x")
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+    def test_failed_write_leaves_target_intact(self, tmp_path, monkeypatch):
+        path = tmp_path / "out.txt"
+        path.write_text("original")
+
+        def boom(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(OSError):
+            atomic_write_text(path, "replacement")
+        # Target untouched, and the temp file was cleaned up.
+        assert path.read_text() == "original"
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+    def test_returns_path(self, tmp_path):
+        path = tmp_path / "out.txt"
+        assert atomic_write_text(path, "x") == path

@@ -1,0 +1,108 @@
+"""Tests for RunStore metadata, audits and run discovery."""
+
+from repro.store import (
+    RUN_KIND,
+    STATUS_COMPLETE,
+    STATUS_RUNNING,
+    RunStore,
+    list_runs,
+)
+
+
+class TestRunStoreMeta:
+    def test_initialize_and_load(self, tmp_path):
+        store = RunStore(tmp_path / "run")
+        meta = store.initialize({"variable": "order", "xs": [4, 8]})
+        assert meta["kind"] == RUN_KIND
+        assert meta["status"] == STATUS_RUNNING
+        assert meta["resumes"] == 0
+        loaded = store.load_meta()
+        assert loaded is not None
+        assert loaded["xs"] == [4, 8]
+
+    def test_update_merges(self, tmp_path):
+        store = RunStore(tmp_path / "run")
+        store.initialize({})
+        store.update_meta(status=STATUS_COMPLETE, resumes=3)
+        meta = store.load_meta()
+        assert meta is not None
+        assert meta["status"] == STATUS_COMPLETE
+        assert meta["resumes"] == 3
+
+    def test_load_meta_rejects_foreign_json(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.run_path.parent.mkdir(parents=True, exist_ok=True)
+        store.run_path.write_text('{"kind": "something-else"}')
+        assert store.load_meta() is None
+
+    def test_missing_is_not_a_run(self, tmp_path):
+        assert not RunStore(tmp_path / "nope").exists()
+        assert RunStore(tmp_path / "nope").load_meta() is None
+
+
+class TestAudit:
+    def _seed_run(self, root):
+        store = RunStore(root)
+        store.initialize({})
+        with store.checkpoint_writer() as writer:
+            writer.append({"fp": "a", "status": "ok"})
+            writer.append({"fp": "b", "status": "ok"})
+        return store
+
+    def test_clean_finished_run(self, tmp_path):
+        store = self._seed_run(tmp_path / "run")
+        store.update_meta(status=STATUS_COMPLETE)
+        store.manifest_path.write_text("{}")
+        audit = store.audit()
+        assert audit.ok
+        assert audit.warnings == []
+        assert audit.counts() == {"ok": 2}
+
+    def test_missing_run_json_is_an_error(self, tmp_path):
+        audit = RunStore(tmp_path / "void").audit()
+        assert not audit.ok
+        assert any("run.json is missing" in e for e in audit.errors)
+
+    def test_running_status_warns(self, tmp_path):
+        store = self._seed_run(tmp_path / "run")
+        audit = store.audit()
+        assert audit.ok  # warning, not error: resume recovers it
+        assert any("running" in w for w in audit.warnings)
+
+    def test_corrupt_record_is_an_error(self, tmp_path):
+        store = self._seed_run(tmp_path / "run")
+        store.update_meta(status=STATUS_COMPLETE)
+        store.manifest_path.write_text("{}")
+        lines = store.checkpoint_path.read_text().splitlines()
+        lines[0] = lines[0].replace('"ok"', '"OK"')  # break the checksum
+        store.checkpoint_path.write_text("\n".join(lines) + "\n")
+        audit = store.audit()
+        assert not audit.ok
+        assert any("checksum mismatch" in e for e in audit.errors)
+
+    def test_torn_tail_warns(self, tmp_path):
+        store = self._seed_run(tmp_path / "run")
+        store.update_meta(status=STATUS_COMPLETE)
+        store.manifest_path.write_text("{}")
+        raw = store.checkpoint_path.read_bytes()
+        store.checkpoint_path.write_bytes(raw[:-5])
+        audit = store.audit()
+        assert audit.ok
+        assert any("torn tail" in w for w in audit.warnings)
+
+
+class TestListRuns:
+    def test_finds_children_and_skips_noise(self, tmp_path):
+        RunStore(tmp_path / "run-a").initialize({})
+        RunStore(tmp_path / "run-b").initialize({})
+        (tmp_path / "not-a-run").mkdir()
+        runs = list_runs(tmp_path)
+        assert [p.name for p, _ in runs] == ["run-a", "run-b"]
+
+    def test_root_itself_counts(self, tmp_path):
+        RunStore(tmp_path / "solo").initialize({})
+        runs = list_runs(tmp_path / "solo")
+        assert [p.name for p, _ in runs] == ["solo"]
+
+    def test_empty(self, tmp_path):
+        assert list_runs(tmp_path) == []

@@ -73,6 +73,90 @@ class TestSweep:
         out = capsys.readouterr().out
         assert out.count("shared-opt") == 2  # one row per order
 
+    def test_sweep_run_dir_and_resume(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        base = [
+            "sweep", "shared-opt", "--orders", "4", "6", "--preset", "q32",
+            "--setting", "ideal", "--workers", "1", "--run-dir", str(run_dir),
+        ]
+        assert main(base) == 0
+        captured = capsys.readouterr()
+        assert (run_dir / "checkpoint.jsonl").exists()
+        assert (run_dir / "manifest.json").exists()
+        assert "run dir:" in captured.err
+
+        assert main(base + ["--resume"]) == 0
+        captured = capsys.readouterr()
+        assert "(2 resumed from checkpoint)" in captured.err
+
+    def test_resume_without_run_dir_rejected(self, capsys):
+        code = main(
+            ["sweep", "shared-opt", "--orders", "4", "--preset", "q32",
+             "--workers", "1", "--resume"]
+        )
+        assert code == 2
+        assert "resume" in capsys.readouterr().err
+
+
+class TestRuns:
+    def _make_run(self, run_dir):
+        return main(
+            ["sweep", "shared-opt", "--orders", "4", "6", "--preset", "q32",
+             "--setting", "ideal", "--workers", "1", "--run-dir", str(run_dir)]
+        )
+
+    def test_runs_list(self, tmp_path, capsys):
+        assert self._make_run(tmp_path / "run-a") == 0
+        capsys.readouterr()
+        assert main(["runs", "list", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "run-a" in out and "complete" in out
+
+    def test_runs_list_empty(self, tmp_path, capsys):
+        assert main(["runs", "list", str(tmp_path)]) == 0
+        assert "no run directories" in capsys.readouterr().out
+
+    def test_runs_show(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        assert self._make_run(run_dir) == 0
+        capsys.readouterr()
+        assert main(["runs", "show", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "status: complete" in out
+        assert "checkpoint: 2 ok" in out
+        assert "manifest: present" in out
+
+    def test_runs_show_rejects_non_run(self, tmp_path, capsys):
+        assert main(["runs", "show", str(tmp_path)]) == 2
+        assert "not a run directory" in capsys.readouterr().err
+
+    def test_runs_verify_clean_and_corrupt(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        assert self._make_run(run_dir) == 0
+        capsys.readouterr()
+        assert main(["runs", "verify", str(run_dir)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+        checkpoint = run_dir / "checkpoint.jsonl"
+        lines = checkpoint.read_text().splitlines()
+        lines[0] = lines[0].replace('"ok"', '"OK"')  # break the checksum
+        checkpoint.write_text("\n".join(lines) + "\n")
+        assert main(["runs", "verify", str(run_dir)]) == 1
+        out = capsys.readouterr().out
+        assert "CORRUPT" in out
+        assert "checksum mismatch" in out
+
+    def test_runs_verify_detects_truncation(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        assert self._make_run(run_dir) == 0
+        capsys.readouterr()
+        checkpoint = run_dir / "checkpoint.jsonl"
+        raw = checkpoint.read_bytes()
+        checkpoint.write_bytes(raw[:-9])  # SIGKILL-style torn tail
+        assert main(["runs", "verify", str(run_dir)]) == 0  # warning, not error
+        out = capsys.readouterr().out
+        assert "torn tail" in out
+
 
 class TestFigure:
     def test_figure_fig4(self, capsys):
