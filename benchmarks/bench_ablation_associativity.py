@@ -11,6 +11,7 @@ Artifact: out/ablation_associativity.txt.
 from repro.experiments.io import render_rows
 from repro.model.machine import MulticoreMachine
 from repro.sim.runner import run_experiment
+from repro.store.atomic import atomic_write_text
 
 # A q32-like machine with way-friendly capacities (multiples of 8).
 MACHINE = MulticoreMachine(p=4, cs=976, cd=16, q=32, name="assoc-ablation")
@@ -30,7 +31,7 @@ def bench_associativity(benchmark, out_dir):
         return rows
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
-    (out_dir / "ablation_associativity.txt").write_text(render_rows(rows))
+    atomic_write_text(out_dir / "ablation_associativity.txt", render_rows(rows))
     by_policy = {r["policy"]: r for r in rows}
     compulsory = 3 * ORDER * ORDER
     for row in rows:

@@ -9,6 +9,7 @@ produces, where the element of ``A`` is touched once per multiply-add).
 from repro.cache.block import block_key, MAT_A, MAT_B, MAT_C
 from repro.cache.hierarchy import LRUHierarchy
 from repro.cache.trace import AccessTrace
+from repro.store.atomic import atomic_write_text
 
 
 def _trace() -> AccessTrace:
@@ -57,7 +58,7 @@ def bench_counts_identical(benchmark, out_dir):
         return h1.snapshot(), h2.snapshot()
 
     s1, s2 = benchmark.pedantic(run, rounds=1, iterations=1)
-    (out_dir / "ablation_coalescing.txt").write_text(
+    atomic_write_text(out_dir / "ablation_coalescing.txt",
         f"entries full={len(trace)} coalesced={len(coalesced)}\n"
         f"MS full={s1.ms} coalesced={s2.ms}\n"
         f"MD full={s1.md_per_core} coalesced={s2.md_per_core}\n"

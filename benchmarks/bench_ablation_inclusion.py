@@ -7,6 +7,7 @@ simulation-time impact of back-invalidation on a full Shared Opt. run.
 
 from repro.model.machine import preset
 from repro.sim.runner import run_experiment
+from repro.store.atomic import atomic_write_text
 
 ORDER = 32
 
@@ -53,6 +54,6 @@ def bench_inclusion_miss_count_effect(benchmark, out_dir):
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     lines = ["inclusive  MS  MD"] + [f"{i}  {ms}  {md}" for i, ms, md in rows]
-    (out_dir / "ablation_inclusion.txt").write_text("\n".join(lines) + "\n")
+    atomic_write_text(out_dir / "ablation_inclusion.txt", "\n".join(lines) + "\n")
     # back-invalidation can only add distributed misses
     assert rows[1][2] >= rows[0][2]

@@ -7,6 +7,7 @@ benefit survives a FIFO hierarchy.
 
 from repro.model.machine import preset
 from repro.sim.runner import run_experiment
+from repro.store.atomic import atomic_write_text
 
 ORDER = 32
 
@@ -33,7 +34,7 @@ def bench_shared_opt_fifo(benchmark, out_dir):
     lru = run_experiment(
         "shared-opt", preset("q32"), ORDER, ORDER, ORDER, "lru-50", policy="lru"
     )
-    (out_dir / "ablation_policies.txt").write_text(
+    atomic_write_text(out_dir / "ablation_policies.txt",
         f"policy  MS  MD\nlru  {lru.ms}  {lru.md}\nfifo  {r.ms}  {r.md}\n"
     )
     # FIFO cannot beat LRU on this reuse-heavy access pattern by much.

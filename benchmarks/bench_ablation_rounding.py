@@ -10,6 +10,7 @@ the unconstrained α_num on each preset.
 from repro.analysis.tradeoff_opt import alpha_num, optimal_parameters
 from repro.model.machine import PRESETS, preset
 from repro.sim.runner import run_experiment
+from repro.store.atomic import atomic_write_text
 
 ORDER = 32
 
@@ -28,7 +29,7 @@ def bench_rounding_gap_table(benchmark, out_dir):
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     lines = ["preset  CS  CD  alpha_num  alpha_used"]
     lines += ["  ".join(str(x) for x in row) for row in rows]
-    (out_dir / "ablation_rounding.txt").write_text("\n".join(lines) + "\n")
+    atomic_write_text(out_dir / "ablation_rounding.txt", "\n".join(lines) + "\n")
     # The used α never exceeds the feasibility cap and always loses
     # something to rounding on these presets (α_used < α_num would be
     # an equality only if α_num were itself a multiple of √p·µ).
@@ -60,7 +61,7 @@ def bench_tradeoff_with_vs_without_rounding(benchmark, out_dir):
         return rounded, free
 
     rounded, free = benchmark.pedantic(run, rounds=1, iterations=1)
-    (out_dir / "ablation_rounding_tdata.txt").write_text(
+    atomic_write_text(out_dir / "ablation_rounding_tdata.txt",
         f"alpha rounded={rounded.parameters['alpha']} tdata={rounded.tdata}\n"
         f"alpha free={free.parameters['alpha']} tdata={free.tdata}\n"
     )

@@ -13,6 +13,7 @@ from repro.model.bounds import (
 )
 from repro.model.machine import preset
 from repro.sim.runner import run_experiment
+from repro.store.atomic import atomic_write_text
 
 ORDER = 60  # 2x lambda for exact tiling on q32
 
@@ -36,7 +37,7 @@ def bench_bounds_gap(benchmark, out_dir):
         return rows
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
-    (out_dir / "bounds_gap.txt").write_text(render_rows(rows))
+    atomic_write_text(out_dir / "bounds_gap.txt", render_rows(rows))
     by_name = {row["algorithm"]: row for row in rows}
     # the paper's two near-bound results
     assert by_name["shared-opt"]["MS/bound"] < 2.0

@@ -10,6 +10,7 @@ converge once nothing fits.  Artifact: out/extension_lu.txt.
 from repro.experiments.io import render_rows
 from repro.lu.runner import run_lu
 from repro.model.machine import preset
+from repro.store.atomic import atomic_write_text
 
 ORDERS = (16, 32, 40, 48)
 
@@ -34,7 +35,7 @@ def bench_lu_schedules(benchmark, out_dir):
         return rows
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
-    (out_dir / "extension_lu.txt").write_text(render_rows(rows))
+    atomic_write_text(out_dir / "extension_lu.txt", render_rows(rows))
     by_order = {r["order"]: r for r in rows}
     # below capacity: identical compulsory misses
     assert by_order[16]["MS right-looking"] == by_order[16]["MS left-looking"]

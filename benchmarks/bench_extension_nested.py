@@ -12,6 +12,7 @@ from repro.algorithms.nested import NestedMaxReuse
 from repro.experiments.io import render_rows
 from repro.model.machine import MulticoreMachine
 from repro.sim.contexts import MultiLevelContext
+from repro.store.atomic import atomic_write_text
 
 MACHINE = MulticoreMachine(p=16, cs=400, cd=21, q=8)
 ORDERS = (16, 32)
@@ -37,7 +38,7 @@ def bench_nested_vs_flat(benchmark, out_dir):
         return rows
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
-    (out_dir / "extension_nested.txt").write_text(render_rows(rows))
+    atomic_write_text(out_dir / "extension_nested.txt", render_rows(rows))
     for order in ORDERS:
         nested, flat = [r for r in rows if r["order"] == order]
         assert nested["LLC"] == flat["LLC"]

@@ -16,6 +16,7 @@ Artifact: out/extension_rectangular.txt.
 from repro.experiments.io import render_rows
 from repro.model.machine import preset
 from repro.sim.runner import run_experiment
+from repro.store.atomic import atomic_write_text
 
 #: Shapes of identical work mnz = 32768.
 SHAPES = [
@@ -48,7 +49,7 @@ def bench_rectangular_shapes(benchmark, out_dir):
         return rows
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
-    (out_dir / "extension_rectangular.txt").write_text(render_rows(rows))
+    atomic_write_text(out_dir / "extension_rectangular.txt", render_rows(rows))
     by_shape = {(r["m"], r["n"], r["z"]): r for r in rows}
     # long-z shape beats the cube at both levels (same work, smaller mn)
     assert (

@@ -7,6 +7,7 @@ against the ``√(27/8M)`` bound.  Artifact: out/lineage_singlelevel.txt.
 
 from repro.experiments.io import render_rows
 from repro.singlelevel.runner import run_single_level
+from repro.store.atomic import atomic_write_text
 
 MEMORY = 91  # mu = 9 (1+9+81), t = 5 (3*25 = 75)
 ORDER = 45  # divisible by both tile sides
@@ -30,7 +31,7 @@ def bench_single_level_ccr(benchmark, out_dir):
         return rows
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
-    (out_dir / "lineage_singlelevel.txt").write_text(render_rows(rows))
+    atomic_write_text(out_dir / "lineage_singlelevel.txt", render_rows(rows))
     max_reuse, equal = rows
     # [7]'s claim: max reuse beats the equal split and nears the bound
     assert max_reuse["loads"] < equal["loads"]

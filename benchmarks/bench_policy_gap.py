@@ -12,6 +12,7 @@ Artifact: out/policy_gap.txt.
 from repro.analysis.policies import replacement_gap
 from repro.experiments.io import render_rows
 from repro.model.machine import preset
+from repro.store.atomic import atomic_write_text
 
 ORDER = 16
 
@@ -37,7 +38,7 @@ def bench_policy_gap(benchmark, out_dir):
         return rows
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
-    (out_dir / "policy_gap.txt").write_text(render_rows(rows))
+    atomic_write_text(out_dir / "policy_gap.txt", render_rows(rows))
     for row in rows:
         assert row["cold"] <= row["opt"] <= row["lru"]
     # Distributed Opt. plans its µ² block to *fill* the cache, so plain

@@ -6,43 +6,66 @@ constant: touches per second of a full Shared Opt. LRU run across
 orders, and checks the cost is indeed linear in the touch count (so
 results at order 96 extrapolate to the paper's 1100 — only wall-clock,
 never shape, changes).  Artifact: out/scaling_simulator.txt.
+
+The step engine is pinned explicitly: the default replay engine
+memoizes traces and results across runs (and across benches in the
+same session), which is exactly what a scaling measurement must not
+see.  The companion ``bench_replay_scaling`` measures the replay
+engine's cold-cache cost per order — the constant that now binds the
+shipped sweeps — clearing the trace cache each round.
 """
 
 import time
 
+from repro.cache.replay import clear_trace_cache
 from repro.experiments.io import render_rows
 from repro.model.machine import preset
 from repro.sim.runner import run_experiment
+from repro.store.atomic import atomic_write_text
 
 ORDERS = (16, 32, 48)
 
 
-def bench_lru_scaling(benchmark, out_dir):
+def _scaling_rows(engine):
     machine = preset("q32")
+    rows = []
+    for order in ORDERS:
+        clear_trace_cache()
+        start = time.perf_counter()
+        run_experiment(
+            "shared-opt", machine, order, order, order, "lru-50", engine=engine
+        )
+        elapsed = time.perf_counter() - start
+        touches = 3 * order**3
+        rows.append(
+            {
+                "order": order,
+                "touches": touches,
+                "seconds": round(elapsed, 4),
+                "touches/s": int(touches / elapsed),
+            }
+        )
+    return rows
 
-    def run():
-        rows = []
-        for order in ORDERS:
-            start = time.perf_counter()
-            result = run_experiment(
-                "shared-opt", machine, order, order, order, "lru-50"
-            )
-            elapsed = time.perf_counter() - start
-            touches = 3 * order**3
-            rows.append(
-                {
-                    "order": order,
-                    "touches": touches,
-                    "seconds": round(elapsed, 4),
-                    "touches/s": int(touches / elapsed),
-                }
-            )
-        return rows
 
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
-    (out_dir / "scaling_simulator.txt").write_text(render_rows(rows))
+def bench_lru_scaling(benchmark, out_dir):
+    rows = benchmark.pedantic(lambda: _scaling_rows("step"), rounds=1, iterations=1)
+    atomic_write_text(out_dir / "scaling_simulator.txt", render_rows(rows))
     # linearity: throughput varies by < 4x across a 27x work range
     rates = [r["touches/s"] for r in rows]
     assert max(rates) < 4 * min(rates)
     # and it is fast enough for the shipped sweeps (>= 0.5M touches/s)
+    assert rates[-1] > 500_000
+
+
+def bench_replay_scaling(benchmark, out_dir):
+    rows = benchmark.pedantic(
+        lambda: _scaling_rows("replay"), rounds=1, iterations=1
+    )
+    atomic_write_text(
+        out_dir / "scaling_simulator_replay.txt", render_rows(rows)
+    )
+    # compile+replay is linear in the touch count too
+    rates = [r["touches/s"] for r in rows]
+    assert max(rates) < 4 * min(rates)
     assert rates[-1] > 500_000

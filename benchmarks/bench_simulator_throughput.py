@@ -4,12 +4,40 @@ These measure the raw cost of the hot operations — block touches in LRU
 mode and explicit loads in IDEAL mode — which determine how large a
 matrix order the harness can sweep.  They are the scaling ablation
 called out in DESIGN.md.
+
+The ``*_step`` / ``*_replay`` pairs compare the two simulation engines
+on identical workloads (same schedule, machine, counters):
+
+* ``mdcurve`` — an 8-point distributed-capacity curve: the step engine
+  runs one full hierarchy simulation per capacity; the replay engine
+  runs one bounded Mattson stack-distance pass total.  This is the
+  structural win (≥5×, grows with the number of capacity points).
+* ``fifo`` — a single FIFO cell: step's generic per-touch policy path
+  vs the replay sliding-window pass over a precompiled trace.
+* ``ideal_cell`` — re-evaluating an IDEAL cell end-to-end through
+  ``run_experiment``: the replay engine memoizes both the compiled
+  trace and its (capacity-independent) counters, so warm cells — the
+  common case in sweep resumes, conformance re-checks and figure
+  regeneration — cost a dict probe.  The step engine re-simulates.
 """
 
+import dataclasses
+
+import pytest
+
+from repro.algorithms.registry import get_algorithm
+from repro.cache import replay
 from repro.cache.block import block_key, MAT_A, MAT_B, MAT_C
 from repro.cache.hierarchy import IdealHierarchy, LRUHierarchy
+from repro.model.machine import PRESETS
+from repro.sim.runner import run_experiment
 
 N = 4096
+
+MACHINE = PRESETS["q32"]
+CURVE_ORDER = 16
+CURVE_CAPACITIES = (6, 9, 12, 15, 18, 21, 24, 27)
+CELL_ORDER = 24
 
 
 def _fma_keys(n):
@@ -67,3 +95,127 @@ def bench_ideal_load_evict(benchmark):
         return h.ms
 
     assert benchmark(run) == N
+
+
+# ----------------------------------------------------------------------
+# Engine comparison pairs (step vs replay)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def curve_trace():
+    """Compiled shared-opt trace for the capacity-curve benches."""
+    alg = get_algorithm("shared-opt")(
+        MACHINE, CURVE_ORDER, CURVE_ORDER, CURVE_ORDER
+    )
+    return replay.compile_trace(alg, directives=False)
+
+
+@pytest.fixture(scope="module")
+def cell_trace():
+    """Compiled shared-opt trace (with directives) for the cell benches."""
+    alg = get_algorithm("shared-opt")(MACHINE, CELL_ORDER, CELL_ORDER, CELL_ORDER)
+    return replay.compile_trace(alg, directives=True)
+
+
+def bench_mdcurve_step(benchmark):
+    """8-point distributed-capacity curve, one step simulation per point."""
+
+    def run():
+        curve = {}
+        for cap in CURVE_CAPACITIES:
+            result = run_experiment(
+                "shared-opt",
+                dataclasses.replace(MACHINE, cd=cap),
+                CURVE_ORDER,
+                CURVE_ORDER,
+                CURVE_ORDER,
+                "lru",
+                engine="step",
+            )
+            curve[cap] = result.stats.md_per_core
+        return curve
+
+    curve = benchmark(run)
+    assert len(curve) == len(CURVE_CAPACITIES)
+
+
+def bench_mdcurve_replay(benchmark, curve_trace):
+    """Same 8-point curve from one bounded stack-distance pass."""
+
+    def run():
+        return replay.distributed_miss_curves(curve_trace, CURVE_CAPACITIES)
+
+    curve = benchmark(run)
+    assert len(curve) == len(CURVE_CAPACITIES)
+
+
+def bench_fifo_step(benchmark):
+    """One FIFO cell through the step engine's generic policy path."""
+
+    def run():
+        return run_experiment(
+            "shared-opt",
+            MACHINE,
+            CELL_ORDER,
+            CELL_ORDER,
+            CELL_ORDER,
+            "lru",
+            policy="fifo",
+            engine="step",
+        ).stats.ms
+
+    assert benchmark(run) > 0
+
+
+def bench_fifo_replay(benchmark, cell_trace):
+    """Same FIFO cell as a sliding-window replay of the compiled trace.
+
+    Calls the single-configuration pass directly so every round measures
+    the pass itself, not the result memo.
+    """
+
+    def run():
+        return replay._replay_fifo_one(cell_trace, MACHINE.cs, MACHINE.cd).ms
+
+    assert benchmark(run) > 0
+
+
+def bench_ideal_cell_step(benchmark):
+    """Re-evaluating an IDEAL cell with the step engine (re-simulates)."""
+
+    def run():
+        return run_experiment(
+            "shared-opt",
+            MACHINE,
+            CELL_ORDER,
+            CELL_ORDER,
+            CELL_ORDER,
+            "ideal",
+            engine="step",
+        ).stats.ms
+
+    assert benchmark(run) > 0
+
+
+def bench_ideal_cell_replay(benchmark):
+    """Re-evaluating the same IDEAL cell with the replay engine.
+
+    After the first evaluation the compiled trace and its
+    capacity-independent counters are memoized, so warm cells — sweep
+    resumes, conformance re-checks, figure regeneration — cost a dict
+    probe plus result packaging.
+    """
+    run_experiment(
+        "shared-opt", MACHINE, CELL_ORDER, CELL_ORDER, CELL_ORDER, "ideal"
+    )  # warm the trace + result memo
+
+    def run():
+        return run_experiment(
+            "shared-opt",
+            MACHINE,
+            CELL_ORDER,
+            CELL_ORDER,
+            CELL_ORDER,
+            "ideal",
+        ).stats.ms
+
+    assert benchmark(run) > 0

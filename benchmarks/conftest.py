@@ -57,8 +57,9 @@ def out_dir() -> Path:
 def save_figure(figure, directory: Path) -> None:
     """Persist a regenerated figure: ASCII tables + per-panel CSV."""
     from repro.experiments.io import figure_to_csv, render_figure
+    from repro.store.atomic import atomic_write_text
 
-    (directory / f"{figure.id}.txt").write_text(render_figure(figure))
+    atomic_write_text(directory / f"{figure.id}.txt", render_figure(figure))
     figure_to_csv(figure, directory)
 
 

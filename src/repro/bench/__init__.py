@@ -1,0 +1,33 @@
+"""Performance trajectory recording and regression checking.
+
+:mod:`repro.bench.record` turns pytest-benchmark JSON into compact,
+diff-friendly ``BENCH_<date>.json`` records (median/IQR per benchmark
+plus an environment fingerprint) and compares records against a
+committed baseline with a noise-tolerant threshold.  The ``repro-mmm
+bench`` CLI subcommand and the CI ``benchmarks`` job are thin wrappers
+around this module, so developers and CI run the identical entrypoint.
+"""
+
+from repro.bench.record import (
+    BENCH_SCHEMA,
+    Regression,
+    compare_records,
+    default_record_path,
+    environment_fingerprint,
+    load_record,
+    record_from_benchmark_json,
+    run_quick_suite,
+    write_record,
+)
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "Regression",
+    "compare_records",
+    "default_record_path",
+    "environment_fingerprint",
+    "load_record",
+    "record_from_benchmark_json",
+    "run_quick_suite",
+    "write_record",
+]

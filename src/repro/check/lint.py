@@ -386,12 +386,20 @@ def run_lint(
     """Lint the :mod:`repro` package (or an explicit list of files).
 
     ``root`` defaults to the installed package directory, so the pass
-    always checks the code that would actually run.
+    always checks the code that would actually run.  When the package
+    lives in a source checkout (``src/repro``), the sibling
+    ``benchmarks/`` suite is scanned too — its artifact writers are
+    held to the same rules (e.g. ``nonatomic-artifact-write``) as the
+    package's.
     """
     if paths is None:
         if root is None:
             root = Path(__file__).resolve().parent.parent
-        paths = sorted(root.rglob("*.py"))
+        scan = sorted(root.rglob("*.py"))
+        bench_dir = root.parent.parent / "benchmarks"
+        if root.parent.name == "src" and bench_dir.is_dir():
+            scan += sorted(bench_dir.rglob("*.py"))
+        paths = scan
     registered = _registered_names()
     findings: List[Finding] = []
     for path in paths:

@@ -23,6 +23,9 @@ Subcommands
     the algorithm × machine matrix, plus the repo lint pass.
 ``tables``
     The §4.1 cache-configuration and parameter tables.
+``bench``
+    Record the benchmark suite as ``BENCH_<date>.json`` and optionally
+    compare against a committed baseline (exit 1 on regression).
 """
 
 from __future__ import annotations
@@ -437,6 +440,57 @@ def _cmd_tables(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.bench import record as bench_record
+
+    if args.from_json:
+        report = json.loads(Path(args.from_json).read_text())
+        record = bench_record.record_from_benchmark_json(
+            report, scale=args.scale
+        )
+    else:
+        record = bench_record.run_quick_suite(
+            scale=args.scale, bench_dir=args.bench_dir, select=args.select
+        )
+
+    out = Path(args.out) if args.out else bench_record.default_record_path()
+    bench_record.write_record(record, out)
+    n = len(record["benchmarks"])
+    print(f"recorded {n} benchmarks -> {out}")
+
+    if args.write_baseline:
+        bench_record.write_record(record, args.write_baseline)
+        print(f"baseline refreshed -> {args.write_baseline}")
+
+    if not args.baseline:
+        return 0
+    baseline = bench_record.load_record(args.baseline)
+    regressions, added, removed = bench_record.compare_records(
+        record, baseline, threshold=args.threshold
+    )
+    for name in added:
+        print(f"new benchmark (no baseline): {name}")
+    for name in removed:
+        print(f"benchmark gone from suite: {name}")
+    if regressions:
+        print(
+            f"{len(regressions)} regression(s) beyond "
+            f"{args.threshold:.0%} vs {args.baseline}:"
+        )
+        for regression in regressions:
+            print(f"  {regression.describe()}")
+        return 1
+    compared = len(set(record["benchmarks"]) & set(baseline["benchmarks"]))
+    print(
+        f"no regressions: {compared} benchmarks within "
+        f"{args.threshold:.0%} of {args.baseline}"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-mmm",
@@ -611,6 +665,60 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_tables = sub.add_parser("tables", help="cache configuration tables")
     p_tables.set_defaults(func=_cmd_tables)
+
+    p_bench = sub.add_parser(
+        "bench", help="record benchmark suite results (BENCH_<date>.json)"
+    )
+    p_bench.add_argument(
+        "--scale",
+        choices=("quick", "full"),
+        default="quick",
+        help="benchmark scale (REPRO_BENCH_SCALE)",
+    )
+    p_bench.add_argument(
+        "--bench-dir",
+        default="benchmarks",
+        help="benchmark suite directory (default: benchmarks)",
+    )
+    p_bench.add_argument(
+        "--select",
+        "-k",
+        default=None,
+        metavar="EXPR",
+        help="pytest -k expression to subset the suite",
+    )
+    p_bench.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="record output path (default: ./BENCH_<date>.json)",
+    )
+    p_bench.add_argument(
+        "--from-json",
+        default=None,
+        metavar="PATH",
+        help="convert an existing pytest-benchmark JSON report "
+        "instead of running the suite",
+    )
+    p_bench.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="compare medians against this record; exit 1 on regression",
+    )
+    p_bench.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="fractional median slowdown tolerated (default: 0.25)",
+    )
+    p_bench.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="PATH",
+        help="also write the fresh record as the new baseline",
+    )
+    p_bench.set_defaults(func=_cmd_bench)
 
     p_analyze = sub.add_parser(
         "analyze", help="LRU vs OPT vs compulsory misses for one schedule"

@@ -336,10 +336,11 @@ class _SweepEngine:
         """Deterministic result fingerprint of one cell (engine knobs excluded)."""
         label, index, machine_idx, m, n, z, _attempt = spec
         algorithm, setting, kwargs = self.entries[label]
+        fp_kwargs = {k: v for k, v in kwargs.items() if k != "engine"}
         return cell_fingerprint(
             algorithm=algorithm,
             setting=setting,
-            kwargs=kwargs,
+            kwargs=fp_kwargs,
             machine=self.machines[machine_idx],
             variable=self.variable,
             x=self.xs[index],
@@ -965,6 +966,7 @@ def parallel_order_sweep(
     check: bool = False,
     inclusive: bool = False,
     policy: str = "lru",
+    engine: str = "replay",
     cell_timeout: Optional[float] = None,
     retries: int = 2,
     backoff: float = 0.1,
@@ -989,7 +991,7 @@ def parallel_order_sweep(
     cells: List[CellSpec] = []
     for algorithm, setting, params, label in resolved:
         kwargs: Dict[str, Any] = dict(
-            check=check, inclusive=inclusive, policy=policy, **params
+            check=check, inclusive=inclusive, policy=policy, engine=engine, **params
         )
         entry_table[label] = (algorithm, setting, kwargs)
         for index, order in enumerate(orders):
@@ -1027,6 +1029,7 @@ def parallel_ratio_sweep(
     check: bool = False,
     inclusive: bool = False,
     policy: str = "lru",
+    engine: str = "replay",
     cell_timeout: Optional[float] = None,
     retries: int = 2,
     backoff: float = 0.1,
@@ -1054,7 +1057,7 @@ def parallel_ratio_sweep(
     cells: List[CellSpec] = []
     for algorithm, setting, params, label in resolved:
         kwargs: Dict[str, Any] = dict(
-            check=check, inclusive=inclusive, policy=policy, **params
+            check=check, inclusive=inclusive, policy=policy, engine=engine, **params
         )
         entry_table[label] = (algorithm, setting, kwargs)
         for index in range(len(ratios)):

@@ -15,12 +15,16 @@ from typing import Any, Optional, Type, Union
 from repro.algorithms.base import MatmulAlgorithm
 from repro.algorithms.registry import get_algorithm
 from repro.analysis.formulas import FORMULAS, predict
+from repro.cache import replay as replay_engine
 from repro.cache.hierarchy import IdealHierarchy, LRUHierarchy
 from repro.exceptions import ConfigurationError, ScheduleError
 from repro.model.machine import MulticoreMachine
 from repro.sim.contexts import IdealContext, LRUContext
 from repro.sim.results import ExperimentResult
 from repro.sim.settings import Setting, get_setting
+
+#: Valid values of ``run_experiment``'s ``engine`` parameter.
+ENGINES = ("replay", "step")
 
 
 def run_experiment(
@@ -35,6 +39,7 @@ def run_experiment(
     policy: str = "lru",
     inclusive: bool = False,
     verify_comp: bool = True,
+    engine: str = "replay",
     **alg_params: Any,
 ) -> ExperimentResult:
     """Run one algorithm on one machine under one setting.
@@ -60,9 +65,22 @@ def run_experiment(
         Assert that the schedule emitted exactly ``m·n·z`` elementary
         multiply-adds (cheap sanity net; disable only in throughput
         measurements).
+    engine:
+        ``"replay"`` (default) compiles the schedule's access trace
+        once (memoized across settings and repeated runs, see
+        :mod:`repro.cache.replay`) and replays it in bulk; counters are
+        bit-identical to ``"step"``, which interprets the schedule
+        reference-by-reference and remains the oracle.  Configurations
+        the replay engine does not cover (``check=True``, inclusive
+        hierarchies, associative/PLRU policies) silently use the step
+        engine.
     alg_params:
         Forwarded to the algorithm constructor (parameter overrides).
     """
+    if engine not in ENGINES:
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; valid engines: {list(ENGINES)}"
+        )
     if isinstance(algorithm, str):
         algorithm = get_algorithm(algorithm)
     if isinstance(setting, str):
@@ -76,6 +94,46 @@ def run_experiment(
             f"{alg.name} is a compute-only schedule without explicit "
             "IDEAL directives; run it under an LRU-family setting (or "
             "through MultiLevelContext)"
+        )
+
+    if engine == "replay" and replay_engine.supports(
+        setting.mode, policy, inclusive, check
+    ):
+        simulated = setting.simulated(machine)
+        start = time.perf_counter()
+        trace = replay_engine.compiled_trace_for(
+            alg, directives=setting.is_ideal
+        )
+        if setting.is_ideal:
+            stats = replay_engine.replay_ideal(trace)
+        elif policy == "fifo":
+            stats = replay_engine.replay_fifo(
+                trace, [(simulated.cs, simulated.cd)]
+            )[0]
+        else:
+            stats = replay_engine.replay_lru(
+                trace, [(simulated.cs, simulated.cd)]
+            )[0]
+        elapsed = time.perf_counter() - start
+        if verify_comp and trace.comp_total != m * n * z:
+            raise ScheduleError(
+                f"{alg.name} emitted {trace.comp_total} multiply-adds, "
+                f"expected m*n*z = {m * n * z}"
+            )
+        predicted = predict(alg) if alg.name in FORMULAS else None
+        return ExperimentResult(
+            algorithm=alg.name,
+            setting=setting.key,
+            machine=machine,
+            m=m,
+            n=n,
+            z=z,
+            parameters=alg.parameters(),
+            stats=stats,
+            comp=list(trace.comp),
+            predicted=predicted,
+            elapsed_s=elapsed,
+            worker=os.getpid(),
         )
 
     if setting.is_ideal:

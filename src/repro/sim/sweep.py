@@ -81,8 +81,16 @@ def order_sweep(
     check: bool = False,
     inclusive: bool = False,
     policy: str = "lru",
+    engine: str = "replay",
 ) -> SweepResult:
-    """Run every (algorithm, setting) entry over square orders ``m=n=z``."""
+    """Run every (algorithm, setting) entry over square orders ``m=n=z``.
+
+    With ``engine="replay"`` (the default) entries that share a
+    schedule — same algorithm, parameters and *declared* machine, e.g.
+    the ``lru``/``lru-2x``/``ideal`` family — reuse one memoized
+    compiled trace per order instead of re-running the schedule per
+    setting (see :mod:`repro.cache.replay`).
+    """
     sweep = SweepResult(variable="order", xs=list(orders))
     for algorithm, setting, params, label in resolve_entries(entries):
         results: List[Optional[ExperimentResult]] = [
@@ -96,6 +104,7 @@ def order_sweep(
                 check=check,
                 inclusive=inclusive,
                 policy=policy,
+                engine=engine,
                 **params,
             )
             for order in orders
@@ -114,6 +123,7 @@ def ratio_sweep(
     check: bool = False,
     inclusive: bool = False,
     policy: str = "lru",
+    engine: str = "replay",
 ) -> SweepResult:
     """Run entries over bandwidth ratios ``r = σS/(σS+σD)`` at fixed order.
 
@@ -140,6 +150,7 @@ def ratio_sweep(
                     check=check,
                     inclusive=inclusive,
                     policy=policy,
+                    engine=engine,
                     **params,
                 )
             )

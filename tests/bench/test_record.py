@@ -1,0 +1,159 @@
+"""Tests for BENCH record construction and baseline comparison."""
+
+import json
+
+import pytest
+
+from repro.bench.record import (
+    BENCH_SCHEMA,
+    Regression,
+    compare_records,
+    default_record_path,
+    environment_fingerprint,
+    load_record,
+    record_from_benchmark_json,
+    run_quick_suite,
+    write_record,
+)
+from repro.exceptions import ConfigurationError
+
+
+def _report(**medians):
+    """A minimal pytest-benchmark JSON report with given medians (s)."""
+    return {
+        "benchmarks": [
+            {
+                "fullname": name,
+                "name": name.rsplit("::", 1)[-1],
+                "stats": {
+                    "median": median,
+                    "iqr": median / 10,
+                    "mean": median * 1.05,
+                    "stddev": median / 8,
+                    "rounds": 30,
+                },
+            }
+            for name, median in medians.items()
+        ]
+    }
+
+
+def _record(**medians):
+    return record_from_benchmark_json(
+        _report(**medians), date="2026-08-06", environment={}
+    )
+
+
+class TestRecordConstruction:
+    def test_distills_stats_and_sorts_names(self):
+        record = _record(**{"b.py::two": 0.2, "a.py::one": 0.1})
+        assert record["schema"] == BENCH_SCHEMA
+        assert record["date"] == "2026-08-06"
+        assert list(record["benchmarks"]) == ["a.py::one", "b.py::two"]
+        entry = record["benchmarks"]["a.py::one"]
+        assert entry["median_s"] == 0.1
+        assert entry["iqr_s"] == pytest.approx(0.01)
+        assert entry["rounds"] == 30
+
+    def test_rejects_non_benchmark_json(self):
+        with pytest.raises(ConfigurationError, match="pytest-benchmark"):
+            record_from_benchmark_json({"nope": []})
+
+    def test_rejects_entry_without_median(self):
+        report = {"benchmarks": [{"fullname": "x", "stats": {}}]}
+        with pytest.raises(ConfigurationError, match="malformed"):
+            record_from_benchmark_json(report)
+
+    def test_environment_fingerprint_shape(self):
+        env = environment_fingerprint()
+        assert env["python"]
+        assert env["cpu_count"] >= 1
+        assert "git_commit" in env
+
+    def test_default_record_path_embeds_date(self, tmp_path):
+        path = default_record_path(tmp_path, date="2026-08-06")
+        assert path == tmp_path / "BENCH_2026-08-06.json"
+
+
+class TestRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        record = _record(**{"a.py::one": 0.1})
+        path = tmp_path / "BENCH_2026-08-06.json"
+        write_record(record, path)
+        assert load_record(path) == record
+        # atomic writer leaves no temp droppings
+        assert [p.name for p in tmp_path.iterdir()] == [path.name]
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": 99, "benchmarks": {}}))
+        with pytest.raises(ConfigurationError, match="schema"):
+            load_record(path)
+
+    def test_load_rejects_non_record(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ConfigurationError):
+            load_record(path)
+
+
+class TestComparison:
+    def test_within_threshold_passes(self):
+        base = _record(**{"a.py::one": 0.100})
+        cur = _record(**{"a.py::one": 0.120})  # +20% < 25%
+        regressions, added, removed = compare_records(cur, base)
+        assert regressions == [] and added == [] and removed == []
+
+    def test_regression_beyond_threshold(self):
+        base = _record(**{"a.py::one": 0.100, "a.py::two": 0.100})
+        cur = _record(**{"a.py::one": 0.130, "a.py::two": 0.090})
+        regressions, _, _ = compare_records(cur, base)
+        assert [r.name for r in regressions] == ["a.py::one"]
+        assert regressions[0].ratio == pytest.approx(1.3)
+        assert "1.30x" in regressions[0].describe()
+
+    def test_custom_threshold(self):
+        base = _record(**{"a.py::one": 0.100})
+        cur = _record(**{"a.py::one": 0.115})
+        assert compare_records(cur, base, threshold=0.10)[0]
+        assert not compare_records(cur, base, threshold=0.20)[0]
+
+    def test_added_and_removed_are_informational(self):
+        base = _record(**{"a.py::old": 0.1, "a.py::both": 0.1})
+        cur = _record(**{"a.py::new": 9.9, "a.py::both": 0.1})
+        regressions, added, removed = compare_records(cur, base)
+        assert regressions == []
+        assert added == ["a.py::new"]
+        assert removed == ["a.py::old"]
+
+    def test_speedups_never_fail(self):
+        base = _record(**{"a.py::one": 1.0})
+        cur = _record(**{"a.py::one": 0.01})
+        assert compare_records(cur, base)[0] == []
+
+    def test_negative_threshold_rejected(self):
+        record = _record(**{"a.py::one": 0.1})
+        with pytest.raises(ConfigurationError):
+            compare_records(record, record, threshold=-0.1)
+
+    def test_zero_baseline_median_skipped(self):
+        base = _record(**{"a.py::one": 0.0})
+        cur = _record(**{"a.py::one": 1.0})
+        assert compare_records(cur, base)[0] == []
+
+
+class TestRunner:
+    def test_rejects_unknown_scale(self):
+        with pytest.raises(ConfigurationError, match="scale"):
+            run_quick_suite(scale="warp")
+
+    def test_rejects_missing_bench_dir(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="not found"):
+            run_quick_suite(bench_dir=tmp_path / "nope")
+
+
+class TestRegressionDataclass:
+    def test_frozen(self):
+        regression = Regression("a", 1.0, 2.0)
+        with pytest.raises(AttributeError):
+            regression.name = "b"

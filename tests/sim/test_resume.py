@@ -294,3 +294,29 @@ class TestGracefulSignals:
         assert resumed.manifest is not None
         assert resumed.manifest.resumed_cells == counts["ok"]
         assert_bit_identical(resumed, order_sweep(ENTRIES, MACHINE, ORDERS))
+
+
+class TestEngineAgnosticFingerprints:
+    def test_resume_across_engines_replays_checkpoints(self, tmp_path):
+        """A run checkpointed under one engine resumes under the other.
+
+        Cell fingerprints exclude the engine knob (counters are
+        bit-identical by contract), so switching engines must not force
+        any recomputation — the resumed sweep replays every cell.
+        """
+        run_dir = tmp_path / "run"
+        parallel_order_sweep(
+            ENTRIES, MACHINE, ORDERS, workers=1, run_dir=run_dir, engine="step"
+        )
+        resumed = parallel_order_sweep(
+            ENTRIES,
+            MACHINE,
+            ORDERS,
+            workers=1,
+            run_dir=run_dir,
+            resume=True,
+            engine="replay",
+        )
+        assert resumed.manifest.resumed_cells == len(ENTRIES) * len(ORDERS)
+        serial = order_sweep(ENTRIES, MACHINE, ORDERS)
+        assert_bit_identical(resumed, serial)

@@ -142,3 +142,26 @@ class TestResolveEntries:
         assert resolved == [
             ("shared-opt", "lru", {"lam": 2}, "shared-opt lru lam=2")
         ]
+
+
+class TestEngineKnob:
+    def test_order_sweep_engines_agree(self, quad):
+        entries = [("shared-opt", "lru"), ("shared-opt", "ideal")]
+        rep = order_sweep(entries, quad, [4, 6])
+        step = order_sweep(entries, quad, [4, 6], engine="step")
+        for label in rep.labels():
+            for a, b in zip(rep.series[label], step.series[label]):
+                assert a.stats == b.stats
+
+    def test_ratio_sweep_engines_agree(self, quad):
+        rep = ratio_sweep([("tradeoff", "lru")], quad, [0.3, 0.7], order=8)
+        step = ratio_sweep(
+            [("tradeoff", "lru")], quad, [0.3, 0.7], order=8, engine="step"
+        )
+        for label in rep.labels():
+            for a, b in zip(rep.series[label], step.series[label]):
+                assert a.stats == b.stats
+
+    def test_unknown_engine_rejected(self, quad):
+        with pytest.raises(ConfigurationError, match="unknown engine"):
+            order_sweep([("shared-opt", "lru")], quad, [4], engine="warp")

@@ -331,3 +331,85 @@ class TestLU:
     def test_lu_verify(self, capsys):
         assert main(["lu", "--preset", "q32", "-n", "8", "--verify"]) == 0
         assert "verification passed" in capsys.readouterr().out
+
+
+class TestBench:
+    @staticmethod
+    def _fake_report(path, median):
+        import json
+
+        path.write_text(
+            json.dumps(
+                {
+                    "benchmarks": [
+                        {
+                            "fullname": "bench_x.py::bench_one",
+                            "stats": {
+                                "median": median,
+                                "iqr": median / 10,
+                                "mean": median,
+                                "stddev": median / 8,
+                                "rounds": 10,
+                            },
+                        }
+                    ]
+                }
+            )
+        )
+
+    def test_from_json_records(self, tmp_path, capsys):
+        report = tmp_path / "report.json"
+        self._fake_report(report, 0.1)
+        out = tmp_path / "BENCH_test.json"
+        code = main(["bench", "--from-json", str(report), "--out", str(out)])
+        assert code == 0
+        assert "recorded 1 benchmarks" in capsys.readouterr().out
+        import json
+
+        record = json.loads(out.read_text())
+        assert record["benchmarks"]["bench_x.py::bench_one"]["median_s"] == 0.1
+
+    def test_baseline_pass_and_regression(self, tmp_path, capsys):
+        report = tmp_path / "report.json"
+        out = tmp_path / "bench.json"
+        baseline = tmp_path / "baseline.json"
+        self._fake_report(report, 0.1)
+        assert (
+            main(
+                [
+                    "bench",
+                    "--from-json",
+                    str(report),
+                    "--out",
+                    str(out),
+                    "--write-baseline",
+                    str(baseline),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        # within threshold
+        self._fake_report(report, 0.11)
+        args = [
+            "bench",
+            "--from-json",
+            str(report),
+            "--out",
+            str(out),
+            "--baseline",
+            str(baseline),
+        ]
+        assert main(args) == 0
+        assert "no regressions" in capsys.readouterr().out
+        # beyond threshold -> exit 1
+        self._fake_report(report, 0.2)
+        assert main(args) == 1
+        assert "regression(s)" in capsys.readouterr().out
+
+    def test_bad_report_is_cli_error(self, tmp_path, capsys):
+        report = tmp_path / "report.json"
+        report.write_text("{}")
+        code = main(["bench", "--from-json", str(report)])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
