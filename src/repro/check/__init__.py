@@ -20,9 +20,18 @@ optimality claims rest on invariants that can be proved over the
 * **cost** — counted distinct-block load traffic must equal the
   paper's closed-form ``MS``/``MD`` (exactly, on divisible orders) and
   may never beat the §2.3 Loomis–Whitney lower bounds;
+* **tightbounds / gap** — counted misses must also clear the strongest
+  known bounds (SLLvdG tight, memory-independent, compulsory), and
+  every cell's measured/bound ratio feeds a per-algorithm
+  optimality-gap certificate (``gap-report.json``) ratcheted against a
+  committed baseline;
+* **enginemodel** — a static walk of the configuration space and the
+  experiment/sweep call sites flags every cell that will silently fall
+  back from the replay engine to the step engine;
 * **lint** — an AST pass over the sources enforcing repo idioms
   (directives wrapped in ``if ctx.explicit``, schedules registered, no
-  mutable defaults, no ``==`` on floating-point ``Tdata``).
+  mutable defaults, no ``==`` on floating-point ``Tdata``, engine
+  fallback sites recording telemetry).
 
 Every finding carries a stable ``rule`` id and a content fingerprint;
 :mod:`repro.check.baseline` suppresses accepted fingerprints,
@@ -40,35 +49,61 @@ from __future__ import annotations
 
 from repro.check.baseline import apply_baseline, load_baseline, write_baseline
 from repro.check.capacity import check_capacity, check_parameters
-from repro.check.cost import CountedCosts, check_cost, count_costs
+from repro.check.cost import (
+    CountedCosts,
+    FormulaEnvelope,
+    check_cost,
+    count_costs,
+    formula_envelope,
+)
 from repro.check.coverage import check_coverage
+from repro.check.enginemodel import check_engine_model
 from repro.check.events import AnalysisContext
 from repro.check.findings import CHECKER_VERSION, Finding
+from repro.check.gap import (
+    AlgorithmGap,
+    GapCell,
+    GapReport,
+    build_gap_report,
+    compare_gap_reports,
+    load_gap_report,
+)
 from repro.check.incremental import ReportCache
 from repro.check.lint import run_lint
 from repro.check.presence import check_presence
 from repro.check.races import check_races
 from repro.check.runner import ScheduleReport, analyze_schedule, check_all
 from repro.check.sarif import to_sarif, write_sarif
+from repro.check.tightbounds import check_tight_bounds
 
 __all__ = [
+    "AlgorithmGap",
     "AnalysisContext",
     "CHECKER_VERSION",
     "CountedCosts",
     "Finding",
+    "FormulaEnvelope",
+    "GapCell",
+    "GapReport",
     "ReportCache",
     "ScheduleReport",
     "analyze_schedule",
     "apply_baseline",
+    "build_gap_report",
     "check_all",
     "check_capacity",
     "check_cost",
     "check_coverage",
+    "check_engine_model",
     "check_parameters",
     "check_presence",
     "check_races",
+    "check_tight_bounds",
+    "compare_gap_reports",
     "count_costs",
+    "formula_envelope",
     "load_baseline",
+    "load_gap_report",
     "run_lint",
     "to_sarif",
     "write_sarif",

@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.algorithms.base import MatmulAlgorithm
 from repro.analysis.formulas import FORMULAS, divisibility_ok, predict
@@ -109,14 +109,77 @@ def count_costs(events: Sequence[Event], p: int) -> CountedCosts:
     return CountedCosts(ms=ms, md=tuple(md))
 
 
+def envelope_ratio(counted: float, predicted: float) -> float:
+    """Symmetric counted/predicted ratio: ``max(c/p, p/c)`` (≥ 1).
+
+    ``inf`` when exactly one side is zero; 1 when both are.
+    """
+    lo, hi = sorted((counted, predicted))
+    if lo <= 0.0:
+        return 1.0 if hi <= 0.0 else math.inf
+    return hi / lo
+
+
+def envelope_used(
+    counted: float, predicted: float, bound: Tuple[float, float]
+) -> float:
+    """Fraction of the ragged-tile envelope a cell consumes.
+
+    The envelope is the symmetric ``x ≤ factor·y + slack`` band; the
+    worst direction's ``x / (factor·y + slack)`` is the usage — ≤ 1
+    inside the envelope, > 1 outside.  The gap report records this per
+    ragged cell so "how close to the envelope edge" is visible without
+    re-deriving it from the raw counts.
+    """
+    factor, slack = bound
+    out = 0.0
+    for x, y in ((counted, predicted), (predicted, counted)):
+        allowed = factor * y + slack
+        out = max(out, x / allowed if allowed > 0.0 else math.inf)
+    return out
+
+
 def _within_envelope(
     counted: float, predicted: float, bound: Tuple[float, float]
 ) -> bool:
     """Symmetric bounded-ratio check ``x ≤ factor·y + slack`` both ways."""
-    factor, slack = bound
-    return (
-        counted <= factor * predicted + slack
-        and predicted <= factor * counted + slack
+    return envelope_used(counted, predicted, bound) <= 1.0
+
+
+@dataclass(frozen=True)
+class FormulaEnvelope:
+    """How one cell's counted misses sit against its closed forms.
+
+    ``ms_ratio``/``md_ratio`` are the symmetric counted-vs-predicted
+    ratios; ``ms_used``/``md_used`` the fraction of the ragged-tile
+    envelope consumed (both 1.0-bounded on conforming cells).  On
+    divisible orders the ratios are exactly 1 by ``cost/formula-mismatch``.
+    """
+
+    predicted_ms: float
+    predicted_md: float
+    ms_ratio: float
+    md_ratio: float
+    ms_used: float
+    md_used: float
+    divisible: bool
+
+
+def formula_envelope(
+    alg: MatmulAlgorithm, counted: CountedCosts
+) -> Optional[FormulaEnvelope]:
+    """Envelope-slack summary for one cell; ``None`` without a formula."""
+    if alg.name not in FORMULAS:
+        return None
+    predicted = predict(alg)
+    return FormulaEnvelope(
+        predicted_ms=predicted.ms,
+        predicted_md=predicted.md,
+        ms_ratio=envelope_ratio(counted.ms, predicted.ms),
+        md_ratio=envelope_ratio(counted.md_max, predicted.md),
+        ms_used=envelope_used(counted.ms, predicted.ms, MS_RATIO_BOUND),
+        md_used=envelope_used(counted.md_max, predicted.md, MD_RATIO_BOUND),
+        divisible=divisibility_ok(alg),
     )
 
 
@@ -126,15 +189,19 @@ def check_cost(
     *,
     machine: str = "",
     limit: int = 25,
+    counted: Optional[CountedCosts] = None,
 ) -> List[Finding]:
     """Prove the recorded traffic conforms to formulas and lower bounds.
 
     ``limit`` is accepted for interface symmetry with the other
     analyzers; this pass emits at most a handful of findings per cell.
+    ``counted`` lets the runner share one :func:`count_costs` walk with
+    the tight-bound analyzer instead of re-walking the event log.
     """
     del limit  # never floods: at most six findings per schedule
     platform = alg.machine
-    counted = count_costs(events, platform.p)
+    if counted is None:
+        counted = count_costs(events, platform.p)
     findings: List[Finding] = []
 
     def fail(rule: str, message: str) -> None:
@@ -205,7 +272,10 @@ def check_cost(
                 "cost/formula-ratio",
                 f"counted MS={counted.ms} and predicted MS={predicted.ms:.1f} "
                 f"diverge beyond the ragged-tile envelope "
-                f"({factor}x + {slack:.0f})",
+                f"({factor}x + {slack:.0f}): ratio "
+                f"{envelope_ratio(counted.ms, predicted.ms):.2f}, envelope "
+                f"{envelope_used(counted.ms, predicted.ms, MS_RATIO_BOUND):.2f}x "
+                "used",
             )
         if not _within_envelope(counted.md_max, predicted.md, MD_RATIO_BOUND):
             factor, slack = MD_RATIO_BOUND
@@ -213,6 +283,9 @@ def check_cost(
                 "cost/formula-ratio",
                 f"counted MD={counted.md_max} and predicted MD="
                 f"{predicted.md:.1f} diverge beyond the ragged-tile envelope "
-                f"({factor}x + {slack:.0f})",
+                f"({factor}x + {slack:.0f}): ratio "
+                f"{envelope_ratio(counted.md_max, predicted.md):.2f}, envelope "
+                f"{envelope_used(counted.md_max, predicted.md, MD_RATIO_BOUND):.2f}x "
+                "used",
             )
     return findings

@@ -29,8 +29,10 @@ ERROR = "error"
 #: Version of the checker as a whole: findings schema, rule set and
 #: analyzer semantics.  Bumping it invalidates every incremental-cache
 #: entry (the cell fingerprint includes it) and dates SARIF output.
-#: v1 = PR-1 analyzers; v2 = rule ids + cost-conformance analyzer.
-CHECKER_VERSION = 2
+#: v1 = PR-1 analyzers; v2 = rule ids + cost-conformance analyzer;
+#: v3 = tight-bound conformance + optimality-gap certificate +
+#: engine-conformance analyzer.
+CHECKER_VERSION = 3
 
 
 @dataclass(frozen=True)

@@ -30,6 +30,13 @@ Seven rules, each born from a real failure mode of this codebase:
   ``__init__`` as a reset silently re-reads constructor arguments off
   ``self`` and skips any state added outside ``__init__``; write an
   explicit reinitialisation instead.
+* ``fallback-telemetry`` — any function that consults the replay
+  engine's ``supports(...)`` predicate (outside :mod:`repro.check`,
+  which only *reasons* about it) must also reference
+  ``note_engine_fallback``: a call site that can decide to fall back
+  from replay to step but records no telemetry reintroduces exactly
+  the silent-fallback hazard :mod:`repro.check.enginemodel` exists to
+  surface.
 * ``nonatomic-artifact-write`` — outside :mod:`repro.store`, no direct
   ``write_text``/``write_bytes`` calls and no write-mode ``open``:
   every artifact writer must go through the atomic tmp-file + fsync +
@@ -280,6 +287,54 @@ def _check_init_self_call(
             )
 
 
+def _references_name(tree: ast.AST, name: str) -> bool:
+    """Whether any node in ``tree`` names ``name`` (bare or attribute)."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name) and node.id == name:
+            return True
+        if isinstance(node, ast.Attribute) and node.attr == name:
+            return True
+    return False
+
+
+def _check_fallback_telemetry(
+    tree: ast.AST, filename: str, findings: List[Finding]
+) -> None:
+    """Rule ``fallback-telemetry``: ``supports(...)`` callers record it.
+
+    A function that consults the replay ``supports`` predicate decides
+    between the replay and step engines; unless it also references
+    ``note_engine_fallback`` (to record the step fallback) the decision
+    is invisible at runtime.
+    """
+    for func in ast.walk(tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        consults = any(
+            isinstance(node, ast.Call)
+            and isinstance(node.func, (ast.Name, ast.Attribute))
+            and (
+                node.func.id
+                if isinstance(node.func, ast.Name)
+                else node.func.attr
+            )
+            == "supports"
+            for node in ast.walk(func)
+        )
+        if consults and not _references_name(func, "note_engine_fallback"):
+            findings.append(
+                _finding(
+                    "fallback-telemetry",
+                    f"function {func.name!r} consults the replay engine's "
+                    "supports(...) predicate but never references "
+                    "note_engine_fallback; a replay->step fallback decided "
+                    "here would be silent — record it",
+                    filename,
+                    func.lineno,
+                )
+            )
+
+
 def _open_write_mode(call: ast.Call) -> bool:
     """Whether a call is a write/append-mode ``open`` / ``Path.open``."""
     func = call.func
@@ -344,13 +399,16 @@ def lint_source(
     *,
     algorithms_module: bool = False,
     store_module: bool = False,
+    check_module: bool = False,
     registered: Optional[Set[str]] = None,
 ) -> List[Finding]:
     """Lint one module's source text; ``filename`` is for reporting only.
 
     ``store_module`` marks files inside :mod:`repro.store`, the one
     place allowed to perform raw writes (it implements the atomic
-    protocol everything else must use).
+    protocol everything else must use).  ``check_module`` marks files
+    inside :mod:`repro.check`, which probe the replay ``supports``
+    predicate analytically and are exempt from ``fallback-telemetry``.
     """
     findings: List[Finding] = []
     try:
@@ -366,6 +424,8 @@ def lint_source(
     _check_init_self_call(tree, filename, findings)
     if not store_module:
         _check_nonatomic_write(tree, filename, findings)
+    if not check_module:
+        _check_fallback_telemetry(tree, filename, findings)
     if algorithms_module:
         _check_explicit_guard(tree, filename, findings)
         _check_registered(tree, filename, registered or set(), findings)
@@ -405,11 +465,13 @@ def run_lint(
     for path in paths:
         is_algorithms = path.parent.name == "algorithms"
         is_store = path.parent.name == "store"
+        is_check = path.parent.name == "check"
         findings += lint_source(
             path.read_text(encoding="utf-8"),
             str(path),
             algorithms_module=is_algorithms,
             store_module=is_store,
+            check_module=is_check,
             registered=registered,
         )
     return findings

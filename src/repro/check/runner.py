@@ -35,12 +35,14 @@ from typing import (
 from repro.algorithms.base import MatmulAlgorithm
 from repro.algorithms.registry import algorithm_names, get_algorithm
 from repro.check.capacity import check_capacity, check_parameters, working_set_peaks
-from repro.check.cost import check_cost
+from repro.check.cost import check_cost, count_costs
 from repro.check.coverage import check_coverage
 from repro.check.events import AnalysisContext
 from repro.check.findings import ERROR, Finding
+from repro.check.gap import GapCell
 from repro.check.presence import check_presence
 from repro.check.races import check_races
+from repro.check.tightbounds import check_tight_bounds
 from repro.exceptions import ReproError
 from repro.model.machine import PRESETS, MulticoreMachine
 
@@ -70,6 +72,9 @@ class ScheduleReport:
     skip_reason: str = ""
     elapsed_s: float = 0.0
     cached: bool = False
+    #: Optimality-gap data for the gap certificate; ``None`` for skipped
+    #: cells and compute-only schedules (no directives, nothing counted).
+    gap: Optional[GapCell] = None
 
     @property
     def errors(self) -> int:
@@ -102,6 +107,8 @@ class ScheduleReport:
             out["skip_reason"] = self.skip_reason
         if self.cached:
             out["cached"] = True
+        if self.gap is not None:
+            out["gap"] = self.gap.to_dict()
         return out
 
     @classmethod
@@ -121,6 +128,9 @@ class ScheduleReport:
             status=str(data.get("status", ANALYZED)),
             skip_reason=str(data.get("skip_reason", "")),
             elapsed_s=float(data.get("elapsed_s", 0.0)),
+            gap=(
+                GapCell.from_dict(data["gap"]) if data.get("gap") else None
+            ),
         )
 
 
@@ -164,10 +174,16 @@ def analyze_schedule(
 
     findings: List[Finding] = check_parameters(alg, machine=label)
     common: Dict[str, Any] = dict(algorithm=alg.name, machine=label, limit=limit)
+    gap: Optional[GapCell] = None
     if ctx.directives:
         findings += check_capacity(events, machine.cs, machine.cd, machine.p, **common)
         findings += check_presence(events, machine.p, **common)
-        findings += check_cost(alg, events, machine=label, limit=limit)
+        counted = count_costs(events, machine.p)
+        findings += check_cost(
+            alg, events, machine=label, limit=limit, counted=counted
+        )
+        tight_findings, gap = check_tight_bounds(alg, counted, machine=label)
+        findings += tight_findings
     findings += check_coverage(events, alg.m, alg.n, alg.z, **common)
     findings += check_races(events, machine.p, **common)
 
@@ -184,6 +200,7 @@ def analyze_schedule(
         peak_dist=peak_dist,
         findings=findings,
         elapsed_s=time.perf_counter() - started,
+        gap=gap,
     )
 
 

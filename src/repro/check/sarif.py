@@ -55,7 +55,11 @@ RULE_DESCRIPTIONS: Dict[str, str] = {
     "cost/formula-mismatch": "Counted misses contradict the closed-form prediction",
     "cost/formula-ratio": "Counted misses leave the ragged-tile envelope of the formula",
     "cost/below-lower-bound": "Counted misses beat the Loomis-Whitney lower bound",
+    "cost/below-tight-bound": "Counted misses beat the strongest (tight) lower bound",
     "cost/tdata-mismatch": "Tdata from counted misses disagrees with the prediction",
+    "gap/regression": "A certified optimality gap regressed against the baseline",
+    "gap/uncertified-algorithm": "An algorithm lost its near-optimality certificate",
+    "engine/silent-fallback": "Configuration silently falls back from replay to step",
     "schedule/raised": "Schedule raised while being recorded",
     "lint/explicit-guard": "Cache directive not wrapped in 'if ctx.explicit'",
     "lint/unregistered-algorithm": "Concrete schedule missing from the registry",
@@ -64,6 +68,7 @@ RULE_DESCRIPTIONS: Dict[str, str] = {
     "lint/dead-branch": "Branch condition is a compile-time constant",
     "lint/init-self-call": "Explicit self.__init__(...) call used as a reset",
     "lint/nonatomic-artifact-write": "Artifact written without the atomic store helper",
+    "lint/fallback-telemetry": "Engine-fallback site does not record telemetry",
     "lint/syntax": "Source file does not parse",
 }
 

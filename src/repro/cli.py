@@ -127,6 +127,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         check=args.check,
         inclusive=args.inclusive,
         policy=args.policy,
+        strict_engine=args.strict_engine,
     )
     print(render_rows([result.to_row()]))
     return 0
@@ -148,6 +149,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             machine,
             args.orders,
             policy=args.policy,
+            strict_engine=args.strict_engine,
             workers=args.workers,
             cell_timeout=args.cell_timeout,
             retries=args.retries,
@@ -159,7 +161,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         if args.resume:
             print("error: --resume requires --run-dir", file=sys.stderr)
             return 2
-        sweep = order_sweep(entries, machine, args.orders, policy=args.policy)
+        sweep = order_sweep(
+            entries,
+            machine,
+            args.orders,
+            policy=args.policy,
+            strict_engine=args.strict_engine,
+        )
     rows: List[Dict[str, Any]] = []
     for label, results in sweep.series.items():
         for result in results:
@@ -181,6 +189,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
         if sweep.manifest.resumed_cells:
             summary += f" ({sweep.manifest.resumed_cells} resumed from checkpoint)"
+        if sweep.manifest.engine_fallbacks:
+            summary += (
+                f"; {sweep.manifest.engine_fallbacks} cell(s) fell back "
+                "replay->step"
+            )
         summary += (
             f"; {sweep.manifest.workers} worker(s), "
             f"utilization {sweep.manifest.utilization():.0%}, "
@@ -273,7 +286,9 @@ def _cmd_check(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from repro.check.baseline import apply_baseline, load_baseline, write_baseline
+    from repro.check.enginemodel import check_engine_model
     from repro.check.findings import CHECKER_VERSION, ERROR
+    from repro.check.gap import build_gap_report, compare_gap_reports, load_gap_report
     from repro.check.incremental import ReportCache
     from repro.check.lint import run_lint
     from repro.check.runner import check_all
@@ -283,13 +298,40 @@ def _cmd_check(args: argparse.Namespace) -> int:
     machines = None
     if args.machine:
         machines = {key: preset(key) for key in args.machine}
+    filtered = bool(args.algorithm or args.machine or args.orders)
     cache = ReportCache(Path(args.cache_dir)) if args.incremental else None
     reports = check_all(
         algorithms, machines, orders=args.orders or None, cache=cache
     )
     lint_findings = run_lint() if args.lint else []
+    # The engine-conformance pass is static source analysis, so it rides
+    # with --lint; the schedule-cell analyzers above run regardless.
+    engine_findings = check_engine_model() if args.lint else []
 
-    findings = [f for r in reports for f in r.findings] + lint_findings
+    gap_report = build_gap_report([r.gap for r in reports])
+    gap_findings: List[Any] = []
+    if args.gap_baseline and not filtered:
+        gap_findings = compare_gap_reports(
+            gap_report, load_gap_report(Path(args.gap_baseline))
+        )
+
+    findings = (
+        [f for r in reports for f in r.findings]
+        + lint_findings
+        + engine_findings
+        + gap_findings
+    )
+
+    if args.gap_report:
+        gap_report.write(Path(args.gap_report))
+
+    if args.write_gap_baseline:
+        gap_report.write(Path(args.write_gap_baseline))
+        print(
+            f"wrote gap baseline ({len(gap_report.algorithms())} algorithm(s), "
+            f"{len(gap_report.cells)} cell(s)) to {args.write_gap_baseline}"
+        )
+        return 0
 
     if args.write_baseline:
         count = write_baseline(Path(args.write_baseline), findings)
@@ -315,10 +357,12 @@ def _cmd_check(args: argparse.Namespace) -> int:
         print(
             json.dumps(
                 {
-                    "schema": 2,
+                    "schema": 3,
                     "checker_version": CHECKER_VERSION,
                     "reports": [r.to_dict() for r in reports],
                     "lint": [f.to_dict() for f in lint_findings],
+                    "engine": [f.to_dict() for f in engine_findings],
+                    "gap": [a.to_dict() for a in gap_report.algorithms()],
                     "errors": errors,
                     "warnings": warnings,
                     "suppressed": len(baselined),
@@ -348,6 +392,16 @@ def _cmd_check(args: argparse.Namespace) -> int:
             summary += f"; {len(baselined)} finding(s) suppressed by baseline"
         if args.lint:
             summary += f"; lint over repro sources: {len(lint_findings)} finding(s)"
+        algo_gaps = gap_report.algorithms()
+        if algo_gaps:
+            shared_ok = sum(1 for a in algo_gaps if a.certified_shared)
+            dist_ok = sum(1 for a in algo_gaps if a.certified_distributed)
+            summary += (
+                f"; gap certificate: {shared_ok}/{len(algo_gaps)} shared-optimal, "
+                f"{dist_ok}/{len(algo_gaps)} distributed-optimal"
+            )
+        if args.gap_baseline and filtered:
+            summary += "; gap baseline comparison skipped (filtered run)"
         print(summary)
     return 1 if errors else 0
 
@@ -516,6 +570,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--check", action="store_true", help="verify IDEAL mode")
     p_run.add_argument("--inclusive", action="store_true")
     p_run.add_argument("--policy", choices=("lru", "fifo"), default="lru")
+    p_run.add_argument(
+        "--strict-engine",
+        action="store_true",
+        help="fail instead of silently degrading replay to the step engine",
+    )
     p_run.set_defaults(func=_cmd_run)
 
     p_sweep = sub.add_parser("sweep", help="square-order sweep")
@@ -526,6 +585,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument("--setting", choices=sorted(SETTINGS), default="lru-50")
     p_sweep.add_argument("--policy", choices=("lru", "fifo"), default="lru")
+    p_sweep.add_argument(
+        "--strict-engine",
+        action="store_true",
+        help="fail instead of silently degrading replay to the step engine",
+    )
     engine = p_sweep.add_argument_group("parallel engine")
     engine.add_argument(
         "--workers",
@@ -612,10 +676,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="matrix orders to analyze (default: derived from tile sides)",
     )
     p_check.add_argument(
-        "--lint", action="store_true", help="also run the AST lint pass"
+        "--lint",
+        action="store_true",
+        help="also run the AST lint and engine-conformance passes",
     )
     p_check.add_argument(
-        "--json", action="store_true", help="machine-readable output (schema 2)"
+        "--json", action="store_true", help="machine-readable output (schema 3)"
     )
     p_check.add_argument(
         "--incremental",
@@ -644,6 +710,26 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="export findings as SARIF 2.1.0 (GitHub code scanning)",
+    )
+    p_check.add_argument(
+        "--gap-report",
+        default=None,
+        metavar="PATH",
+        help="write the per-algorithm optimality-gap certificate here",
+    )
+    p_check.add_argument(
+        "--gap-baseline",
+        default=None,
+        metavar="PATH",
+        help="compare the gap certificate against this baseline "
+        "(gap/regression, gap/uncertified-algorithm); skipped on "
+        "filtered runs",
+    )
+    p_check.add_argument(
+        "--write-gap-baseline",
+        default=None,
+        metavar="PATH",
+        help="write the current gap certificate as the new baseline and exit",
     )
     p_check.set_defaults(func=_cmd_check)
 

@@ -82,7 +82,7 @@ from repro.exceptions import ConfigurationError, ParameterError, ScheduleError
 from repro.model.machine import MulticoreMachine
 from repro.sim.faults import FaultPlan, fire
 from repro.sim.results import ExperimentResult, SweepResult
-from repro.sim.runner import run_experiment
+from repro.sim.runner import reset_fallback_warnings, run_experiment
 from repro.sim.sweep import Entry, resolve_entries
 from repro.sim.telemetry import (
     STATUS_FAILED,
@@ -336,7 +336,7 @@ class _SweepEngine:
         """Deterministic result fingerprint of one cell (engine knobs excluded)."""
         label, index, machine_idx, m, n, z, _attempt = spec
         algorithm, setting, kwargs = self.entries[label]
-        fp_kwargs = {k: v for k, v in kwargs.items() if k != "engine"}
+        fp_kwargs = {k: v for k, v in kwargs.items() if k not in ("engine", "strict_engine")}
         return cell_fingerprint(
             algorithm=algorithm,
             setting=setting,
@@ -378,6 +378,7 @@ class _SweepEngine:
             cell.wall_s = float(record.get("wall_s", 0.0))
             cell.worker = result.worker
             cell.resumed = True
+            cell.engine_fallback = result.engine_fallback
             self.results[key] = result
             self.outstanding.discard(key)
             self.manifest.resumed_cells += 1
@@ -457,6 +458,7 @@ class _SweepEngine:
         record.worker = pid
         record.error_type = None
         record.error = None
+        record.engine_fallback = result.engine_fallback
         self.results[(label, index)] = result
         self.outstanding.discard((label, index))
         self._checkpoint((label, index), STATUS_OK, result=result)
@@ -967,6 +969,7 @@ def parallel_order_sweep(
     inclusive: bool = False,
     policy: str = "lru",
     engine: str = "replay",
+    strict_engine: bool = False,
     cell_timeout: Optional[float] = None,
     retries: int = 2,
     backoff: float = 0.1,
@@ -985,13 +988,19 @@ def parallel_order_sweep(
     ``resume=True`` reloads completed cells from that directory and
     dispatches only the rest (see ``docs/RUNSTORE.md``).
     """
+    reset_fallback_warnings()
     resolved = resolve_entries(entries)
     labels = [label for _a, _s, _p, label in resolved]
     entry_table: Dict[str, Tuple[str, str, Dict[str, Any]]] = {}
     cells: List[CellSpec] = []
     for algorithm, setting, params, label in resolved:
         kwargs: Dict[str, Any] = dict(
-            check=check, inclusive=inclusive, policy=policy, engine=engine, **params
+            check=check,
+            inclusive=inclusive,
+            policy=policy,
+            engine=engine,
+            strict_engine=strict_engine,
+            **params,
         )
         entry_table[label] = (algorithm, setting, kwargs)
         for index, order in enumerate(orders):
@@ -1030,6 +1039,7 @@ def parallel_ratio_sweep(
     inclusive: bool = False,
     policy: str = "lru",
     engine: str = "replay",
+    strict_engine: bool = False,
     cell_timeout: Optional[float] = None,
     retries: int = 2,
     backoff: float = 0.1,
@@ -1048,6 +1058,7 @@ def parallel_ratio_sweep(
     initializer; each submitted cell carries only the index of its
     machine.
     """
+    reset_fallback_warnings()
     resolved = resolve_entries(entries)
     labels = [label for _a, _s, _p, label in resolved]
     machines = [
@@ -1057,7 +1068,12 @@ def parallel_ratio_sweep(
     cells: List[CellSpec] = []
     for algorithm, setting, params, label in resolved:
         kwargs: Dict[str, Any] = dict(
-            check=check, inclusive=inclusive, policy=policy, engine=engine, **params
+            check=check,
+            inclusive=inclusive,
+            policy=policy,
+            engine=engine,
+            strict_engine=strict_engine,
+            **params,
         )
         entry_table[label] = (algorithm, setting, kwargs)
         for index in range(len(ratios)):

@@ -40,6 +40,11 @@ class ExperimentResult:
     #: serial runs) and the pid of the process that produced it.
     attempts: int = 1
     worker: Optional[int] = None
+    #: Which engine actually simulated the cell (``"replay"``/``"step"``;
+    #: empty on results predating the field) and whether a requested
+    #: replay was silently degraded to the step engine.
+    engine: str = ""
+    engine_fallback: bool = False
 
     @property
     def ms(self) -> int:

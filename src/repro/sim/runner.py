@@ -8,9 +8,10 @@ examples) goes through.
 
 from __future__ import annotations
 
+import logging
 import os
 import time
-from typing import Any, Optional, Type, Union
+from typing import Any, Optional, Set, Tuple, Type, Union
 
 from repro.algorithms.base import MatmulAlgorithm
 from repro.algorithms.registry import get_algorithm
@@ -26,6 +27,45 @@ from repro.sim.settings import Setting, get_setting
 #: Valid values of ``run_experiment``'s ``engine`` parameter.
 ENGINES = ("replay", "step")
 
+logger = logging.getLogger(__name__)
+
+#: Fallback configurations already warned about (process-wide); sweeps
+#: reset this so every sweep warns at most once per configuration.
+_WARNED_FALLBACKS: Set[Tuple[str, str, bool, bool]] = set()
+
+
+def reset_fallback_warnings() -> None:
+    """Forget which replay→step fallbacks were already warned about.
+
+    Sweep drivers call this at sweep start so "warn once" is scoped to
+    the sweep, not the process lifetime.
+    """
+    _WARNED_FALLBACKS.clear()
+
+
+def note_engine_fallback(
+    setting_key: str, policy: str, inclusive: bool, check: bool
+) -> None:
+    """Record (and warn once per configuration about) a replay→step fallback.
+
+    The fallback is bit-identical but slow; making it observable is the
+    runtime half of the static ``engine/silent-fallback`` analysis
+    (:mod:`repro.check.enginemodel`).
+    """
+    key = (setting_key, policy, inclusive, check)
+    if key in _WARNED_FALLBACKS:
+        return
+    _WARNED_FALLBACKS.add(key)
+    logger.warning(
+        "replay engine does not cover setting=%r policy=%r inclusive=%r "
+        "check=%r; falling back to the step engine (pass strict_engine=True "
+        "to fail fast, or engine='step' to silence this warning)",
+        setting_key,
+        policy,
+        inclusive,
+        check,
+    )
+
 
 def run_experiment(
     algorithm: Union[str, Type[MatmulAlgorithm]],
@@ -40,6 +80,7 @@ def run_experiment(
     inclusive: bool = False,
     verify_comp: bool = True,
     engine: str = "replay",
+    strict_engine: bool = False,
     **alg_params: Any,
 ) -> ExperimentResult:
     """Run one algorithm on one machine under one setting.
@@ -72,8 +113,13 @@ def run_experiment(
         bit-identical to ``"step"``, which interprets the schedule
         reference-by-reference and remains the oracle.  Configurations
         the replay engine does not cover (``check=True``, inclusive
-        hierarchies, associative/PLRU policies) silently use the step
-        engine.
+        hierarchies, associative/PLRU policies) use the step engine
+        instead — warned once per configuration and recorded on the
+        result (``engine_fallback``).
+    strict_engine:
+        Raise :class:`~repro.exceptions.ConfigurationError` instead of
+        falling back when ``engine="replay"`` cannot reproduce the
+        configuration.
     alg_params:
         Forwarded to the algorithm constructor (parameter overrides).
     """
@@ -96,9 +142,19 @@ def run_experiment(
             "through MultiLevelContext)"
         )
 
-    if engine == "replay" and replay_engine.supports(
-        setting.mode, policy, inclusive, check
-    ):
+    replay_ok = replay_engine.supports(setting.mode, policy, inclusive, check)
+    fallback = engine == "replay" and not replay_ok
+    if fallback:
+        if strict_engine:
+            raise ConfigurationError(
+                f"engine='replay' cannot reproduce setting={setting.key!r} "
+                f"policy={policy!r} inclusive={inclusive!r} check={check!r} "
+                "and strict_engine=True forbids the step fallback; use "
+                "engine='step' explicitly"
+            )
+        note_engine_fallback(setting.key, policy, inclusive, check)
+
+    if engine == "replay" and replay_ok:
         simulated = setting.simulated(machine)
         start = time.perf_counter()
         trace = replay_engine.compiled_trace_for(
@@ -134,6 +190,7 @@ def run_experiment(
             predicted=predicted,
             elapsed_s=elapsed,
             worker=os.getpid(),
+            engine="replay",
         )
 
     if setting.is_ideal:
@@ -173,4 +230,6 @@ def run_experiment(
         predicted=predicted,
         elapsed_s=elapsed,
         worker=os.getpid(),
+        engine="step",
+        engine_fallback=fallback,
     )

@@ -13,7 +13,7 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 from repro.exceptions import ConfigurationError
 from repro.model.machine import MulticoreMachine
 from repro.sim.results import ExperimentResult, SweepResult
-from repro.sim.runner import run_experiment
+from repro.sim.runner import reset_fallback_warnings, run_experiment
 
 #: A sweep entry: algorithm name + setting key, optionally with
 #: algorithm parameter overrides.
@@ -82,6 +82,7 @@ def order_sweep(
     inclusive: bool = False,
     policy: str = "lru",
     engine: str = "replay",
+    strict_engine: bool = False,
 ) -> SweepResult:
     """Run every (algorithm, setting) entry over square orders ``m=n=z``.
 
@@ -89,8 +90,11 @@ def order_sweep(
     schedule — same algorithm, parameters and *declared* machine, e.g.
     the ``lru``/``lru-2x``/``ideal`` family — reuse one memoized
     compiled trace per order instead of re-running the schedule per
-    setting (see :mod:`repro.cache.replay`).
+    setting (see :mod:`repro.cache.replay`).  A configuration replay
+    cannot reproduce is warned about once per sweep and falls back to
+    the step engine — or raises, with ``strict_engine=True``.
     """
+    reset_fallback_warnings()
     sweep = SweepResult(variable="order", xs=list(orders))
     for algorithm, setting, params, label in resolve_entries(entries):
         results: List[Optional[ExperimentResult]] = [
@@ -105,6 +109,7 @@ def order_sweep(
                 inclusive=inclusive,
                 policy=policy,
                 engine=engine,
+                strict_engine=strict_engine,
                 **params,
             )
             for order in orders
@@ -124,16 +129,19 @@ def ratio_sweep(
     inclusive: bool = False,
     policy: str = "lru",
     engine: str = "replay",
+    strict_engine: bool = False,
 ) -> SweepResult:
     """Run entries over bandwidth ratios ``r = σS/(σS+σD)`` at fixed order.
 
     Each ratio rescales the machine's bandwidths (keeping their sum at
     ``total_bandwidth``); algorithms that adapt to bandwidths (Tradeoff)
-    re-plan at every point, exactly as in Fig. 12.  ``policy`` and
-    ``inclusive`` forward to :func:`~repro.sim.runner.run_experiment`
-    exactly as in :func:`order_sweep`, so ratio sweeps can exercise the
-    FIFO and inclusive-hierarchy variants too.
+    re-plan at every point, exactly as in Fig. 12.  ``policy``,
+    ``inclusive`` and ``strict_engine`` forward to
+    :func:`~repro.sim.runner.run_experiment` exactly as in
+    :func:`order_sweep`, so ratio sweeps can exercise the FIFO and
+    inclusive-hierarchy variants too.
     """
+    reset_fallback_warnings()
     sweep = SweepResult(variable="r", xs=list(ratios))
     for algorithm, setting, params, label in resolve_entries(entries):
         results: List[Optional[ExperimentResult]] = []
@@ -151,6 +159,7 @@ def ratio_sweep(
                     inclusive=inclusive,
                     policy=policy,
                     engine=engine,
+                    strict_engine=strict_engine,
                     **params,
                 )
             )

@@ -57,6 +57,9 @@ class CellRecord:
     #: Whether the result was restored from a run-directory checkpoint
     #: instead of being executed by this engine run.
     resumed: bool = False
+    #: Whether the cell's requested replay engine silently degraded to
+    #: the step engine (see :func:`repro.sim.runner.note_engine_fallback`).
+    engine_fallback: bool = False
 
     def to_dict(self) -> Dict[str, Any]:
         d: Dict[str, Any] = {
@@ -75,6 +78,8 @@ class CellRecord:
             d["worker"] = self.worker
         if self.resumed:
             d["resumed"] = True
+        if self.engine_fallback:
+            d["engine_fallback"] = True
         return d
 
 
@@ -125,6 +130,11 @@ class RunManifest:
             out[cell.status] = out.get(cell.status, 0) + 1
         return out
 
+    @property
+    def engine_fallbacks(self) -> int:
+        """Cells whose requested replay engine degraded to step."""
+        return sum(1 for cell in self.cells if cell.engine_fallback)
+
     def utilization(self) -> float:
         """Fraction of the pool's capacity spent running cells.
 
@@ -161,6 +171,7 @@ class RunManifest:
             },
             "resumed_cells": self.resumed_cells,
             "quarantined_records": self.quarantined_records,
+            "engine_fallbacks": self.engine_fallbacks,
             "interrupted": self.interrupted,
             "cells": [cell.to_dict() for cell in self.cells],
             "cell_counts": self.counts(),

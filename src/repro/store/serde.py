@@ -9,9 +9,10 @@ strings, and finite doubles round-trip exactly through JSON, so
 equality of the reloaded result with the original is exact, not
 approximate.
 
-Engine telemetry (``elapsed_s``, ``attempts``, ``worker``) is carried
-along for observability but is *not* part of the identity a resume
-must reproduce — two uninterrupted runs already disagree on it.
+Engine telemetry (``elapsed_s``, ``attempts``, ``worker``, ``engine``,
+``engine_fallback``) is carried along for observability but is *not*
+part of the identity a resume must reproduce — two uninterrupted runs
+already disagree on it (and replay/step produce bit-identical counts).
 
 Imports of the result/formula types are deferred into the functions:
 :mod:`repro.sim.telemetry` writes through :mod:`repro.store.atomic`,
@@ -103,6 +104,8 @@ def result_to_dict(result: Any) -> Dict[str, Any]:
         "comp": list(result.comp),
         "elapsed_s": result.elapsed_s,
         "attempts": result.attempts,
+        "engine": result.engine,
+        "engine_fallback": result.engine_fallback,
     }
     if result.predicted is not None:
         payload["predicted"] = {"ms": result.predicted.ms, "md": result.predicted.md}
@@ -148,4 +151,6 @@ def result_from_dict(payload: Dict[str, Any]) -> Any:
         elapsed_s=payload.get("elapsed_s", 0.0),
         attempts=payload.get("attempts", 1),
         worker=payload.get("worker"),
+        engine=payload.get("engine", ""),
+        engine_fallback=payload.get("engine_fallback", False),
     )

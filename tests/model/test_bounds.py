@@ -8,11 +8,17 @@ from hypothesis import given, strategies as st
 from repro.exceptions import ConfigurationError
 from repro.model.bounds import (
     ccr_lower_bound,
+    compulsory_shared_lower_bound,
+    distributed_bounds,
     distributed_misses_lower_bound,
     loomis_whitney_optimum,
     loomis_whitney_optimum_numeric,
+    memory_independent_distributed_lower_bound,
+    shared_bounds,
     shared_misses_lower_bound,
     tdata_lower_bound,
+    tight_distributed_misses_lower_bound,
+    tight_shared_misses_lower_bound,
 )
 from repro.model.machine import MulticoreMachine
 
@@ -90,3 +96,107 @@ class TestLevelBounds:
         assert shared_misses_lower_bound(self.machine, 2 * m, n, z) == pytest.approx(
             2 * base
         )
+
+
+class TestTightBounds:
+    """The SLLvdG two-term bounds (arXiv:1702.02017)."""
+
+    def setup_method(self):
+        self.machine = MulticoreMachine(p=4, cs=64, cd=4, q=32)
+
+    def test_shared_formula(self):
+        got = tight_shared_misses_lower_bound(self.machine, 10, 10, 10)
+        assert got == pytest.approx(2 * 1000 / 8.0 - 2 * 64)
+
+    def test_distributed_formula(self):
+        got = tight_distributed_misses_lower_bound(self.machine, 10, 10, 10)
+        assert got == pytest.approx(2 * 250 / 2.0 - 2 * 4)
+
+    def test_clamped_at_zero_on_tiny_problems(self):
+        assert tight_shared_misses_lower_bound(self.machine, 1, 1, 1) == 0.0
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ConfigurationError):
+            tight_shared_misses_lower_bound(self.machine, 0, 1, 1)
+
+    @given(
+        p=st.sampled_from([1, 2, 4, 8]),
+        cd=st.integers(min_value=3, max_value=64),
+        cs_factor=st.integers(min_value=1, max_value=64),
+        work_factor=st.integers(min_value=1, max_value=64),
+    )
+    def test_tight_dominates_loomis_whitney_asymptotically(
+        self, p, cd, cs_factor, work_factor
+    ):
+        # Once mnz clears the crossover 2·CS^1.5/(2 − √(27/8)), the tight
+        # bound's stronger constant wins over Loomis–Whitney — for every
+        # valid (CS, CD, p).
+        cs = p * cd * cs_factor
+        machine = MulticoreMachine(p=p, cs=cs, cd=cd, q=32)
+        crossover = 2.0 * cs**1.5 / (2.0 - math.sqrt(27.0 / 8.0))
+        z = int(crossover * work_factor) + 1
+        assert tight_shared_misses_lower_bound(
+            machine, 1, 1, z
+        ) >= shared_misses_lower_bound(machine, 1, 1, z) * (1 - 1e-9)
+        # Same crossover shape per core at the distributed level.
+        zd = int(p * 2.0 * cd**1.5 / (2.0 - math.sqrt(27.0 / 8.0))) * work_factor + p
+        assert tight_distributed_misses_lower_bound(
+            machine, 1, 1, zd
+        ) >= distributed_misses_lower_bound(machine, 1, 1, zd) * (1 - 1e-9)
+
+
+class TestMemoryIndependentAndCompulsory:
+    def setup_method(self):
+        self.machine = MulticoreMachine(p=4, cs=64, cd=4, q=32)
+
+    def test_memory_independent_value(self):
+        got = memory_independent_distributed_lower_bound(self.machine, 8, 8, 8)
+        assert got == pytest.approx(3.0 * (512 / 4) ** (2.0 / 3.0))
+
+    def test_memory_independent_ignores_cache_size(self):
+        bigger = MulticoreMachine(p=4, cs=4096, cd=1024, q=32)
+        assert memory_independent_distributed_lower_bound(
+            self.machine, 8, 8, 8
+        ) == pytest.approx(
+            memory_independent_distributed_lower_bound(bigger, 8, 8, 8)
+        )
+
+    def test_compulsory_counts_every_block_once(self):
+        got = compulsory_shared_lower_bound(self.machine, 3, 5, 7)
+        assert got == 3 * 7 + 7 * 5 + 3 * 5
+
+
+class TestBoundAggregates:
+    def setup_method(self):
+        self.machine = MulticoreMachine(p=4, cs=977, cd=21, q=32)
+
+    def test_best_is_max_and_binding_names_it(self):
+        sb = shared_bounds(self.machine, 8, 8, 8)
+        assert sb.best == max(sb.loomis_whitney, sb.tight, sb.compulsory)
+        assert getattr(sb, sb.binding.replace("-", "_")) == sb.best
+        db = distributed_bounds(self.machine, 8, 8, 8)
+        assert db.best == max(db.loomis_whitney, db.tight, db.memory_independent)
+        assert getattr(db, db.binding.replace("-", "_")) == db.best
+
+    def test_small_problem_binds_on_compulsory(self):
+        # mnz = 8 against CS=977: the asymptotic bounds are tiny, the
+        # every-block-once floor dominates.
+        sb = shared_bounds(self.machine, 2, 2, 2)
+        assert sb.binding == "compulsory"
+
+    def test_large_problem_binds_on_tight(self):
+        sb = shared_bounds(self.machine, 120, 120, 120)
+        assert sb.binding == "tight"
+
+    @given(
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=1, max_value=64),
+    )
+    def test_aggregates_never_below_paper_bounds(self, m, n, z):
+        # The gap denominator can only be stronger than the paper's
+        # Loomis–Whitney series, never weaker.
+        sb = shared_bounds(self.machine, m, n, z)
+        db = distributed_bounds(self.machine, m, n, z)
+        assert sb.best >= shared_misses_lower_bound(self.machine, m, n, z)
+        assert db.best >= distributed_misses_lower_bound(self.machine, m, n, z)

@@ -259,8 +259,8 @@ class TestCheck:
         )
         assert code == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["schema"] == 2
-        assert payload["checker_version"] == 2
+        assert payload["schema"] == 3
+        assert payload["checker_version"] == 3
         assert payload["cells"] == {"analyzed": 1, "skipped": 0, "cached": 0}
         assert payload["suppressed"] == 0
         assert payload["elapsed_s"] > 0
@@ -320,6 +320,85 @@ class TestCheck:
         warm = json.loads(capsys.readouterr().out)
         assert warm["cells"]["cached"] == warm["cells"]["analyzed"] > 0
         assert warm["errors"] == cold["errors"] == 0
+
+    def test_gap_certificate_in_summary_and_json(self, capsys):
+        code = main(
+            ["check", "--algorithm", "shared-opt", "--machine", "q32",
+             "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        (gap,) = payload["gap"]
+        assert gap["algorithm"] == "shared-opt"
+        assert gap["cells"] > 0
+        assert gap["ms_gap"]["min"] >= 1.0
+        assert isinstance(gap["certified_shared"], bool)
+
+    def test_gap_report_written(self, capsys, tmp_path):
+        out = tmp_path / "gap-report.json"
+        code = main(
+            ["check", "--algorithm", "shared-opt", "--machine", "q32",
+             "--gap-report", str(out)]
+        )
+        assert code == 0
+        assert "gap certificate:" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert {a["algorithm"] for a in payload["algorithms"]} == {"shared-opt"}
+        assert all("ms_gap" in c for c in payload["cells"])
+
+    def test_write_gap_baseline(self, capsys, tmp_path):
+        base = tmp_path / "gap-baseline.json"
+        code = main(
+            ["check", "--algorithm", "shared-opt", "--machine", "q32",
+             "--write-gap-baseline", str(base)]
+        )
+        assert code == 0
+        assert "wrote gap baseline" in capsys.readouterr().out
+        assert json.loads(base.read_text())["algorithms"]
+
+    def test_gap_baseline_comparison_skipped_on_filtered_run(
+        self, capsys, tmp_path
+    ):
+        base = tmp_path / "gap-baseline.json"
+        assert main(
+            ["check", "--algorithm", "shared-opt", "--machine", "q32",
+             "--write-gap-baseline", str(base)]
+        ) == 0
+        capsys.readouterr()
+        # A filtered run sees only a slice of the matrix; comparing it
+        # against the full-matrix baseline would fabricate regressions.
+        code = main(
+            ["check", "--algorithm", "shared-opt", "--machine", "q32",
+             "--gap-baseline", str(base)]
+        )
+        assert code == 0
+        assert "skipped (filtered run)" in capsys.readouterr().out
+
+    def test_committed_gap_baseline_matches_full_matrix(self, capsys):
+        # The ratchet the CI job enforces: the committed baseline must
+        # stay in sync with the schedule matrix.
+        code = main(["check", "--gap-baseline", "check-gap-baseline.json"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+        assert "gap certificate:" in out
+
+
+class TestStrictEngine:
+    def test_run_strict_engine_rejects_fallback(self, capsys):
+        code = main(
+            ["run", "shared-opt", "-m", "4", "--preset", "q32",
+             "--setting", "ideal", "--check", "--strict-engine"]
+        )
+        assert code == 2
+        assert "strict_engine" in capsys.readouterr().err
+
+    def test_run_strict_engine_accepts_supported(self, capsys):
+        code = main(
+            ["run", "shared-opt", "-m", "4", "--preset", "q32",
+             "--setting", "lru-50", "--strict-engine"]
+        )
+        assert code == 0
 
 
 class TestLU:
