@@ -31,7 +31,18 @@ optimality claims rest on invariants that can be proved over the
 * **lint** — an AST pass over the sources enforcing repo idioms
   (directives wrapped in ``if ctx.explicit``, schedules registered, no
   mutable defaults, no ``==`` on floating-point ``Tdata``, engine
-  fallback sites recording telemetry).
+  fallback sites recording telemetry);
+* **purity / determinism** — an intraprocedural dataflow engine
+  (:mod:`repro.check.dataflow`) statically proves that no engine knob
+  reaches a cell fingerprint or checkpoint record
+  (``purity/knob-in-fingerprint``) and that the fingerprint/serde
+  modules are free of wall-clock, RNG, filesystem-order and set-order
+  nondeterminism (``determinism/*``).
+
+Every rule lives in the :mod:`repro.check.rules` registry (id,
+severity, help text, tier) with config-driven enable/disable and
+inline ``# repro: noqa[rule-id]`` suppressions guarded by a
+``meta/unused-suppression`` self-check.
 
 Every finding carries a stable ``rule`` id and a content fingerprint;
 :mod:`repro.check.baseline` suppresses accepted fingerprints,
@@ -57,6 +68,7 @@ from repro.check.cost import (
     formula_envelope,
 )
 from repro.check.coverage import check_coverage
+from repro.check.determinism import check_determinism
 from repro.check.enginemodel import check_engine_model
 from repro.check.events import AnalysisContext
 from repro.check.findings import CHECKER_VERSION, Finding
@@ -69,10 +81,17 @@ from repro.check.gap import (
     load_gap_report,
 )
 from repro.check.incremental import ReportCache
-from repro.check.lint import run_lint
+from repro.check.lint import run_lint, scan_source
 from repro.check.presence import check_presence
+from repro.check.purity import check_purity
 from repro.check.races import check_races
-from repro.check.runner import ScheduleReport, analyze_schedule, check_all
+from repro.check.rules import REGISTRY, Rule, RuleConfig
+from repro.check.runner import (
+    ScheduleReport,
+    analyze_schedule,
+    check_all,
+    source_scan,
+)
 from repro.check.sarif import to_sarif, write_sarif
 from repro.check.tightbounds import check_tight_bounds
 
@@ -85,7 +104,10 @@ __all__ = [
     "FormulaEnvelope",
     "GapCell",
     "GapReport",
+    "REGISTRY",
     "ReportCache",
+    "Rule",
+    "RuleConfig",
     "ScheduleReport",
     "analyze_schedule",
     "apply_baseline",
@@ -94,9 +116,11 @@ __all__ = [
     "check_capacity",
     "check_cost",
     "check_coverage",
+    "check_determinism",
     "check_engine_model",
     "check_parameters",
     "check_presence",
+    "check_purity",
     "check_races",
     "check_tight_bounds",
     "compare_gap_reports",
@@ -105,6 +129,8 @@ __all__ = [
     "load_baseline",
     "load_gap_report",
     "run_lint",
+    "scan_source",
+    "source_scan",
     "to_sarif",
     "write_sarif",
 ]

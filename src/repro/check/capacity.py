@@ -29,27 +29,80 @@ from repro.check.events import COMPUTE, EVICT_D, EVICT_S, LOAD_D, LOAD_S, Event
 from repro.check.findings import ERROR, Finding, FindingLimiter
 
 
-def working_set_peaks(events: Sequence[Event], p: int) -> Tuple[int, List[int]]:
-    """Peak resident block counts (shared, per-core) over the whole log."""
+def capacity_and_peaks(
+    events: Sequence[Event],
+    cs: int,
+    cd: int,
+    p: int,
+    *,
+    algorithm: str = "",
+    machine: str = "",
+    limit: int = 25,
+) -> Tuple[List[Finding], int, List[int]]:
+    """One pass serving both the capacity proof and the peak counts.
+
+    Both walk the log maintaining the same exact resident sets; the
+    runner visits every event of every cell, so they share the walk.
+    Returns ``(findings, peak_shared, peak_dist)``.
+    """
+    out = FindingLimiter("capacity", limit)
     shared: Set[int] = set()
     dist: List[Set[int]] = [set() for _ in range(p)]
     peak_shared = 0
     peak_dist = [0] * p
-    for ev in events:
+    for index, ev in enumerate(events):
         op = ev[0]
         if op == LOAD_S:
-            shared.add(ev[2])
+            key = ev[2]
+            if key not in shared and len(shared) >= cs:
+                out.add(
+                    Finding(
+                        "capacity",
+                        ERROR,
+                        f"shared cache overflow loading {key_name(key)}: "
+                        f"{len(shared)}/{cs} blocks resident",
+                        algorithm=algorithm,
+                        machine=machine,
+                        event=index,
+                        rule="capacity/ws-overflow",
+                    )
+                )
+            shared.add(key)
             if len(shared) > peak_shared:
                 peak_shared = len(shared)
         elif op == EVICT_S:
             shared.discard(ev[2])
         elif op == LOAD_D:
-            dset = dist[ev[1]]
-            dset.add(ev[2])
-            if len(dset) > peak_dist[ev[1]]:
-                peak_dist[ev[1]] = len(dset)
+            core, key = ev[1], ev[2]
+            dset = dist[core]
+            if key not in dset and len(dset) >= cd:
+                out.add(
+                    Finding(
+                        "capacity",
+                        ERROR,
+                        f"distributed cache of core {core} overflow loading "
+                        f"{key_name(key)}: {len(dset)}/{cd} blocks resident",
+                        algorithm=algorithm,
+                        machine=machine,
+                        event=index,
+                        rule="capacity/ws-overflow",
+                    )
+                )
+            dset.add(key)
+            if len(dset) > peak_dist[core]:
+                peak_dist[core] = len(dset)
         elif op == EVICT_D:
             dist[ev[1]].discard(ev[2])
+        elif op == COMPUTE:
+            pass
+    return out.results(), peak_shared, peak_dist
+
+
+def working_set_peaks(events: Sequence[Event], p: int) -> Tuple[int, List[int]]:
+    """Peak resident block counts (shared, per-core) over the whole log."""
+    _, peak_shared, peak_dist = capacity_and_peaks(
+        events, len(events) + 1, len(events) + 1, p
+    )
     return peak_shared, peak_dist
 
 
@@ -70,51 +123,16 @@ def check_capacity(
     hierarchy).  Redundant loads (block already resident) do not grow
     the set and are reported by the presence checker, not here.
     """
-    out = FindingLimiter("capacity", limit)
-    shared: Set[int] = set()
-    dist: List[Set[int]] = [set() for _ in range(p)]
-    for index, ev in enumerate(events):
-        op = ev[0]
-        if op == LOAD_S:
-            key = ev[2]
-            if key not in shared and len(shared) >= cs:
-                out.add(
-                    Finding(
-                        "capacity",
-                        ERROR,
-                        f"shared cache overflow loading {key_name(key)}: "
-                        f"{len(shared)}/{cs} blocks resident",
-                        algorithm=algorithm,
-                        machine=machine,
-                        event=index,
-                        rule="capacity/ws-overflow",
-                    )
-                )
-            shared.add(key)
-        elif op == EVICT_S:
-            shared.discard(ev[2])
-        elif op == LOAD_D:
-            core, key = ev[1], ev[2]
-            dset = dist[core]
-            if key not in dset and len(dset) >= cd:
-                out.add(
-                    Finding(
-                        "capacity",
-                        ERROR,
-                        f"distributed cache of core {core} overflow loading "
-                        f"{key_name(key)}: {len(dset)}/{cd} blocks resident",
-                        algorithm=algorithm,
-                        machine=machine,
-                        event=index,
-                        rule="capacity/ws-overflow",
-                    )
-                )
-            dset.add(key)
-        elif op == EVICT_D:
-            dist[ev[1]].discard(ev[2])
-        elif op == COMPUTE:
-            pass
-    return out.results()
+    findings, _, _ = capacity_and_peaks(
+        events,
+        cs,
+        cd,
+        p,
+        algorithm=algorithm,
+        machine=machine,
+        limit=limit,
+    )
+    return findings
 
 
 def check_parameters(alg: MatmulAlgorithm, *, machine: str = "") -> List[Finding]:

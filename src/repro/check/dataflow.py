@@ -1,0 +1,767 @@
+"""A lightweight intraprocedural AST dataflow engine.
+
+This is the machinery under the ``purity/*`` and ``determinism/*``
+analyzers: reaching definitions plus taint propagation through
+assignments, calls, comprehensions and f-strings — just enough dataflow
+to *prove* the fingerprint-purity and determinism invariants the store
+and sweep layers promise in prose, and honest about its limits.
+
+Model
+-----
+* Analysis is per-scope (module, function, method).  Calls are not
+  followed; instead, taint *enters* a scope through declared sources —
+  parameter names, attribute names (``self.workers``), and constant
+  string subscripts (``cfg["engine"]``) — so a knob threaded through
+  any number of calls is re-detected wherever its conventional name
+  reappears.  This keeps the engine honestly intraprocedural while
+  still catching realistic regressions.
+* Each value carries a **taint**: ``{label: line}`` mapping source
+  labels to the line where they entered the scope, and a set of
+  **kinds** (e.g. ``unordered`` for set-valued data, a writer kind for
+  checkpoint writers) used by the ordering rules.
+* Propagation is flow-sensitive in statement order within a pass; loops
+  are handled by iterating passes to a fixpoint (environments only
+  grow along the lattice, so this converges quickly — a small round cap
+  guards pathological inputs).  After the fixpoint, one **report pass**
+  re-walks the scope and invokes the analyzer hooks, so findings are
+  emitted exactly once.
+* Sanitizers: ``sorted()``/``min``/``max``/… strip the ``unordered``
+  kind; a dict comprehension whose ``if`` clause filters keys out of a
+  constant blocklist strips those labels (the ``fp_kwargs = {k: v ...
+  if k not in ("engine", "strict_engine")}`` idiom); per-call label
+  sanitizers come from the :class:`TaintSpec`.
+* Out of scope, by design: interprocedural flow through return values,
+  aliasing through containers beyond direct element binding, exception
+  edges, and attribute flow on non-``self`` objects.  The analyzers
+  built on top choose sources/sinks so these gaps bias toward missed
+  findings, never toward noise.
+
+Classes get a pre-pass: every ``self.<attr> = value`` assignment in any
+method contributes to a class-level attribute environment, so a set
+built in ``__init__`` is recognised as unordered when iterated from a
+different method.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    FrozenSet,
+    List,
+    Mapping,
+    Optional,
+    Protocol,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+#: Taint: source label -> line where it entered this scope.
+Taint = Dict[str, int]
+#: Value kinds.
+Kinds = Set[str]
+
+KIND_UNORDERED = "unordered"
+KIND_WRITER = "checkpoint-writer"
+
+#: Calls producing inherently unordered containers.
+_UNORDERED_PRODUCERS = frozenset({"set", "frozenset"})
+#: Calls preserving their argument's (lack of) ordering.
+_ORDER_PRESERVING = frozenset({"list", "tuple", "iter", "reversed", "enumerate"})
+#: Order-insensitive consumers: strip the unordered kind.
+_ORDER_SANITIZERS = frozenset({"sorted", "min", "max", "sum", "len", "any", "all"})
+
+_FIXPOINT_ROUNDS = 5
+
+
+@dataclass(frozen=True)
+class TaintSpec:
+    """Where taint enters a scope and what scrubs it.
+
+    Each source mapping is ``name -> label``: parameters by name,
+    attributes by attribute name (matched on any receiver — knob names
+    are a project-wide convention), constant string subscript keys.
+    ``call_sanitizers`` maps a callable name to labels its result drops
+    (``"*"`` drops all).  ``writer_factories``/``writer_names`` teach
+    the engine which values are checkpoint writers (for the
+    record-payload sink).
+    """
+
+    parameter_sources: Mapping[str, str] = field(default_factory=dict)
+    attribute_sources: Mapping[str, str] = field(default_factory=dict)
+    subscript_sources: Mapping[str, str] = field(default_factory=dict)
+    call_sanitizers: Mapping[str, FrozenSet[str]] = field(default_factory=dict)
+    writer_factories: FrozenSet[str] = frozenset(
+        {"CheckpointWriter", "checkpoint_writer"}
+    )
+    writer_names: FrozenSet[str] = frozenset({"writer"})
+
+    def is_writer_name(self, name: str) -> bool:
+        return name in self.writer_names or name.endswith("_writer")
+
+
+class Hooks(Protocol):
+    """What an analyzer plugs into the engine's report pass."""
+
+    def on_call(self, node: ast.Call, scope: "Scope") -> None:
+        """Every call expression, with the environment live at it."""
+
+    def on_for(
+        self, target: ast.expr, iter_node: ast.expr, scope: "Scope"
+    ) -> None:
+        """Every iteration: ``for`` statements and comprehension
+        generators alike."""
+
+
+class MultiHooks:
+    """Fan one engine pass out to several analyzers' hooks.
+
+    The engine cost (fixpoint + class pre-pass) dominates an analyzer
+    run, so analyzers that can share a :class:`TaintSpec` should share
+    a pass; each keeps collecting into its own findings list.
+    """
+
+    def __init__(self, hooks: Sequence[Hooks]) -> None:
+        self._hooks = tuple(hooks)
+
+    def on_call(self, node: ast.Call, scope: "Scope") -> None:
+        for hook in self._hooks:
+            hook.on_call(node, scope)
+
+    def on_for(
+        self, target: ast.expr, iter_node: ast.expr, scope: "Scope"
+    ) -> None:
+        for hook in self._hooks:
+            hook.on_for(target, iter_node, scope)
+
+
+class Scope:
+    """One analysis scope: the environment plus the taint evaluator."""
+
+    def __init__(
+        self,
+        spec: TaintSpec,
+        *,
+        self_taint: Optional[Dict[str, Taint]] = None,
+        self_kinds: Optional[Dict[str, Kinds]] = None,
+        collect_self: bool = False,
+    ) -> None:
+        self.spec = spec
+        self.env_taint: Dict[str, Taint] = {}
+        self.env_kinds: Dict[str, Kinds] = {}
+        #: Class-level ``self.<attr>`` environment, shared by methods.
+        self.self_taint: Dict[str, Taint] = (
+            self_taint if self_taint is not None else {}
+        )
+        self.self_kinds: Dict[str, Kinds] = (
+            self_kinds if self_kinds is not None else {}
+        )
+        #: During the class pre-pass, ``self.X = v`` feeds the maps above.
+        self.collect_self = collect_self
+
+    def fork(self) -> "Scope":
+        """A child scope seeded with a copy of this environment
+        (comprehensions, nested functions)."""
+        child = Scope(
+            self.spec,
+            self_taint=self.self_taint,
+            self_kinds=self.self_kinds,
+            collect_self=self.collect_self,
+        )
+        child.env_taint = {k: dict(v) for k, v in self.env_taint.items()}
+        child.env_kinds = {k: set(v) for k, v in self.env_kinds.items()}
+        return child
+
+    # -- evaluation ----------------------------------------------------
+
+    def taint(self, node: ast.expr) -> Taint:
+        """The taint reaching ``node`` under the current environment."""
+        if isinstance(node, ast.Name):
+            return dict(self.env_taint.get(node.id, {}))
+        if isinstance(node, ast.Attribute):
+            out = self.taint(node.value)
+            if (
+                isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+            ):
+                for label, line in self.self_taint.get(node.attr, {}).items():
+                    out.setdefault(label, line)
+            label_or_none = self.spec.attribute_sources.get(node.attr)
+            if label_or_none is not None:
+                out.setdefault(label_or_none, node.lineno)
+            return out
+        if isinstance(node, ast.Subscript):
+            out = self.taint(node.value)
+            out.update(self.taint(node.slice))
+            if (
+                isinstance(node.slice, ast.Constant)
+                and isinstance(node.slice.value, str)
+            ):
+                label_or_none = self.spec.subscript_sources.get(
+                    node.slice.value
+                )
+                if label_or_none is not None:
+                    out.setdefault(label_or_none, node.lineno)
+            return out
+        if isinstance(node, ast.Call):
+            out = {}
+            for arg in node.args:
+                out.update(self.taint(arg))
+            for keyword in node.keywords:
+                out.update(self.taint(keyword.value))
+            if isinstance(node.func, ast.Attribute):
+                out.update(self.taint(node.func.value))
+            name = call_name(node)
+            if name is not None:
+                stripped = self.spec.call_sanitizers.get(name)
+                if stripped is not None:
+                    if "*" in stripped:
+                        return {}
+                    for label in stripped:
+                        out.pop(label, None)
+            return out
+        if isinstance(node, ast.BinOp):
+            out = self.taint(node.left)
+            out.update(self.taint(node.right))
+            return out
+        if isinstance(node, ast.BoolOp):
+            out = {}
+            for value in node.values:
+                out.update(self.taint(value))
+            return out
+        if isinstance(node, ast.Compare):
+            out = self.taint(node.left)
+            for comparator in node.comparators:
+                out.update(self.taint(comparator))
+            return out
+        if isinstance(node, ast.UnaryOp):
+            return self.taint(node.operand)
+        if isinstance(node, ast.IfExp):
+            out = self.taint(node.body)
+            out.update(self.taint(node.orelse))
+            return out
+        if isinstance(node, ast.JoinedStr):
+            out = {}
+            for value in node.values:
+                if isinstance(value, ast.FormattedValue):
+                    out.update(self.taint(value.value))
+            return out
+        if isinstance(node, ast.FormattedValue):
+            return self.taint(node.value)
+        if isinstance(node, ast.Dict):
+            out = {}
+            for key in node.keys:
+                if key is not None:
+                    out.update(self.taint(key))
+            for value in node.values:
+                out.update(self.taint(value))
+            return out
+        if isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+            out = {}
+            for elt in node.elts:
+                out.update(self.taint(elt))
+            return out
+        if isinstance(node, ast.Starred):
+            return self.taint(node.value)
+        if isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+        ):
+            return self._comprehension_taint(node)
+        if isinstance(node, ast.NamedExpr):
+            value_taint = self.taint(node.value)
+            self.bind(node.target, value_taint, self.kinds(node.value))
+            return value_taint
+        if isinstance(node, ast.Await):
+            return self.taint(node.value)
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return self.taint(node.value) if node.value is not None else {}
+        if isinstance(node, ast.Slice):
+            out = {}
+            for part in (node.lower, node.upper, node.step):
+                if part is not None:
+                    out.update(self.taint(part))
+            return out
+        return {}
+
+    def kinds(self, node: ast.expr) -> Kinds:
+        """The value kinds of ``node`` (ordering, writer-ness)."""
+        if isinstance(node, ast.Name):
+            out = set(self.env_kinds.get(node.id, set()))
+            if self.spec.is_writer_name(node.id):
+                out.add(KIND_WRITER)
+            return out
+        if isinstance(node, ast.Attribute):
+            out = set()
+            if isinstance(node.value, ast.Name) and node.value.id == "self":
+                out |= self.self_kinds.get(node.attr, set())
+            if self.spec.is_writer_name(node.attr):
+                out.add(KIND_WRITER)
+            return out
+        if isinstance(node, ast.Call):
+            name = call_name(node)
+            if name in _UNORDERED_PRODUCERS:
+                return {KIND_UNORDERED}
+            if name is not None and name in self.spec.writer_factories:
+                return {KIND_WRITER}
+            if name in _ORDER_SANITIZERS:
+                return set()
+            if name in _ORDER_PRESERVING:
+                out = set()
+                for arg in node.args:
+                    out |= self.kinds(arg)
+                return out
+            if name in ("keys", "values", "items", "copy", "union",
+                        "intersection", "difference"):
+                # Methods whose result inherits the receiver's ordering.
+                if isinstance(node.func, ast.Attribute):
+                    return self.kinds(node.func.value)
+            return set()
+        if isinstance(node, ast.Set):
+            return {KIND_UNORDERED}
+        if isinstance(node, ast.SetComp):
+            return {KIND_UNORDERED}
+        if isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+            # Element order inherits the (first) generator's order.
+            out = set()
+            for gen in node.generators:
+                out |= self.kinds(gen.iter) & {KIND_UNORDERED}
+            return out
+        if isinstance(node, ast.BinOp):
+            return (self.kinds(node.left) | self.kinds(node.right)) & {
+                KIND_UNORDERED
+            }
+        if isinstance(node, ast.IfExp):
+            return self.kinds(node.body) | self.kinds(node.orelse)
+        if isinstance(node, ast.NamedExpr):
+            return self.kinds(node.value)
+        if isinstance(node, ast.Starred):
+            return self.kinds(node.value)
+        return set()
+
+    # -- binding -------------------------------------------------------
+
+    def bind(self, target: ast.expr, taint: Taint, kinds: Kinds) -> None:
+        """A reaching definition: assignment kills, aug-ops merge via
+        :meth:`merge_into`."""
+        if isinstance(target, ast.Name):
+            self.env_taint[target.id] = dict(taint)
+            self.env_kinds[target.id] = set(kinds)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            # Element-wise: each piece conservatively gets the whole
+            # value's taint; container kinds do not transfer to elements.
+            for elt in target.elts:
+                inner = elt.value if isinstance(elt, ast.Starred) else elt
+                self.bind(inner, taint, set())
+        elif isinstance(target, ast.Attribute):
+            if (
+                isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                and self.collect_self
+            ):
+                slot = self.self_taint.setdefault(target.attr, {})
+                for label, line in taint.items():
+                    slot.setdefault(label, line)
+                self.self_kinds.setdefault(target.attr, set()).update(kinds)
+        elif isinstance(target, ast.Subscript):
+            # ``d[k] = v`` taints the container, never kills it.
+            if isinstance(target.value, ast.Name):
+                self.merge_into(target.value.id, taint, set())
+
+    def merge_into(self, name: str, taint: Taint, kinds: Kinds) -> None:
+        slot = self.env_taint.setdefault(name, {})
+        for label, line in taint.items():
+            slot.setdefault(label, line)
+        self.env_kinds.setdefault(name, set()).update(kinds)
+
+    # -- comprehensions ------------------------------------------------
+
+    def _comprehension_taint(
+        self,
+        node: "ast.ListComp | ast.SetComp | ast.GeneratorExp | ast.DictComp",
+    ) -> Taint:
+        inner = self.fork()
+        strip: Set[str] = set()
+        for gen in node.generators:
+            iter_taint = inner.taint(gen.iter)
+            inner.bind(gen.target, iter_taint, set())
+            strip |= _key_filter_labels(gen, inner)
+        if isinstance(node, ast.DictComp):
+            out = inner.taint(node.key)
+            out.update(inner.taint(node.value))
+        else:
+            out = inner.taint(node.elt)
+        for label in strip:
+            out.pop(label, None)
+        return out
+
+
+def _key_filter_labels(gen: ast.comprehension, scope: Scope) -> Set[str]:
+    """Labels a ``if k not in ("engine", ...)`` clause provably strips.
+
+    Recognises the canonical sanitizer idiom
+    ``{k: v for k, v in kw.items() if k not in (<const strings>)}``:
+    when the filtered name is the comprehension's key variable and the
+    blocklist is all string constants, the listed keys cannot survive
+    into the result, so their subscript-source labels are dropped.
+    """
+    key_names: Set[str] = set()
+    if isinstance(gen.target, ast.Name):
+        key_names.add(gen.target.id)
+    elif isinstance(gen.target, ast.Tuple) and gen.target.elts:
+        first = gen.target.elts[0]
+        if isinstance(first, ast.Name):
+            key_names.add(first.id)
+    stripped: Set[str] = set()
+    for test in gen.ifs:
+        if not (
+            isinstance(test, ast.Compare)
+            and len(test.ops) == 1
+            and isinstance(test.ops[0], ast.NotIn)
+            and isinstance(test.left, ast.Name)
+            and test.left.id in key_names
+        ):
+            continue
+        container = test.comparators[0]
+        if not isinstance(container, (ast.Tuple, ast.List, ast.Set)):
+            continue
+        keys = [
+            elt.value
+            for elt in container.elts
+            if isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+        ]
+        if len(keys) != len(container.elts):
+            continue  # a dynamic element: cannot prove anything
+        for key in keys:
+            label = scope.spec.subscript_sources.get(key)
+            if label is not None:
+                stripped.add(label)
+    return stripped
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    """The call's terminal name: ``f(...)`` -> ``f``, ``a.b.c(...)`` ->
+    ``c``."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def dotted_call_name(node: ast.Call) -> Optional[str]:
+    """The dotted form when statically nameable: ``time.time``,
+    ``self.rng.random`` -> ``self.rng.random``."""
+    parts: List[str] = []
+    current: ast.expr = node.func
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class _NullHooks:
+    def on_call(self, node: ast.Call, scope: Scope) -> None:
+        return None
+
+    def on_for(
+        self, target: ast.expr, iter_node: ast.expr, scope: Scope
+    ) -> None:
+        return None
+
+
+NULL_HOOKS: Hooks = _NullHooks()
+
+
+class Engine:
+    """Runs the fixpoint + report passes over one module."""
+
+    def __init__(self, spec: TaintSpec, hooks: Hooks) -> None:
+        self.spec = spec
+        self.hooks = hooks
+
+    # -- public entry --------------------------------------------------
+
+    def run(self, tree: ast.Module) -> None:
+        scope = Scope(self.spec)
+        self._run_scope(list(tree.body), scope, params=None)
+
+    # -- scope driver --------------------------------------------------
+
+    def _run_scope(
+        self,
+        body: List[ast.stmt],
+        scope: Scope,
+        *,
+        params: "Optional[ast.arguments]" = None,
+    ) -> None:
+        if params is not None:
+            self._seed_params(params, scope)
+        for _ in range(_FIXPOINT_ROUNDS):
+            before = self._snapshot(scope)
+            self._exec_block(body, scope, report=False)
+            if self._snapshot(scope) == before:
+                break
+        self._exec_block(body, scope, report=True)
+
+    def _seed_params(self, args: ast.arguments, scope: Scope) -> None:
+        params = list(args.posonlyargs + args.args + args.kwonlyargs)
+        for extra in (args.vararg, args.kwarg):
+            if extra is not None:
+                params.append(extra)
+        for param in params:
+            label = self.spec.parameter_sources.get(param.arg)
+            if label is not None:
+                scope.env_taint[param.arg] = {label: param.lineno}
+
+    @staticmethod
+    def _snapshot(scope: Scope) -> Tuple[object, object, object, object]:
+        return (
+            {k: frozenset(v) for k, v in scope.env_taint.items()},
+            {k: frozenset(v) for k, v in scope.env_kinds.items()},
+            {k: frozenset(v) for k, v in scope.self_taint.items()},
+            {k: frozenset(v) for k, v in scope.self_kinds.items()},
+        )
+
+    # -- statements ----------------------------------------------------
+
+    def _exec_block(
+        self, stmts: List[ast.stmt], scope: Scope, *, report: bool
+    ) -> None:
+        for stmt in stmts:
+            self._exec_stmt(stmt, scope, report=report)
+
+    def _exec_stmt(self, stmt: ast.stmt, scope: Scope, *, report: bool) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if report:
+                self._run_function(stmt, scope)
+            return
+        if isinstance(stmt, ast.ClassDef):
+            if report:
+                self._run_class(stmt, scope)
+            return
+        if isinstance(stmt, ast.Assign):
+            self._visit_expr(stmt.value, scope, report=report)
+            taint = scope.taint(stmt.value)
+            kinds = scope.kinds(stmt.value)
+            for target in stmt.targets:
+                scope.bind(target, taint, kinds)
+            return
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._visit_expr(stmt.value, scope, report=report)
+                scope.bind(
+                    stmt.target, scope.taint(stmt.value), scope.kinds(stmt.value)
+                )
+            return
+        if isinstance(stmt, ast.AugAssign):
+            self._visit_expr(stmt.value, scope, report=report)
+            if isinstance(stmt.target, ast.Name):
+                scope.merge_into(
+                    stmt.target.id,
+                    scope.taint(stmt.value),
+                    scope.kinds(stmt.value) & {KIND_UNORDERED},
+                )
+            return
+        if isinstance(stmt, ast.Expr):
+            self._visit_expr(stmt.value, scope, report=report)
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._visit_expr(stmt.iter, scope, report=report)
+            if report:
+                self.hooks.on_for(stmt.target, stmt.iter, scope)
+            # Elements of a container: taint flows, the container's
+            # unordered-ness does not describe the element itself.
+            scope.bind(stmt.target, scope.taint(stmt.iter), set())
+            if report:
+                # Pre-run the body silently so assignments made late in
+                # the body (loop-carried state) are visible to hooks on
+                # the reporting run — a second-iteration view.
+                self._exec_block(stmt.body, scope, report=False)
+                scope.bind(stmt.target, scope.taint(stmt.iter), set())
+            self._exec_block(stmt.body, scope, report=report)
+            self._exec_block(stmt.orelse, scope, report=report)
+            return
+        if isinstance(stmt, ast.While):
+            self._visit_expr(stmt.test, scope, report=report)
+            if report:
+                self._exec_block(stmt.body, scope, report=False)
+            self._exec_block(stmt.body, scope, report=report)
+            self._exec_block(stmt.orelse, scope, report=report)
+            return
+        if isinstance(stmt, ast.If):
+            self._visit_expr(stmt.test, scope, report=report)
+            self._exec_block(stmt.body, scope, report=report)
+            self._exec_block(stmt.orelse, scope, report=report)
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._visit_expr(item.context_expr, scope, report=report)
+                if item.optional_vars is not None:
+                    scope.bind(
+                        item.optional_vars,
+                        scope.taint(item.context_expr),
+                        scope.kinds(item.context_expr),
+                    )
+            self._exec_block(stmt.body, scope, report=report)
+            return
+        if isinstance(stmt, ast.Try):
+            self._exec_block(stmt.body, scope, report=report)
+            for handler in stmt.handlers:
+                self._exec_block(handler.body, scope, report=report)
+            self._exec_block(stmt.orelse, scope, report=report)
+            self._exec_block(stmt.finalbody, scope, report=report)
+            return
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._visit_expr(stmt.value, scope, report=report)
+            return
+        if isinstance(stmt, ast.Raise):
+            for part in (stmt.exc, stmt.cause):
+                if part is not None:
+                    self._visit_expr(part, scope, report=report)
+            return
+        if isinstance(stmt, ast.Assert):
+            self._visit_expr(stmt.test, scope, report=report)
+            if stmt.msg is not None:
+                self._visit_expr(stmt.msg, scope, report=report)
+            return
+        if isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    scope.env_taint.pop(target.id, None)
+                    scope.env_kinds.pop(target.id, None)
+            return
+        # Anything else (Match, Import, Global, ...): visit embedded
+        # expressions and statement blocks generically.
+        for child_field, value in ast.iter_fields(stmt):
+            del child_field
+            if isinstance(value, ast.expr):
+                self._visit_expr(value, scope, report=report)
+            elif isinstance(value, list):
+                exprs = [v for v in value if isinstance(v, ast.expr)]
+                for expr in exprs:
+                    self._visit_expr(expr, scope, report=report)
+                inner = [v for v in value if isinstance(v, ast.stmt)]
+                if inner:
+                    self._exec_block(inner, scope, report=report)
+
+    # -- expressions (hook traversal) ----------------------------------
+
+    def _visit_expr(self, node: ast.expr, scope: Scope, *, report: bool) -> None:
+        """Walk an expression, firing hooks at calls and comprehension
+        generators; nested lambdas/comprehensions get forked scopes."""
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Attribute):
+                self._visit_expr(node.func.value, scope, report=report)
+            for arg in node.args:
+                self._visit_expr(arg, scope, report=report)
+            for keyword in node.keywords:
+                self._visit_expr(keyword.value, scope, report=report)
+            if report:
+                self.hooks.on_call(node, scope)
+            return
+        if isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+        ):
+            inner = scope.fork()
+            for gen in node.generators:
+                self._visit_expr(gen.iter, inner, report=report)
+                if report:
+                    self.hooks.on_for(gen.target, gen.iter, inner)
+                inner.bind(gen.target, inner.taint(gen.iter), set())
+                for test in gen.ifs:
+                    self._visit_expr(test, inner, report=report)
+            if isinstance(node, ast.DictComp):
+                self._visit_expr(node.key, inner, report=report)
+                self._visit_expr(node.value, inner, report=report)
+            else:
+                self._visit_expr(node.elt, inner, report=report)
+            return
+        if isinstance(node, ast.Lambda):
+            return  # opaque: treated as a value, its body never runs here
+        if isinstance(node, ast.NamedExpr):
+            self._visit_expr(node.value, scope, report=report)
+            scope.bind(node.target, scope.taint(node.value), scope.kinds(node.value))
+            return
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._visit_expr(child, scope, report=report)
+
+    # -- functions and classes -----------------------------------------
+
+    def _run_function(
+        self,
+        node: "ast.FunctionDef | ast.AsyncFunctionDef",
+        outer: Scope,
+    ) -> None:
+        for decorator in node.decorator_list:
+            self._visit_expr(decorator, outer, report=True)
+        for default in list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]:
+            self._visit_expr(default, outer, report=True)
+        inner = outer.fork()
+        self._run_scope(list(node.body), inner, params=node.args)
+
+    def _run_class(self, node: ast.ClassDef, outer: Scope) -> None:
+        methods = [
+            stmt
+            for stmt in node.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        # Pre-pass: collect self.<attr> taints/kinds across all methods
+        # (two rounds so attributes derived from attributes settle).
+        self_taint: Dict[str, Taint] = {}
+        self_kinds: Dict[str, Kinds] = {}
+        for _ in range(2):
+            for method in methods:
+                pre = Scope(
+                    self.spec,
+                    self_taint=self_taint,
+                    self_kinds=self_kinds,
+                    collect_self=True,
+                )
+                self._seed_params(method.args, pre)
+                silent = Engine(self.spec, NULL_HOOKS)
+                silent._exec_block(list(method.body), pre, report=False)
+        # Non-method class body (class attributes) runs in the outer scope.
+        other = [
+            stmt
+            for stmt in node.body
+            if not isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            )
+        ]
+        self._exec_block(other, outer, report=True)
+        for stmt in node.body:
+            if isinstance(stmt, ast.ClassDef):
+                self._run_class(stmt, outer)
+        # Main pass per method, with the class attribute environment.
+        for method in methods:
+            for decorator in method.decorator_list:
+                self._visit_expr(decorator, outer, report=True)
+            inner = Scope(
+                self.spec, self_taint=self_taint, self_kinds=self_kinds
+            )
+            self._run_scope(list(method.body), inner, params=method.args)
+
+
+def analyze(tree: ast.Module, spec: TaintSpec, hooks: Hooks) -> None:
+    """Run the engine over a parsed module with the given analyzer."""
+    Engine(spec, hooks).run(tree)
+
+
+def build_parent_map(tree: ast.AST) -> Dict[ast.AST, ast.AST]:
+    """child -> parent for every node (the ``sorted()``-wrapper check
+    climbs this to find order-insensitive consumers)."""
+    parents: Dict[ast.AST, ast.AST] = {}
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            parents[child] = parent
+    return parents

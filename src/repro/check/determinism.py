@@ -1,0 +1,267 @@
+"""Determinism rules for the fingerprint/checkpoint/serde paths.
+
+Resume bit-identity and cross-machine manifest comparison only work if
+the modules that *produce* persisted bytes are deterministic functions
+of their inputs.  Four environment leaks account for nearly every
+real-world violation, and each gets a rule:
+
+``determinism/wall-clock``
+    ``time.time``/``time.time_ns``/``datetime.now``/``utcnow``/
+    ``today`` reads.  ``time.perf_counter``/``monotonic`` are *not*
+    flagged: elapsed-time telemetry is explicitly excluded from
+    identity (see :mod:`repro.store.serde`).
+``determinism/rng``
+    ``random.*``, ``os.urandom``, ``secrets.*``, ``uuid.uuid1/4`` —
+    unseeded entropy has no place on a serde path.
+``determinism/unsorted-walk``
+    ``os.listdir``/``os.walk``/``os.scandir``/``Path.iterdir``/
+    ``glob``/``rglob`` results consumed order-sensitively.  Filesystem
+    enumeration order is filesystem-specific; the rule is satisfied by
+    wrapping the walk in an order-insensitive consumer (``sorted``,
+    ``min``/``max``, ``len``, ``set``, a membership test, ...) within
+    the same statement.
+``determinism/set-order``
+    Iterating a value the dataflow engine knows to be an unordered
+    ``set``/``frozenset`` (including one built in ``__init__`` and
+    iterated from another method), or passing one to ``join``/
+    ``json.dumps``.  ``sorted(...)`` strips the kind and is the fix.
+``determinism/hash-in-key``
+    The builtin ``hash()`` — salted per-process by ``PYTHONHASHSEED``
+    for ``str``/``bytes`` — in modules whose keys are persisted.  Use
+    ``hashlib`` digests instead.
+
+The rules run only on modules that feed fingerprints, checkpoints,
+manifests or serde (the lint orchestrator owns the scope list, plus
+``tests/`` for hygiene); flagging wall-clock reads in, say, the
+benchmark harness would be noise.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.check.dataflow import (
+    KIND_UNORDERED,
+    Scope,
+    TaintSpec,
+    analyze,
+    build_parent_map,
+    call_name,
+    dotted_call_name,
+)
+from repro.check.findings import ERROR, Finding
+
+#: Dotted call names that read the wall clock.
+_WALL_CLOCK_SUFFIXES: Tuple[Tuple[str, str], ...] = (
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+    ("date", "today"),
+)
+
+#: Terminal names that draw entropy when the receiver chain includes
+#: the ``random`` module.
+_RNG_TERMINALS = frozenset(
+    {
+        "random", "randint", "randrange", "choice", "choices", "shuffle",
+        "sample", "uniform", "gauss", "randbytes", "getrandbits", "rand",
+        "randn", "normal", "permutation",
+    }
+)
+
+#: Exact dotted entropy sources outside the ``random`` module.
+_ENTROPY_CALLS = frozenset(
+    {
+        "os.urandom",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+        "secrets.token_urlsafe",
+        "secrets.randbelow",
+        "uuid.uuid1",
+        "uuid.uuid4",
+    }
+)
+
+#: Filesystem-enumeration calls whose order is filesystem-specific.
+_FS_WALKS = frozenset(
+    {"listdir", "iterdir", "glob", "rglob", "scandir", "walk"}
+)
+
+#: Consumers that make enumeration order irrelevant.
+_ORDER_INSENSITIVE_CONSUMERS = frozenset(
+    {"sorted", "min", "max", "sum", "len", "any", "all", "set", "frozenset"}
+)
+
+
+def _finding(
+    rule: str, message: str, filename: str, line: int
+) -> Finding:
+    return Finding(
+        "determinism",
+        ERROR,
+        message,
+        location=f"{filename}:{line}",
+        rule=f"determinism/{rule}",
+    )
+
+
+class DeterminismHooks:
+    """Engine hooks; collects findings on :attr:`findings`.
+
+    Public so the lint orchestrator can run determinism and purity in
+    one shared dataflow pass (the engine cost dominates the scan).
+    The hooks ignore taint labels entirely — only kinds and call shapes
+    matter — so they are safe to run under any :class:`TaintSpec`.
+    """
+
+    def __init__(
+        self, filename: str, parents: Dict[ast.AST, ast.AST]
+    ) -> None:
+        self.filename = filename
+        self.parents = parents
+        self.findings: List[Finding] = []
+        #: (rule, line) pairs already reported — the fixpoint engine
+        #: visits comprehension generators once, but a call can sit in
+        #: both an iter expression and a generic walk.
+        self._seen: Set[Tuple[str, int]] = set()
+
+    def _emit(self, rule: str, message: str, line: int) -> None:
+        if (rule, line) in self._seen:
+            return
+        self._seen.add((rule, line))
+        self.findings.append(_finding(rule, message, self.filename, line))
+
+    # -- call sinks ----------------------------------------------------
+
+    def on_call(self, node: ast.Call, scope: Scope) -> None:
+        dotted = dotted_call_name(node)
+        parts = dotted.split(".") if dotted else []
+        name = call_name(node)
+
+        if len(parts) >= 2 and (parts[-2], parts[-1]) in _WALL_CLOCK_SUFFIXES:
+            self._emit(
+                "wall-clock",
+                f"{dotted}() reads the wall clock on a fingerprint/serde "
+                "path; derive timestamps outside identity-bearing data "
+                "(time.perf_counter is fine for telemetry)",
+                node.lineno,
+            )
+        if dotted is not None and self._is_rng(dotted, parts):
+            self._emit(
+                "rng",
+                f"{dotted}() draws unseeded entropy on a fingerprint/serde "
+                "path; persisted bytes must be deterministic",
+                node.lineno,
+            )
+        if name in _FS_WALKS and not self._order_insensitive(node):
+            self._emit(
+                "unsorted-walk",
+                f"{name}() enumeration order is filesystem-specific; wrap "
+                "the walk in sorted() (or another order-insensitive "
+                "consumer) before it reaches persisted or replayed state",
+                node.lineno,
+            )
+        if isinstance(node.func, ast.Name) and node.func.id == "hash":
+            self._emit(
+                "hash-in-key",
+                "builtin hash() is salted per-process by PYTHONHASHSEED; "
+                "use a hashlib digest for any key that outlives the "
+                "process",
+                node.lineno,
+            )
+        if name == "join" and self._unordered_args(node, scope):
+            self._emit(
+                "set-order",
+                "join() over an unordered set produces "
+                "nondeterministic output; sort it first",
+                node.lineno,
+            )
+        if name in ("dumps", "dump") and not self._sorts_keys(node):
+            if self._unordered_args(node, scope):
+                self._emit(
+                    "set-order",
+                    f"{name}() serializes an unordered set-derived value; "
+                    "sort it first",
+                    node.lineno,
+                )
+
+    # -- iteration sinks -----------------------------------------------
+
+    def on_for(
+        self, target: ast.expr, iter_node: ast.expr, scope: Scope
+    ) -> None:
+        if KIND_UNORDERED in scope.kinds(iter_node):
+            self._emit(
+                "set-order",
+                "iteration over an unordered set reaches serialized "
+                "output in this module; iterate sorted(...) instead",
+                iter_node.lineno,
+            )
+
+    # -- helpers -------------------------------------------------------
+
+    @staticmethod
+    def _is_rng(dotted: str, parts: List[str]) -> bool:
+        if dotted in _ENTROPY_CALLS:
+            return True
+        if parts[0] == "random" and len(parts) > 1:
+            return True
+        return "random" in parts[:-1] and parts[-1] in _RNG_TERMINALS
+
+    @staticmethod
+    def _sorts_keys(node: ast.Call) -> bool:
+        for keyword in node.keywords:
+            if (
+                keyword.arg == "sort_keys"
+                and isinstance(keyword.value, ast.Constant)
+                and bool(keyword.value.value)
+            ):
+                return True
+        return False
+
+    def _unordered_args(self, node: ast.Call, scope: Scope) -> bool:
+        return any(
+            KIND_UNORDERED in scope.kinds(arg)
+            for arg in list(node.args)
+            + [kw.value for kw in node.keywords]
+        )
+
+    def _order_insensitive(self, node: ast.Call) -> bool:
+        """Whether an enclosing expression (same statement) consumes the
+        walk order-insensitively."""
+        current: ast.AST = node
+        while True:
+            parent = self.parents.get(current)
+            if parent is None or isinstance(parent, ast.stmt):
+                # ``for x in sorted(...)`` puts the sanitizer inside the
+                # expression, so reaching the statement means no
+                # sanitizer was found — except a ``with`` over scandir,
+                # which is a resource acquisition, not an iteration.
+                return isinstance(parent, (ast.With, ast.AsyncWith))
+            if (
+                isinstance(parent, ast.Call)
+                and call_name(parent) in _ORDER_INSENSITIVE_CONSUMERS
+            ):
+                return True
+            if isinstance(parent, ast.Compare) and any(
+                isinstance(op, (ast.In, ast.NotIn)) for op in parent.ops
+            ):
+                return True
+            current = parent
+
+
+def check_determinism(
+    tree: ast.Module, filename: str, *, source: Optional[str] = None
+) -> List[Finding]:
+    """All ``determinism/*`` findings for one parsed, in-scope module.
+
+    ``source`` is unused (signature symmetry with the purity pass);
+    suppression handling lives in the lint orchestrator.
+    """
+    del source
+    hooks = DeterminismHooks(filename, build_parent_map(tree))
+    analyze(tree, TaintSpec(), hooks)
+    return hooks.findings

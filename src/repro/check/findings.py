@@ -31,8 +31,9 @@ ERROR = "error"
 #: entry (the cell fingerprint includes it) and dates SARIF output.
 #: v1 = PR-1 analyzers; v2 = rule ids + cost-conformance analyzer;
 #: v3 = tight-bound conformance + optimality-gap certificate +
-#: engine-conformance analyzer.
-CHECKER_VERSION = 3
+#: engine-conformance analyzer; v4 = rule registry, inline
+#: suppressions and the dataflow purity/determinism analyzers.
+CHECKER_VERSION = 4
 
 
 @dataclass(frozen=True)

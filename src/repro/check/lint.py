@@ -45,17 +45,37 @@ Seven rules, each born from a real failure mode of this codebase:
   trusts.  Manifests, CSVs, cache entries and baselines all carried
   exactly this bug before the run store existed.
 
-The pass is purely syntactic (:mod:`ast`), needs no imports of the
-linted code, and runs over the whole package in well under a second.
+The syntactic rules above are dispatched through the
+:mod:`repro.check.rules` registry (config-driven enable/disable), and
+this module also hosts the per-file scan *orchestrator*
+(:func:`scan_source` / :func:`run_lint`): it layers the dataflow
+analyzer families — :mod:`repro.check.determinism` on
+fingerprint-feeding modules and ``tests/``, :mod:`repro.check.purity`
+on the whole package — over the lint pass, applies inline
+``# repro: noqa[rule-id]`` suppressions, raises
+``meta/unused-suppression`` for dead waivers, and scans files in
+parallel.  The lint rules themselves are purely syntactic
+(:mod:`ast`), need no imports of the linted code, and run over the
+whole package in well under a second.
 """
 
 from __future__ import annotations
 
 import ast
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence, Set
+from typing import Callable, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.check.findings import ERROR, Finding
+from repro.check.rules import (
+    DEFAULT_CONFIG,
+    UNUSED_SUPPRESSION,
+    RuleConfig,
+    SuppressionIndex,
+    filter_findings,
+)
 
 #: The explicit-directive method names of the execution contexts.
 DIRECTIVES = frozenset({"load_shared", "evict_shared", "load_dist", "evict_dist"})
@@ -125,13 +145,13 @@ def _check_explicit_guard(
 
 
 def _check_registered(
-    tree: ast.AST,
+    nodes: Sequence[ast.AST],
     filename: str,
     registered: Set[str],
     findings: List[Finding],
 ) -> None:
     """Rule ``unregistered-algorithm``: concrete schedules are registered."""
-    for node in ast.walk(tree):
+    for node in nodes:
         if not isinstance(node, ast.ClassDef):
             continue
         bases = {
@@ -173,10 +193,10 @@ def _is_mutable_default(node: ast.expr) -> bool:
 
 
 def _check_mutable_defaults(
-    tree: ast.AST, filename: str, findings: List[Finding]
+    nodes: Sequence[ast.AST], filename: str, findings: List[Finding]
 ) -> None:
     """Rule ``mutable-default``: no shared mutable default arguments."""
-    for node in ast.walk(tree):
+    for node in nodes:
         if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
             continue
         defaults: List[Optional[ast.expr]] = list(node.args.defaults)
@@ -202,10 +222,10 @@ def _names_tdata(node: ast.expr) -> bool:
 
 
 def _check_float_equality(
-    tree: ast.AST, filename: str, findings: List[Finding]
+    nodes: Sequence[ast.AST], filename: str, findings: List[Finding]
 ) -> None:
     """Rule ``float-equality``: no ``==`` / ``!=`` on ``Tdata`` values."""
-    for node in ast.walk(tree):
+    for node in nodes:
         if not isinstance(node, ast.Compare):
             continue
         if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
@@ -222,7 +242,7 @@ def _check_float_equality(
             )
 
 
-def _elif_ifs(tree: ast.AST) -> Set[int]:
+def _elif_ifs(nodes: Sequence[ast.AST]) -> Set[int]:
     """Ids of ``ast.If`` nodes that are really ``elif`` arms.
 
     An ``elif`` is encoded as an ``If`` standing alone in its parent
@@ -230,7 +250,7 @@ def _elif_ifs(tree: ast.AST) -> Set[int]:
     from the ``dead-branch`` rule.
     """
     out: Set[int] = set()
-    for node in ast.walk(tree):
+    for node in nodes:
         if (
             isinstance(node, ast.If)
             and len(node.orelse) == 1
@@ -240,10 +260,12 @@ def _elif_ifs(tree: ast.AST) -> Set[int]:
     return out
 
 
-def _check_dead_branch(tree: ast.AST, filename: str, findings: List[Finding]) -> None:
+def _check_dead_branch(
+    nodes: Sequence[ast.AST], filename: str, findings: List[Finding]
+) -> None:
     """Rule ``dead-branch``: no ``if cond: pass`` with no ``else``."""
-    elifs = _elif_ifs(tree)
-    for node in ast.walk(tree):
+    elifs = _elif_ifs(nodes)
+    for node in nodes:
         if not isinstance(node, ast.If) or id(node) in elifs:
             continue
         if node.orelse:
@@ -262,10 +284,10 @@ def _check_dead_branch(tree: ast.AST, filename: str, findings: List[Finding]) ->
 
 
 def _check_init_self_call(
-    tree: ast.AST, filename: str, findings: List[Finding]
+    nodes: Sequence[ast.AST], filename: str, findings: List[Finding]
 ) -> None:
     """Rule ``init-self-call``: no ``self.__init__(...)`` resets."""
-    for node in ast.walk(tree):
+    for node in nodes:
         if not isinstance(node, ast.Call):
             continue
         func = node.func
@@ -298,7 +320,7 @@ def _references_name(tree: ast.AST, name: str) -> bool:
 
 
 def _check_fallback_telemetry(
-    tree: ast.AST, filename: str, findings: List[Finding]
+    nodes: Sequence[ast.AST], filename: str, findings: List[Finding]
 ) -> None:
     """Rule ``fallback-telemetry``: ``supports(...)`` callers record it.
 
@@ -307,7 +329,7 @@ def _check_fallback_telemetry(
     ``note_engine_fallback`` (to record the step fallback) the decision
     is invisible at runtime.
     """
-    for func in ast.walk(tree):
+    for func in nodes:
         if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
             continue
         consults = any(
@@ -358,10 +380,10 @@ def _open_write_mode(call: ast.Call) -> bool:
 
 
 def _check_nonatomic_write(
-    tree: ast.AST, filename: str, findings: List[Finding]
+    nodes: Sequence[ast.AST], filename: str, findings: List[Finding]
 ) -> None:
     """Rule ``nonatomic-artifact-write``: writes go through repro.store."""
-    for node in ast.walk(tree):
+    for node in nodes:
         if not isinstance(node, ast.Call):
             continue
         func = node.func
@@ -393,6 +415,55 @@ def _check_nonatomic_write(
             )
 
 
+#: The syntactic lint checks, in dispatch order.  Each entry is
+#: ``(rule id, gate, check)`` where ``gate`` names the
+#: :class:`FileProfile` condition under which the rule applies
+#: (``explicit-guard``/``unregistered-algorithm`` have bespoke wiring
+#: below because they need the profile/registry).
+_SIMPLE_CHECKS: "Sequence[Tuple[str, str, _Check]]" = (
+    ("lint/mutable-default", "always", _check_mutable_defaults),
+    ("lint/float-equality", "always", _check_float_equality),
+    ("lint/dead-branch", "always", _check_dead_branch),
+    ("lint/init-self-call", "always", _check_init_self_call),
+    ("lint/nonatomic-artifact-write", "not-store", _check_nonatomic_write),
+    ("lint/fallback-telemetry", "not-check", _check_fallback_telemetry),
+)
+
+_Check = Callable[[Sequence[ast.AST], str, List[Finding]], None]
+
+
+@dataclass(frozen=True)
+class FileProfile:
+    """Which analyzer families and module-role gates apply to a file.
+
+    The role flags mirror the package layout: ``algorithms_module``
+    enables the directive/registry rules, ``store_module`` exempts the
+    one package allowed to perform raw writes, ``check_module`` exempts
+    the analyzers that probe ``supports`` analytically.  The family
+    flags pick analysis passes: ``lint`` (syntactic), ``determinism``
+    (dataflow, fingerprint-feeding modules plus tests), ``purity``
+    (dataflow, knob→fingerprint).
+    """
+
+    algorithms_module: bool = False
+    store_module: bool = False
+    check_module: bool = False
+    lint: bool = True
+    determinism: bool = False
+    purity: bool = False
+
+    @property
+    def families(self) -> Set[str]:
+        out = {"meta"}
+        if self.lint:
+            out.add("lint")
+        if self.determinism:
+            out.add("determinism")
+        if self.purity:
+            out.add("purity")
+        return out
+
+
 def lint_source(
     source: str,
     filename: str,
@@ -401,6 +472,7 @@ def lint_source(
     store_module: bool = False,
     check_module: bool = False,
     registered: Optional[Set[str]] = None,
+    config: Optional[RuleConfig] = None,
 ) -> List[Finding]:
     """Lint one module's source text; ``filename`` is for reporting only.
 
@@ -409,27 +481,124 @@ def lint_source(
     protocol everything else must use).  ``check_module`` marks files
     inside :mod:`repro.check`, which probe the replay ``supports``
     predicate analytically and are exempt from ``fallback-telemetry``.
+
+    This is the bare ``lint`` family: no dataflow rules, no
+    suppression handling — :func:`scan_source` is the full per-file
+    pipeline.
     """
+    cfg = config if config is not None else DEFAULT_CONFIG
     findings: List[Finding] = []
+    tree = _parse(source, filename, findings)
+    if tree is None:
+        return findings
+    _lint_tree(
+        tree,
+        filename,
+        findings,
+        profile=FileProfile(
+            algorithms_module=algorithms_module,
+            store_module=store_module,
+            check_module=check_module,
+        ),
+        registered=registered or set(),
+        config=cfg,
+    )
+    return findings
+
+
+def _parse(
+    source: str, filename: str, findings: List[Finding]
+) -> Optional[ast.Module]:
     try:
-        tree = ast.parse(source, filename=filename)
+        return ast.parse(source, filename=filename)
     except SyntaxError as exc:
         findings.append(
             _finding("syntax", f"cannot parse: {exc.msg}", filename, exc.lineno or 0)
         )
+        return None
+
+
+def _lint_tree(
+    tree: ast.Module,
+    filename: str,
+    findings: List[Finding],
+    *,
+    profile: FileProfile,
+    registered: Set[str],
+    config: RuleConfig,
+) -> None:
+    # One walk shared by every check — walking per rule dominated the
+    # scan's profile.
+    nodes = list(ast.walk(tree))
+    for rule_id, gate, check in _SIMPLE_CHECKS:
+        if gate == "not-store" and profile.store_module:
+            continue
+        if gate == "not-check" and profile.check_module:
+            continue
+        if config.allows(rule_id):
+            check(nodes, filename, findings)
+    if profile.algorithms_module:
+        if config.allows("lint/explicit-guard"):
+            _check_explicit_guard(tree, filename, findings)
+        if config.allows("lint/unregistered-algorithm"):
+            _check_registered(nodes, filename, registered, findings)
+
+
+def scan_source(
+    source: str,
+    filename: str,
+    *,
+    profile: Optional[FileProfile] = None,
+    registered: Optional[Set[str]] = None,
+    config: Optional[RuleConfig] = None,
+) -> List[Finding]:
+    """The full per-file pipeline: every applicable analyzer family,
+    then inline ``# repro: noqa[rule-id]`` suppressions, then the
+    ``meta/unused-suppression`` self-check.
+    """
+    from repro.check.dataflow import MultiHooks, TaintSpec, analyze, build_parent_map
+    from repro.check.determinism import DeterminismHooks
+    from repro.check.purity import PurityHooks, purity_spec
+
+    prof = profile if profile is not None else FileProfile()
+    cfg = config if config is not None else DEFAULT_CONFIG
+    findings: List[Finding] = []
+    tree = _parse(source, filename, findings)
+    if tree is None:
         return findings
-    _check_mutable_defaults(tree, filename, findings)
-    _check_float_equality(tree, filename, findings)
-    _check_dead_branch(tree, filename, findings)
-    _check_init_self_call(tree, filename, findings)
-    if not store_module:
-        _check_nonatomic_write(tree, filename, findings)
-    if not check_module:
-        _check_fallback_telemetry(tree, filename, findings)
-    if algorithms_module:
-        _check_explicit_guard(tree, filename, findings)
-        _check_registered(tree, filename, registered or set(), findings)
-    return findings
+    if prof.lint:
+        _lint_tree(
+            tree,
+            filename,
+            findings,
+            profile=prof,
+            registered=registered or set(),
+            config=cfg,
+        )
+    # The dataflow pass costs ~10ms/file; a file with no fingerprint or
+    # writer sink cannot produce a purity finding, so gate on the sink
+    # names textually before paying for the engine.
+    purity = prof.purity and (
+        "cell_fingerprint" in source or "writer" in source
+    )
+    if prof.determinism or purity:
+        # Both analyzers ride one dataflow pass: the determinism hooks
+        # only read kinds and call shapes, so the purity spec (a strict
+        # superset of the empty spec) serves both.
+        hooks: List[Union[DeterminismHooks, PurityHooks]] = []
+        if prof.determinism:
+            hooks.append(DeterminismHooks(filename, build_parent_map(tree)))
+        if purity:
+            hooks.append(PurityHooks(filename))
+        spec = purity_spec() if purity else TaintSpec()
+        analyze(tree, spec, MultiHooks(hooks))
+        for hook in hooks:
+            findings += filter_findings(hook.findings, cfg)
+    index = SuppressionIndex.from_source(source, filename)
+    kept, _suppressed = index.filter(findings)
+    if cfg.allows(UNUSED_SUPPRESSION):
+        kept += index.unused_findings(prof.families, cfg)
+    return kept
 
 
 def _registered_names() -> Set[str]:
@@ -438,40 +607,107 @@ def _registered_names() -> Set[str]:
     return set(ALGORITHMS) | set(EXTRA_ALGORITHMS)
 
 
+#: Package files (relative, POSIX) on the determinism scope: the
+#: modules that produce fingerprints, checkpoints, manifests or
+#: serialized artifacts.  ``store/`` is covered wholesale by
+#: :func:`_profile_for`.
+_DETERMINISM_FILES = frozenset(
+    {
+        "sim/parallel.py",
+        "sim/telemetry.py",
+        "sim/results.py",
+        "check/incremental.py",
+        "check/baseline.py",
+        "check/findings.py",
+        "check/sarif.py",
+        "check/gap.py",
+        "experiments/io.py",
+    }
+)
+
+
+def _profile_for(path: Path, package_root: Optional[Path]) -> FileProfile:
+    """Classify one file into its analyzer families and role gates."""
+    relative: Optional[str] = None
+    if package_root is not None:
+        try:
+            relative = path.relative_to(package_root).as_posix()
+        except ValueError:
+            relative = None
+    in_tests = "tests" in path.parts and relative is None
+    if in_tests:
+        # Tests get the determinism hygiene pass only: they seed and
+        # replay fingerprints, but repo idioms (atomic writes, guards)
+        # do not apply to fixtures.
+        return FileProfile(lint=False, determinism=True, purity=False)
+    determinism = relative is not None and (
+        relative.startswith("store/") or relative in _DETERMINISM_FILES
+    )
+    return FileProfile(
+        algorithms_module=path.parent.name == "algorithms",
+        store_module=path.parent.name == "store",
+        check_module=path.parent.name == "check",
+        lint=True,
+        determinism=determinism,
+        purity=relative is not None,
+    )
+
+
 def run_lint(
     root: Optional[Path] = None,
     *,
     paths: Optional[Iterable[Path]] = None,
+    config: Optional[RuleConfig] = None,
+    jobs: Optional[int] = None,
 ) -> List[Finding]:
-    """Lint the :mod:`repro` package (or an explicit list of files).
+    """The source scan over the :mod:`repro` package (or explicit files).
 
     ``root`` defaults to the installed package directory, so the pass
     always checks the code that would actually run.  When the package
     lives in a source checkout (``src/repro``), the sibling
     ``benchmarks/`` suite is scanned too — its artifact writers are
     held to the same rules (e.g. ``nonatomic-artifact-write``) as the
-    package's.
+    package's — and ``tests/`` gets the determinism hygiene pass.
+
+    Files are scanned in parallel (``jobs`` threads, default
+    ``min(8, cpu)``); output order is deterministic regardless.
     """
+    package_root: Optional[Path] = None
     if paths is None:
         if root is None:
             root = Path(__file__).resolve().parent.parent
+        package_root = root
         scan = sorted(root.rglob("*.py"))
-        bench_dir = root.parent.parent / "benchmarks"
-        if root.parent.name == "src" and bench_dir.is_dir():
-            scan += sorted(bench_dir.rglob("*.py"))
+        if root.parent.name == "src":
+            repo_root = root.parent.parent
+            for sibling in ("benchmarks", "tests"):
+                extra = repo_root / sibling
+                if extra.is_dir():
+                    scan += sorted(extra.rglob("*.py"))
         paths = scan
+    else:
+        paths = list(paths)
+        package_root = root
     registered = _registered_names()
-    findings: List[Finding] = []
-    for path in paths:
-        is_algorithms = path.parent.name == "algorithms"
-        is_store = path.parent.name == "store"
-        is_check = path.parent.name == "check"
-        findings += lint_source(
+    cfg = config if config is not None else DEFAULT_CONFIG
+
+    def scan_one(path: Path) -> List[Finding]:
+        return scan_source(
             path.read_text(encoding="utf-8"),
             str(path),
-            algorithms_module=is_algorithms,
-            store_module=is_store,
-            check_module=is_check,
+            profile=_profile_for(path, package_root),
             registered=registered,
+            config=cfg,
         )
+
+    todo = list(paths)
+    workers = jobs if jobs is not None else min(8, os.cpu_count() or 1)
+    findings: List[Finding] = []
+    if workers > 1 and len(todo) > 1:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            for batch in pool.map(scan_one, todo):
+                findings += batch
+    else:
+        for path in todo:
+            findings += scan_one(path)
     return findings

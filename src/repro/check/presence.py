@@ -57,6 +57,9 @@ def check_presence(
     shared: Dict[int, bool] = {}
     dist: List[Dict[int, bool]] = [{} for _ in range(p)]
     dirty: List[Set[int]] = [set() for _ in range(p)]
+    # How many cores hold each key, so the per-eviction inclusivity
+    # test is O(1); the O(p) scan only runs to *report* a violation.
+    held: Dict[int, int] = {}
 
     for index, ev in enumerate(events):
         op = ev[0]
@@ -91,10 +94,11 @@ def check_presence(
                 )
             else:
                 dist[core][key] = False
+                held[key] = held.get(key, 0) + 1
         elif op == EVICT_S:
             key = ev[2]
-            holders = [c for c in range(p) if key in dist[c]]
-            if holders:
+            if held.get(key):
+                holders = [c for c in range(p) if key in dist[c]]
                 add(
                     ERROR,
                     f"evicting {key_name(key)} from the shared cache while "
@@ -120,6 +124,8 @@ def check_presence(
         elif op == EVICT_D:
             core, key = ev[1], ev[2]
             used = dist[core].pop(key, None)
+            if used is not None:
+                held[key] -= 1
             if used is None:
                 add(
                     ERROR,

@@ -1,0 +1,144 @@
+"""Fingerprint purity: no engine knob may reach a fingerprint.
+
+Resume correctness (``docs/RUNSTORE.md``) rests on one invariant: a
+cell fingerprint is a pure function of the *declared* experiment
+parameters — algorithm, setting, kwargs-after-knob-filtering, machine,
+sweep variable and tile sizes — and never of how the sweep happened to
+be executed.  ``engine=``/``strict_engine`` choose bit-identical code
+paths; ``workers``/``cell_timeout``/``retries``/``backoff`` shape
+scheduling; manifest/run-dir paths are machine-local.  If any of them
+leaked into :func:`repro.store.checkpoint.cell_fingerprint` or into a
+checkpoint record payload, a resume on a different machine (or with
+different parallelism) would silently recompute every cell — or worse,
+collide.
+
+Until PR 7 that invariant lived in docstrings.  This analyzer proves it
+statically with the :mod:`repro.check.dataflow` engine:
+
+* **Sources** — the knob names, wherever they appear: as parameters
+  (``def sweep(..., workers=None)``), as attributes (``self.workers``),
+  or as constant subscripts (``kwargs["engine"]``).  Matching on the
+  conventional names keeps the analysis intraprocedural yet effective:
+  a knob threaded through calls is re-detected at every hop.
+* **Sanitizer** — the canonical key-filter idiom
+  ``{k: v for k, v in kwargs.items() if k not in ("engine", ...)}``
+  provably strips the listed knobs.
+* **Sinks** — every argument of a ``cell_fingerprint(...)`` call, and
+  every argument of ``.append(...)`` on a checkpoint writer (a value
+  named ``writer``/``*_writer`` or assigned from
+  ``CheckpointWriter``/``checkpoint_writer``).
+
+Any knob→sink flow is rule ``purity/knob-in-fingerprint``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional
+
+from repro.check.dataflow import (
+    KIND_WRITER,
+    Scope,
+    TaintSpec,
+    analyze,
+    call_name,
+)
+from repro.check.findings import ERROR, Finding
+
+#: The engine/execution knobs.  Every name is simultaneously a
+#: parameter source, an attribute source and a subscript-key source.
+KNOBS = (
+    "engine",
+    "strict_engine",
+    "workers",
+    "cell_timeout",
+    "cell_timeout_s",
+    "retries",
+    "backoff",
+    "backoff_s",
+    "chunksize",
+    "manifest_path",
+    "run_dir",
+    "drain_grace_s",
+)
+
+#: The fingerprint sink.
+_FINGERPRINT_CALL = "cell_fingerprint"
+
+
+def purity_spec() -> TaintSpec:
+    """The taint spec: every knob is a source under all three shapes."""
+    labels: Dict[str, str] = {knob: knob for knob in KNOBS}
+    return TaintSpec(
+        parameter_sources=labels,
+        attribute_sources=labels,
+        subscript_sources=labels,
+    )
+
+
+class PurityHooks:
+    """Engine hooks; collects findings on :attr:`findings`.
+
+    Public so the lint orchestrator can run purity and determinism in
+    one shared dataflow pass (the engine cost dominates the scan).
+    """
+
+    def __init__(self, filename: str) -> None:
+        self.filename = filename
+        self.findings: List[Finding] = []
+
+    def on_call(self, node: ast.Call, scope: Scope) -> None:
+        name = call_name(node)
+        if name == _FINGERPRINT_CALL:
+            self._check_args(node, scope, sink="cell fingerprint")
+        elif (
+            name == "append"
+            and isinstance(node.func, ast.Attribute)
+            and KIND_WRITER in scope.kinds(node.func.value)
+        ):
+            self._check_args(node, scope, sink="checkpoint record payload")
+
+    def on_for(
+        self, target: ast.expr, iter_node: ast.expr, scope: Scope
+    ) -> None:
+        return None
+
+    def _check_args(self, node: ast.Call, scope: Scope, *, sink: str) -> None:
+        slots: List[tuple[str, ast.expr]] = [
+            (f"positional #{i}", arg) for i, arg in enumerate(node.args)
+        ]
+        slots += [
+            (f"{kw.arg}=" if kw.arg is not None else "**", kw.value)
+            for kw in node.keywords
+        ]
+        for slot, expr in slots:
+            taint = scope.taint(expr)
+            for knob in KNOBS:
+                if knob in taint:
+                    self.findings.append(
+                        Finding(
+                            "purity",
+                            ERROR,
+                            f"engine knob {knob!r} (entered line "
+                            f"{taint[knob]}) flows into the {sink} via "
+                            f"argument {slot}; fingerprints must be pure "
+                            "functions of declared parameters "
+                            "(docs/RUNSTORE.md)",
+                            location=f"{self.filename}:{node.lineno}",
+                            rule="purity/knob-in-fingerprint",
+                        )
+                    )
+
+
+def check_purity(
+    tree: ast.Module, filename: str, *, source: Optional[str] = None
+) -> List[Finding]:
+    """``purity/knob-in-fingerprint`` findings for one parsed module.
+
+    ``source`` is unused (signature symmetry with the determinism
+    pass); suppression handling lives in the lint orchestrator.
+    """
+    del source
+    hooks = PurityHooks(filename)
+    analyze(tree, purity_spec(), hooks)
+    return hooks.findings

@@ -39,8 +39,13 @@ from repro.cache.block import key_name
 from repro.check.events import COMPUTE, EVICT_D, EVICT_S, LOAD_D, LOAD_S, Event
 from repro.check.findings import ERROR, Finding, FindingLimiter
 
-#: Per-key access record within one epoch: (epoch, readers, writers).
-_Record = Tuple[int, Set[int], Set[int]]
+#: Per-key access record within one epoch: (epoch, reader cores as a
+#: bitmask, writer cores as a bitmask).  Bitmasks make the hot-path
+#: conflict test one ``&`` and one compare; the detector runs over
+#: every event of every cell, so this loop is fully inlined below —
+#: a ``record()`` helper costs a function call per data access, which
+#: profiled as the single largest line item of ``check_all``.
+_Record = Tuple[int, int, int]
 
 
 def check_races(
@@ -59,73 +64,114 @@ def check_races(
     # Report each conflicting (key, core pair, kind) once, not per event.
     reported: Set[Tuple[int, int, int, str]] = set()
 
-    def record(core: int, key: int, write: bool, index: int) -> None:
-        rec = access.get(key)
-        if rec is None or rec[0] != epoch:
-            rec = (epoch, set(), set())
-            access[key] = rec
-        _, readers, writers = rec
-        others_w = writers - {core}
-        if others_w:
-            kind = "write/write" if write else "read/write"
-            other = min(others_w)
-            tag = (key, min(core, other), max(core, other), kind)
-            if tag not in reported:
-                reported.add(tag)
-                out.add(
-                    Finding(
-                        "race",
-                        ERROR,
-                        f"{kind} race on {key_name(key)}: cores {other} and "
-                        f"{core} access it in the same epoch with no "
-                        "intervening synchronization",
-                        algorithm=algorithm,
-                        machine=machine,
-                        event=index,
-                        rule=(
-                            "race/write-write" if write else "race/read-write"
-                        ),
-                    )
+    def report_writer_conflict(
+        key: int, core: int, foreign_writers: int, write: bool, index: int
+    ) -> None:
+        """A foreign core already wrote ``key`` this epoch (rare path)."""
+        other = (foreign_writers & -foreign_writers).bit_length() - 1
+        kind = "write/write" if write else "read/write"
+        tag = (key, min(core, other), max(core, other), kind)
+        if tag not in reported:
+            reported.add(tag)
+            out.add(
+                Finding(
+                    "race",
+                    ERROR,
+                    f"{kind} race on {key_name(key)}: cores {other} and "
+                    f"{core} access it in the same epoch with no "
+                    "intervening synchronization",
+                    algorithm=algorithm,
+                    machine=machine,
+                    event=index,
+                    rule=(
+                        "race/write-write" if write else "race/read-write"
+                    ),
                 )
-        elif write:
-            others_r = readers - {core}
-            if others_r:
-                other = min(others_r)
-                tag = (key, min(core, other), max(core, other), "read/write")
-                if tag not in reported:
-                    reported.add(tag)
-                    out.add(
-                        Finding(
-                            "race",
-                            ERROR,
-                            f"read/write race on {key_name(key)}: core {other} "
-                            f"reads while core {core} writes in the same epoch "
-                            "with no intervening synchronization",
-                            algorithm=algorithm,
-                            machine=machine,
-                            event=index,
-                            rule="race/read-write",
-                        )
-                    )
-        (writers if write else readers).add(core)
+            )
+
+    def report_reader_conflict(
+        key: int, core: int, foreign_readers: int, index: int
+    ) -> None:
+        """``core`` writes ``key`` a foreign core read this epoch."""
+        other = (foreign_readers & -foreign_readers).bit_length() - 1
+        tag = (key, min(core, other), max(core, other), "read/write")
+        if tag not in reported:
+            reported.add(tag)
+            out.add(
+                Finding(
+                    "race",
+                    ERROR,
+                    f"read/write race on {key_name(key)}: core {other} "
+                    f"reads while core {core} writes in the same epoch "
+                    "with no intervening synchronization",
+                    algorithm=algorithm,
+                    machine=machine,
+                    event=index,
+                    rule="race/read-write",
+                )
+            )
 
     for index, ev in enumerate(events):
         op = ev[0]
-        if op == LOAD_S or op == EVICT_S:
-            # Master-issued barrier: later events happen-after everything.
-            epoch += 1
+        if op == COMPUTE:
+            core = ev[1]
+            ckey, akey, bkey = ev[2], ev[3], ev[4]
+            bit = 1 << core
+            not_bit = ~bit
+            for key in (akey, bkey):  # operand reads
+                rec = access.get(key)
+                if rec is None or rec[0] != epoch:
+                    access[key] = (epoch, bit, 0)
+                else:
+                    wmask = rec[2]
+                    if wmask & not_bit:
+                        report_writer_conflict(
+                            key, core, wmask & not_bit, False, index
+                        )
+                    access[key] = (epoch, rec[1] | bit, wmask)
+            rec = access.get(ckey)  # accumulator write
+            if rec is None or rec[0] != epoch:
+                access[ckey] = (epoch, 0, bit)
+            else:
+                rmask, wmask = rec[1], rec[2]
+                if wmask & not_bit:
+                    report_writer_conflict(
+                        ckey, core, wmask & not_bit, True, index
+                    )
+                elif rmask & not_bit:
+                    report_reader_conflict(ckey, core, rmask & not_bit, index)
+                access[ckey] = (epoch, rmask, wmask | bit)
+            dirty[core].add(ckey)
         elif op == LOAD_D:
-            record(ev[1], ev[2], False, index)
+            core, key = ev[1], ev[2]
+            bit = 1 << core
+            rec = access.get(key)
+            if rec is None or rec[0] != epoch:
+                access[key] = (epoch, bit, 0)
+            else:
+                wmask = rec[2]
+                if wmask & ~bit:
+                    report_writer_conflict(key, core, wmask & ~bit, False, index)
+                access[key] = (epoch, rec[1] | bit, wmask)
         elif op == EVICT_D:
             core, key = ev[1], ev[2]
             if key in dirty[core]:
+                # The write-back of a dirty block is a data write.
                 dirty[core].discard(key)
-                record(core, key, True, index)
-        elif op == COMPUTE:
-            core = ev[1]
-            ckey, akey, bkey = ev[2], ev[3], ev[4]
-            record(core, akey, False, index)
-            record(core, bkey, False, index)
-            record(core, ckey, True, index)
-            dirty[core].add(ckey)
+                bit = 1 << core
+                rec = access.get(key)
+                if rec is None or rec[0] != epoch:
+                    access[key] = (epoch, 0, bit)
+                else:
+                    rmask, wmask = rec[1], rec[2]
+                    if wmask & ~bit:
+                        report_writer_conflict(
+                            key, core, wmask & ~bit, True, index
+                        )
+                    elif rmask & ~bit:
+                        report_reader_conflict(key, core, rmask & ~bit, index)
+                    access[key] = (epoch, rmask, wmask | bit)
+        elif op == LOAD_S or op == EVICT_S:
+            # Master-issued barrier: later events happen-after everything.
+            epoch += 1
     return out.results()

@@ -1,0 +1,413 @@
+"""The pluggable rule registry behind every :mod:`repro.check` analyzer.
+
+Until PR 7 the checker's rules lived as hardcoded branches inside each
+analyzer and a parallel id → description table inside the SARIF
+exporter; adding a rule meant editing three files that could silently
+drift.  This module is now the single source of truth:
+
+* :class:`Rule` — one invariant with a stable id (``family/short-name``),
+  a default severity, a one-line help text and the *tier* (analysis
+  pass) that owns it.
+* :data:`REGISTRY` — every rule the checker can emit, registered at
+  import time.  The SARIF exporter renders its metadata into the
+  ``rules`` array, ``repro-mmm check --list-rules`` prints it, and the
+  lint/dataflow dispatchers consult it to know which checks to run.
+* :class:`RuleConfig` — config-driven enable/disable by rule id or
+  family (``--enable``/``--disable`` on the CLI).  An explicit enable
+  beats an explicit disable beats the rule's registered default.
+* Inline suppressions — ``# repro: noqa[rule-id]`` comments parsed by
+  :func:`parse_suppressions` and applied by :class:`SuppressionIndex`.
+  A suppression names the exact rule ids it silences (never a blanket
+  waiver), may carry a justification after ``--``, and is itself
+  checked: one that silences nothing raises the
+  ``meta/unused-suppression`` meta-rule, so dead waivers cannot
+  accumulate and mask a future real finding.
+
+Severity here is the rule's *default level* (what the analyzers emit);
+a finding's own severity always wins when counting errors.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Collection, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.check.findings import ERROR, WARNING, Finding
+
+#: Analysis tiers (which pass owns a rule).  ``schedule`` rules come
+#: from the recorded-event analyzers, ``lint`` from the syntactic AST
+#: pass, ``determinism``/``purity`` from the dataflow engine,
+#: ``engine`` from the engine-conformance walk, ``gap`` from the
+#: optimality-gap certificate, ``meta`` from the checker's own
+#: self-checks (suppression hygiene).
+TIERS = ("schedule", "lint", "determinism", "purity", "engine", "gap", "meta")
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered invariant: stable id, default level, help, tier."""
+
+    id: str
+    severity: str
+    help: str
+    tier: str
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if "/" not in self.id:
+            raise ValueError(f"rule id {self.id!r} is not 'family/short-name'")
+        if self.severity not in (ERROR, WARNING):
+            raise ValueError(f"rule {self.id}: bad severity {self.severity!r}")
+        if self.tier not in TIERS:
+            raise ValueError(f"rule {self.id}: unknown tier {self.tier!r}")
+
+    @property
+    def family(self) -> str:
+        """The id's prefix (``lint`` in ``lint/mutable-default``)."""
+        return self.id.split("/", 1)[0]
+
+    @property
+    def short_name(self) -> str:
+        return self.id.split("/", 1)[1]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "id": self.id,
+            "severity": self.severity,
+            "tier": self.tier,
+            "enabled": self.enabled,
+            "help": self.help,
+        }
+
+
+class RuleRegistry:
+    """Id-keyed rule catalogue; registration rejects duplicates."""
+
+    def __init__(self) -> None:
+        self._rules: Dict[str, Rule] = {}
+
+    def register(self, rule: Rule) -> Rule:
+        if rule.id in self._rules:
+            raise ValueError(f"duplicate rule id {rule.id!r}")
+        self._rules[rule.id] = rule
+        return rule
+
+    def get(self, rule_id: str) -> Optional[Rule]:
+        return self._rules.get(rule_id)
+
+    def __contains__(self, rule_id: str) -> bool:
+        return rule_id in self._rules
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def all(self) -> List[Rule]:
+        """Every rule, sorted by id (stable for tables and SARIF)."""
+        return [self._rules[k] for k in sorted(self._rules)]
+
+    def families(self) -> List[str]:
+        return sorted({rule.family for rule in self._rules.values()})
+
+
+@dataclass(frozen=True)
+class RuleConfig:
+    """Config-driven rule selection: ids or whole families.
+
+    ``enabled``/``disabled`` hold selectors — an exact rule id
+    (``lint/dead-branch``) or a family name (``lint``).  Precedence:
+    an explicit enable beats an explicit disable beats the rule's
+    registered default, with the more specific selector (exact id)
+    beating the family either way.  Unknown rule ids (e.g. the dynamic
+    ``<analyzer>/suppressed`` overflow markers) are always allowed.
+    """
+
+    enabled: Tuple[str, ...] = ()
+    disabled: Tuple[str, ...] = ()
+
+    @classmethod
+    def from_selectors(
+        cls,
+        enable: Optional[Sequence[str]] = None,
+        disable: Optional[Sequence[str]] = None,
+    ) -> "RuleConfig":
+        for selector in list(enable or []) + list(disable or []):
+            if selector not in REGISTRY and selector not in REGISTRY.families():
+                raise ValueError(
+                    f"unknown rule or family {selector!r} "
+                    "(see `repro-mmm check --list-rules`)"
+                )
+        return cls(tuple(enable or ()), tuple(disable or ()))
+
+    def allows(self, rule_id: str) -> bool:
+        """Whether findings of ``rule_id`` should be emitted/kept."""
+        rule = REGISTRY.get(rule_id)
+        family = rule.family if rule is not None else rule_id.split("/", 1)[0]
+        # Exact id selectors outrank family selectors.
+        if rule_id in self.enabled:
+            return True
+        if rule_id in self.disabled:
+            return False
+        if family in self.enabled:
+            return True
+        if family in self.disabled:
+            return False
+        return rule.enabled if rule is not None else True
+
+
+#: The default, everything-at-registered-defaults configuration.
+DEFAULT_CONFIG = RuleConfig()
+
+
+def filter_findings(
+    findings: Iterable[Finding], config: RuleConfig
+) -> List[Finding]:
+    """Drop findings whose rule the configuration disables."""
+    return [f for f in findings if config.allows(f.rule_id)]
+
+
+# ----------------------------------------------------------------------
+# Inline suppressions: ``# repro: noqa[rule-id, ...] -- justification``
+# ----------------------------------------------------------------------
+#: The meta-rule id raised for suppressions that silence nothing.
+UNUSED_SUPPRESSION = "meta/unused-suppression"
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa\[(?P<ids>[^\]]*)\](?:\s*--\s*(?P<why>.*))?"
+)
+#: What a plausible rule id looks like.  A comment whose bracket holds
+#: *no* plausible id (``noqa[<rule-id>]`` in documentation prose) is
+#: not a suppression at all; one that mixes a plausible id with a
+#: typo'd one is, and the typo is reported as an unknown rule.
+_ID_RE = re.compile(r"^[a-z0-9_-]+/[a-z0-9._-]+$")
+
+
+@dataclass
+class Suppression:
+    """One parsed ``# repro: noqa[...]`` comment."""
+
+    file: str
+    line: int
+    rule_ids: Tuple[str, ...]
+    justification: str = ""
+    #: Rule ids this comment actually silenced (filled by the filter).
+    used: Set[str] = field(default_factory=set)
+
+
+def parse_suppressions(source: str, filename: str) -> List[Suppression]:
+    """Every ``# repro: noqa[...]`` comment in ``source``, in line order.
+
+    The scan is line-based on purpose: a suppression silences findings
+    anchored to *its own* line, exactly like flake8's ``noqa`` —
+    position is the contract, not proximity.
+    """
+    out: List[Suppression] = []
+    for number, text in enumerate(source.splitlines(), start=1):
+        match = _NOQA_RE.search(text)
+        if match is None:
+            continue
+        ids = tuple(
+            part.strip() for part in match.group("ids").split(",") if part.strip()
+        )
+        if not any(_ID_RE.match(part) for part in ids):
+            continue  # documentation mentioning the syntax, not a waiver
+        out.append(
+            Suppression(
+                file=filename,
+                line=number,
+                rule_ids=ids,
+                justification=(match.group("why") or "").strip(),
+            )
+        )
+    return out
+
+
+def _finding_line(finding: Finding) -> Optional[int]:
+    if not finding.location:
+        return None
+    _, _, line = finding.location.rpartition(":")
+    return int(line) if line.isdigit() else None
+
+
+class SuppressionIndex:
+    """Applies one file's suppressions and tracks which ones earned it."""
+
+    def __init__(self, suppressions: Sequence[Suppression]) -> None:
+        self._by_line: Dict[int, Suppression] = {s.line: s for s in suppressions}
+
+    @classmethod
+    def from_source(cls, source: str, filename: str) -> "SuppressionIndex":
+        return cls(parse_suppressions(source, filename))
+
+    def filter(
+        self, findings: Iterable[Finding]
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """Partition into (kept, suppressed).
+
+        A finding is suppressed only when a noqa comment sits on its
+        exact line *and* names its exact rule id — a suppression for a
+        different rule never masks it (property-tested).
+        """
+        kept: List[Finding] = []
+        suppressed: List[Finding] = []
+        for finding in findings:
+            line = _finding_line(finding)
+            entry = self._by_line.get(line) if line is not None else None
+            if entry is not None and finding.rule_id in entry.rule_ids:
+                entry.used.add(finding.rule_id)
+                suppressed.append(finding)
+            else:
+                kept.append(finding)
+        return kept, suppressed
+
+    def unused_findings(
+        self,
+        active_families: Collection[str],
+        config: Optional[RuleConfig] = None,
+    ) -> List[Finding]:
+        """``meta/unused-suppression`` findings for dead waivers.
+
+        Only rule ids whose family actually *ran* on this file are
+        judged: a ``determinism/...`` waiver in a file scanned with the
+        lint family alone is neither used nor provably dead, so it is
+        left alone — likewise one whose rule the configuration
+        disables.  Unknown rule ids are always reported — they can
+        never match anything.
+        """
+        out: List[Finding] = []
+        for suppression in self._by_line.values():
+            for rule_id in suppression.rule_ids:
+                if rule_id in suppression.used:
+                    continue
+                known = rule_id in REGISTRY
+                family = rule_id.split("/", 1)[0]
+                if known and family not in active_families:
+                    continue
+                if known and config is not None and not config.allows(rule_id):
+                    continue
+                reason = (
+                    f"suppression names unknown rule {rule_id!r}"
+                    if not known
+                    else f"suppression of {rule_id!r} matches no finding"
+                )
+                out.append(
+                    Finding(
+                        "meta",
+                        ERROR,
+                        f"{reason}; delete the waiver (dead suppressions "
+                        "mask future real findings)",
+                        location=f"{suppression.file}:{suppression.line}",
+                        rule=UNUSED_SUPPRESSION,
+                    )
+                )
+        return out
+
+
+# ----------------------------------------------------------------------
+# The registry
+# ----------------------------------------------------------------------
+REGISTRY = RuleRegistry()
+
+
+def _r(rule_id: str, severity: str, help_text: str, tier: str) -> Rule:
+    return REGISTRY.register(Rule(rule_id, severity, help_text, tier))
+
+
+# -- schedule analyzers (recorded-event proofs) ------------------------
+_r("capacity/ws-overflow", ERROR,
+   "Explicit working set exceeds a cache capacity", "schedule")
+_r("capacity/param-constraint", ERROR,
+   "Tile parameters violate a paper-§3 cache constraint", "schedule")
+_r("presence/load-absent", ERROR,
+   "Distributed load of a block absent from the shared cache", "schedule")
+_r("presence/inclusion", ERROR,
+   "Shared eviction while a core still holds the block", "schedule")
+_r("presence/spurious-evict", ERROR,
+   "Eviction of a non-resident block", "schedule")
+_r("presence/absent-operand", ERROR,
+   "Compute touches a block absent from the core's cache", "schedule")
+_r("presence/redundant-load", WARNING,
+   "Load of an already-resident block", "schedule")
+_r("presence/dead-load", WARNING,
+   "Block loaded and evicted without a single use", "schedule")
+_r("presence/leaked-resident", WARNING,
+   "Block still resident when the schedule ends", "schedule")
+_r("coverage/wrong-matrix", ERROR,
+   "Compute operands drawn from the wrong matrices", "schedule")
+_r("coverage/inconsistent-update", ERROR,
+   "Update coordinates are not C[i,j] += A[i,k]*B[k,j]", "schedule")
+_r("coverage/out-of-space", ERROR,
+   "Update outside the m*n*z iteration space", "schedule")
+_r("coverage/duplicate-update", ERROR,
+   "Update emitted more than once", "schedule")
+_r("coverage/missing-update", ERROR,
+   "C cell accumulated fewer than z contributions", "schedule")
+_r("race/write-write", ERROR,
+   "Two cores write one block in the same epoch", "schedule")
+_r("race/read-write", ERROR,
+   "A core reads a block another core concurrently writes", "schedule")
+_r("cost/formula-mismatch", ERROR,
+   "Counted misses contradict the closed-form prediction", "schedule")
+_r("cost/formula-ratio", ERROR,
+   "Counted misses leave the ragged-tile envelope of the formula",
+   "schedule")
+_r("cost/below-lower-bound", ERROR,
+   "Counted misses beat the Loomis-Whitney lower bound", "schedule")
+_r("cost/below-tight-bound", ERROR,
+   "Counted misses beat the strongest (tight) lower bound", "schedule")
+_r("cost/tdata-mismatch", ERROR,
+   "Tdata from counted misses disagrees with the prediction", "schedule")
+_r("schedule/raised", ERROR,
+   "Schedule raised while being recorded", "schedule")
+
+# -- gap certificate ----------------------------------------------------
+_r("gap/regression", ERROR,
+   "A certified optimality gap regressed against the baseline", "gap")
+_r("gap/uncertified-algorithm", ERROR,
+   "An algorithm lost its near-optimality certificate", "gap")
+
+# -- engine conformance -------------------------------------------------
+_r("engine/silent-fallback", WARNING,
+   "Configuration silently falls back from replay to step", "engine")
+
+# -- syntactic lint -----------------------------------------------------
+_r("lint/explicit-guard", ERROR,
+   "Cache directive not wrapped in 'if ctx.explicit'", "lint")
+_r("lint/unregistered-algorithm", ERROR,
+   "Concrete schedule missing from the registry", "lint")
+_r("lint/mutable-default", ERROR,
+   "Mutable default argument", "lint")
+_r("lint/float-equality", ERROR,
+   "Equality comparison on a floating-point Tdata value", "lint")
+_r("lint/dead-branch", ERROR,
+   "'if' whose whole body is 'pass' and that has no 'else'", "lint")
+_r("lint/init-self-call", ERROR,
+   "Explicit self.__init__(...) call used as a reset", "lint")
+_r("lint/nonatomic-artifact-write", ERROR,
+   "Artifact written without the atomic store helper", "lint")
+_r("lint/fallback-telemetry", ERROR,
+   "Engine-fallback site does not record telemetry", "lint")
+_r("lint/syntax", ERROR,
+   "Source file does not parse", "lint")
+
+# -- determinism (dataflow tier) ---------------------------------------
+_r("determinism/wall-clock", ERROR,
+   "Wall-clock read on a fingerprint/checkpoint/serde path", "determinism")
+_r("determinism/rng", ERROR,
+   "Unseeded randomness on a fingerprint/checkpoint/serde path",
+   "determinism")
+_r("determinism/unsorted-walk", ERROR,
+   "Filesystem iteration order used without sorted()", "determinism")
+_r("determinism/set-order", ERROR,
+   "Unordered set iteration reaching serialized output", "determinism")
+_r("determinism/hash-in-key", ERROR,
+   "PYTHONHASHSEED-dependent hash() in a persisted key", "determinism")
+
+# -- fingerprint purity (dataflow tier) --------------------------------
+_r("purity/knob-in-fingerprint", ERROR,
+   "Engine knob flows into a cell fingerprint or checkpoint record",
+   "purity")
+
+# -- meta (checker self-checks) ----------------------------------------
+_r(UNUSED_SUPPRESSION, ERROR,
+   "A 'repro: noqa' suppression silences no finding", "meta")

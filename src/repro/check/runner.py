@@ -34,7 +34,11 @@ from typing import (
 
 from repro.algorithms.base import MatmulAlgorithm
 from repro.algorithms.registry import algorithm_names, get_algorithm
-from repro.check.capacity import check_capacity, check_parameters, working_set_peaks
+from repro.check.capacity import (
+    capacity_and_peaks,
+    check_parameters,
+    working_set_peaks,
+)
 from repro.check.cost import check_cost, count_costs
 from repro.check.coverage import check_coverage
 from repro.check.events import AnalysisContext
@@ -48,6 +52,7 @@ from repro.model.machine import PRESETS, MulticoreMachine
 
 if TYPE_CHECKING:  # imported lazily to keep runner import-light
     from repro.check.incremental import ReportCache
+    from repro.check.rules import RuleConfig
 
 #: ``status`` values a :class:`ScheduleReport` can carry.
 ANALYZED = "analyzed"
@@ -176,7 +181,10 @@ def analyze_schedule(
     common: Dict[str, Any] = dict(algorithm=alg.name, machine=label, limit=limit)
     gap: Optional[GapCell] = None
     if ctx.directives:
-        findings += check_capacity(events, machine.cs, machine.cd, machine.p, **common)
+        cap_findings, peak_shared, peak_dist = capacity_and_peaks(
+            events, machine.cs, machine.cd, machine.p, **common
+        )
+        findings += cap_findings
         findings += check_presence(events, machine.p, **common)
         counted = count_costs(events, machine.p)
         findings += check_cost(
@@ -184,10 +192,10 @@ def analyze_schedule(
         )
         tight_findings, gap = check_tight_bounds(alg, counted, machine=label)
         findings += tight_findings
+    else:
+        peak_shared, peak_dist = working_set_peaks(events, machine.p)
     findings += check_coverage(events, alg.m, alg.n, alg.z, **common)
     findings += check_races(events, machine.p, **common)
-
-    peak_shared, peak_dist = working_set_peaks(events, machine.p)
     return ScheduleReport(
         algorithm=alg.name,
         machine=label,
@@ -308,3 +316,26 @@ def check_all(
                 cache.store(cell_key, cell_reports)
             reports.extend(cell_reports)
     return reports
+
+
+def source_scan(
+    *,
+    config: Optional["RuleConfig"] = None,
+    jobs: Optional[int] = None,
+) -> Tuple[List[Finding], List[Finding]]:
+    """The full static source pass, as the CLI and CI run it.
+
+    Returns ``(scan, engine)``: the per-file scan (syntactic lint,
+    determinism and purity dataflow rules, suppression hygiene) over
+    the package, ``benchmarks/`` and ``tests/``, and the
+    engine-conformance findings (configuration-matrix walk plus
+    call-site scan), both filtered through ``config``.
+    """
+    from repro.check.enginemodel import check_engine_model
+    from repro.check.lint import run_lint
+    from repro.check.rules import DEFAULT_CONFIG, RuleConfig, filter_findings
+
+    cfg = config if config is not None else DEFAULT_CONFIG
+    scan = run_lint(config=cfg, jobs=jobs)
+    engine = filter_findings(check_engine_model(), cfg)
+    return scan, engine

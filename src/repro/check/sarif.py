@@ -25,6 +25,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.check.findings import CHECKER_VERSION, ERROR, Finding
+from repro.check.rules import REGISTRY
 from repro.store.atomic import atomic_write_text
 
 #: The canonical 2.1.0 schema URI GitHub validates against.
@@ -34,42 +35,11 @@ SARIF_SCHEMA = (
 )
 SARIF_VERSION = "2.1.0"
 
-#: Rule id → short description, for the driver's rule catalogue.
+#: Rule id → short description, derived from the registry — the
+#: registry is the single source of truth; this mapping is kept for
+#: backward compatibility with earlier importers.
 RULE_DESCRIPTIONS: Dict[str, str] = {
-    "capacity/ws-overflow": "Explicit working set exceeds a cache capacity",
-    "capacity/param-constraint": "Tile parameters violate a paper-§3 cache constraint",
-    "presence/load-absent": "Distributed load of a block absent from the shared cache",
-    "presence/inclusion": "Shared eviction while a core still holds the block",
-    "presence/spurious-evict": "Eviction of a non-resident block",
-    "presence/absent-operand": "Compute touches a block absent from the core's cache",
-    "presence/redundant-load": "Load of an already-resident block",
-    "presence/dead-load": "Block loaded and evicted without a single use",
-    "presence/leaked-resident": "Block still resident when the schedule ends",
-    "coverage/wrong-matrix": "Compute operands drawn from the wrong matrices",
-    "coverage/inconsistent-update": "Update coordinates are not C[i,j] += A[i,k]*B[k,j]",
-    "coverage/out-of-space": "Update outside the m*n*z iteration space",
-    "coverage/duplicate-update": "Update emitted more than once",
-    "coverage/missing-update": "C cell accumulated fewer than z contributions",
-    "race/write-write": "Two cores write one block in the same epoch",
-    "race/read-write": "A core reads a block another core concurrently writes",
-    "cost/formula-mismatch": "Counted misses contradict the closed-form prediction",
-    "cost/formula-ratio": "Counted misses leave the ragged-tile envelope of the formula",
-    "cost/below-lower-bound": "Counted misses beat the Loomis-Whitney lower bound",
-    "cost/below-tight-bound": "Counted misses beat the strongest (tight) lower bound",
-    "cost/tdata-mismatch": "Tdata from counted misses disagrees with the prediction",
-    "gap/regression": "A certified optimality gap regressed against the baseline",
-    "gap/uncertified-algorithm": "An algorithm lost its near-optimality certificate",
-    "engine/silent-fallback": "Configuration silently falls back from replay to step",
-    "schedule/raised": "Schedule raised while being recorded",
-    "lint/explicit-guard": "Cache directive not wrapped in 'if ctx.explicit'",
-    "lint/unregistered-algorithm": "Concrete schedule missing from the registry",
-    "lint/mutable-default": "Mutable default argument",
-    "lint/float-equality": "Equality comparison on a floating-point Tdata value",
-    "lint/dead-branch": "Branch condition is a compile-time constant",
-    "lint/init-self-call": "Explicit self.__init__(...) call used as a reset",
-    "lint/nonatomic-artifact-write": "Artifact written without the atomic store helper",
-    "lint/fallback-telemetry": "Engine-fallback site does not record telemetry",
-    "lint/syntax": "Source file does not parse",
+    rule.id: rule.help for rule in REGISTRY.all()
 }
 
 
@@ -135,15 +105,30 @@ def to_sarif(
     """Render findings as a single-run SARIF 2.1.0 document."""
     base = (root or Path.cwd()).resolve()
     rule_ids = sorted({f.rule_id for f in findings} | set(RULE_DESCRIPTIONS))
-    rules: List[Dict[str, Any]] = [
-        {
+    rules: List[Dict[str, Any]] = []
+    for rule_id in rule_ids:
+        rule = REGISTRY.get(rule_id)
+        entry: Dict[str, Any] = {
             "id": rule_id,
             "shortDescription": {
-                "text": RULE_DESCRIPTIONS.get(rule_id, rule_id)
+                "text": rule.help if rule is not None else rule_id
             },
         }
-        for rule_id in rule_ids
-    ]
+        if rule is not None:
+            # Full registry metadata so code scanning surfaces rule
+            # docs (tier, default level) instead of a bare id.
+            entry["fullDescription"] = {
+                "text": f"{rule.help}. "
+                f"Emitted by the {rule.tier!r} analysis tier of "
+                "repro-mmm check; see docs/CHECKER.md for the rule "
+                "catalogue and the suppression syntax."
+            }
+            entry["defaultConfiguration"] = {
+                "level": "error" if rule.severity == ERROR else "warning",
+                "enabled": rule.enabled,
+            }
+            entry["properties"] = {"tier": rule.tier}
+        rules.append(entry)
     return {
         "$schema": SARIF_SCHEMA,
         "version": SARIF_VERSION,

@@ -31,6 +31,7 @@ Subcommands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Any, Dict, List, Optional
 
@@ -286,13 +287,46 @@ def _cmd_check(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from repro.check.baseline import apply_baseline, load_baseline, write_baseline
-    from repro.check.enginemodel import check_engine_model
     from repro.check.findings import CHECKER_VERSION, ERROR
     from repro.check.gap import build_gap_report, compare_gap_reports, load_gap_report
     from repro.check.incremental import ReportCache
-    from repro.check.lint import run_lint
-    from repro.check.runner import check_all
+    from repro.check.runner import check_all, source_scan
+    from repro.check.rules import REGISTRY, RuleConfig, filter_findings
     from repro.check.sarif import write_sarif
+
+    if args.list_rules:
+        rules = REGISTRY.all()
+        if args.json:
+            print(
+                json.dumps(
+                    {"schema": 1, "rules": [r.to_dict() for r in rules]},
+                    indent=2,
+                )
+            )
+        else:
+            id_width = max(len(r.id) for r in rules)
+            level_width = max(len(r.severity) for r in rules)
+            header = (
+                f"{'RULE'.ljust(id_width)}  {'LEVEL'.ljust(level_width)}  "
+                "ON   HELP"
+            )
+            print(header)
+            print("-" * len(header))
+            for rule in rules:
+                state = "on" if rule.enabled else "off"
+                print(
+                    f"{rule.id.ljust(id_width)}  "
+                    f"{rule.severity.ljust(level_width)}  "
+                    f"{state.ljust(3)}  {rule.help}"
+                )
+            print(f"{len(rules)} rule(s) registered")
+        return 0
+
+    try:
+        rule_config = RuleConfig.from_selectors(args.enable, args.disable)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
     algorithms = args.algorithm or None
     machines = None
@@ -300,13 +334,39 @@ def _cmd_check(args: argparse.Namespace) -> int:
         machines = {key: preset(key) for key in args.machine}
     filtered = bool(args.algorithm or args.machine or args.orders)
     cache = ReportCache(Path(args.cache_dir)) if args.incremental else None
-    reports = check_all(
-        algorithms, machines, orders=args.orders or None, cache=cache
-    )
-    lint_findings = run_lint() if args.lint else []
-    # The engine-conformance pass is static source analysis, so it rides
-    # with --lint; the schedule-cell analyzers above run regardless.
-    engine_findings = check_engine_model() if args.lint else []
+
+    scan_pool = None
+    scan_future = None
+    if args.lint:
+        # The source scan (lint + determinism/purity dataflow rules +
+        # suppression hygiene) and the engine-conformance pass are
+        # static source analysis, so they ride with --lint; the
+        # schedule-cell analyzers below run regardless.  Both halves
+        # are GIL-bound pure Python, so given a second core the scan
+        # runs in a worker process concurrently with the matrix.
+        if (os.cpu_count() or 1) > 1:
+            from concurrent.futures import ProcessPoolExecutor
+
+            scan_pool = ProcessPoolExecutor(max_workers=1)
+            try:
+                scan_future = scan_pool.submit(source_scan, config=rule_config)
+            except Exception:
+                scan_pool.shutdown(wait=False)
+                raise
+
+    lint_findings: List[Any] = []
+    engine_findings: List[Any] = []
+    try:
+        reports = check_all(
+            algorithms, machines, orders=args.orders or None, cache=cache
+        )
+        if scan_future is not None:
+            lint_findings, engine_findings = scan_future.result()
+        elif args.lint:
+            lint_findings, engine_findings = source_scan(config=rule_config)
+    finally:
+        if scan_pool is not None:
+            scan_pool.shutdown()
 
     gap_report = build_gap_report([r.gap for r in reports])
     gap_findings: List[Any] = []
@@ -316,10 +376,10 @@ def _cmd_check(args: argparse.Namespace) -> int:
         )
 
     findings = (
-        [f for r in reports for f in r.findings]
+        filter_findings((f for r in reports for f in r.findings), rule_config)
         + lint_findings
         + engine_findings
-        + gap_findings
+        + filter_findings(gap_findings, rule_config)
     )
 
     if args.gap_report:
@@ -391,7 +451,10 @@ def _cmd_check(args: argparse.Namespace) -> int:
         if baselined:
             summary += f"; {len(baselined)} finding(s) suppressed by baseline"
         if args.lint:
-            summary += f"; lint over repro sources: {len(lint_findings)} finding(s)"
+            summary += (
+                "; source scan (lint/determinism/purity): "
+                f"{len(lint_findings)} finding(s)"
+            )
         algo_gaps = gap_report.algorithms()
         if algo_gaps:
             shared_ok = sum(1 for a in algo_gaps if a.certified_shared)
@@ -678,7 +741,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.add_argument(
         "--lint",
         action="store_true",
-        help="also run the AST lint and engine-conformance passes",
+        help="also run the source scan (lint + determinism/purity "
+        "dataflow rules) and engine-conformance passes",
+    )
+    p_check.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule registry (id, severity, enabled, help) "
+        "and exit; with --json, machine-readable",
+    )
+    p_check.add_argument(
+        "--enable",
+        action="append",
+        default=None,
+        metavar="RULE",
+        help="force-enable a rule id or family (repeatable; "
+        "see --list-rules)",
+    )
+    p_check.add_argument(
+        "--disable",
+        action="append",
+        default=None,
+        metavar="RULE",
+        help="disable a rule id or family (repeatable; see --list-rules)",
     )
     p_check.add_argument(
         "--json", action="store_true", help="machine-readable output (schema 3)"

@@ -746,7 +746,7 @@ class _SweepEngine:
                     if self.serial_fallback:
                         self._run_serial_fallback()
                     else:
-                        for key in list(self.outstanding):
+                        for key in sorted(self.outstanding):
                             self._skip(
                                 self._spec_for(key), "process pool unavailable"
                             )
@@ -775,7 +775,7 @@ class _SweepEngine:
                     if self.serial_fallback:
                         self._run_serial_fallback()
                     else:
-                        for key in list(self.outstanding):
+                        for key in sorted(self.outstanding):
                             self._skip(
                                 self._spec_for(key), "process pool unavailable"
                             )
@@ -797,7 +797,7 @@ class _SweepEngine:
                     if self.serial_fallback:
                         self._run_serial_fallback()
                     else:
-                        for key in list(self.outstanding):
+                        for key in sorted(self.outstanding):
                             self._skip(
                                 self._spec_for(key), "process pool unavailable"
                             )

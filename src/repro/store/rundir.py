@@ -96,7 +96,9 @@ class RunStore:
         meta: Dict[str, Any] = {
             "schema": RUN_SCHEMA,
             "kind": RUN_KIND,
-            "created_at": time.time(),
+            # created_at is display metadata for `runs show`; it is never
+            # hashed into a fingerprint and resume never compares it.
+            "created_at": time.time(),  # repro: noqa[determinism/wall-clock] -- display metadata, outside identity
             "status": STATUS_RUNNING,
             "resumes": 0,
             **config,
@@ -119,7 +121,7 @@ class RunStore:
         meta = self.load_meta() or {
             "schema": RUN_SCHEMA,
             "kind": RUN_KIND,
-            "created_at": time.time(),
+            "created_at": time.time(),  # repro: noqa[determinism/wall-clock] -- display metadata, outside identity
         }
         meta.update(fields)
         self._write_meta(meta)

@@ -82,7 +82,7 @@ class TestRoundTrip:
         write_record(record, path)
         assert load_record(path) == record
         # atomic writer leaves no temp droppings
-        assert [p.name for p in tmp_path.iterdir()] == [path.name]
+        assert sorted(p.name for p in tmp_path.iterdir()) == [path.name]
 
     def test_load_rejects_wrong_schema(self, tmp_path):
         path = tmp_path / "bad.json"

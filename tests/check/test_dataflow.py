@@ -1,0 +1,246 @@
+"""Unit tests for the intraprocedural dataflow engine."""
+
+import ast
+
+from repro.check.dataflow import (
+    KIND_UNORDERED,
+    KIND_WRITER,
+    Scope,
+    TaintSpec,
+    analyze,
+    build_parent_map,
+    call_name,
+    dotted_call_name,
+)
+
+SPEC = TaintSpec(
+    parameter_sources={"workers": "workers", "engine": "engine"},
+    attribute_sources={"workers": "workers"},
+    subscript_sources={"engine": "engine"},
+)
+
+
+class _Probe:
+    """Hooks that record the taint/kinds at every ``probe(...)`` call."""
+
+    def __init__(self):
+        self.taints = []
+        self.kinds = []
+        self.iter_kinds = []
+
+    def on_call(self, node, scope):
+        if call_name(node) == "probe":
+            for arg in node.args:
+                self.taints.append(set(scope.taint(arg)))
+                self.kinds.append(scope.kinds(arg))
+
+    def on_for(self, target, iter_node, scope):
+        self.iter_kinds.append(scope.kinds(iter_node))
+
+
+def probe(source):
+    hooks = _Probe()
+    analyze(ast.parse(source), SPEC, hooks)
+    return hooks
+
+
+class TestTaintPropagation:
+    def test_parameter_source_flows_through_assignment(self):
+        h = probe("def f(workers):\n    w = workers\n    probe(w)\n")
+        assert h.taints == [{"workers"}]
+
+    def test_assignment_kills_taint(self):
+        h = probe(
+            "def f(workers):\n    w = workers\n    w = 1\n    probe(w)\n"
+        )
+        assert h.taints == [set()]
+
+    def test_flows_through_binop_and_fstring(self):
+        h = probe(
+            "def f(workers):\n"
+            "    a = workers + 1\n"
+            "    b = f'n={workers}'\n"
+            "    probe(a)\n"
+            "    probe(b)\n"
+        )
+        assert h.taints == [{"workers"}, {"workers"}]
+
+    def test_flows_through_call_arguments(self):
+        h = probe(
+            "def f(workers):\n"
+            "    x = transform(1, count=workers)\n"
+            "    probe(x)\n"
+        )
+        assert h.taints == [{"workers"}]
+
+    def test_attribute_source(self):
+        h = probe(
+            "class C:\n"
+            "    def m(self):\n"
+            "        probe(self.workers)\n"
+        )
+        assert h.taints == [{"workers"}]
+
+    def test_subscript_source(self):
+        h = probe("def f(cfg):\n    probe(cfg['engine'])\n")
+        assert h.taints == [{"engine"}]
+
+    def test_dict_literal_and_comprehension(self):
+        h = probe(
+            "def f(workers):\n"
+            "    d = {'w': workers}\n"
+            "    e = {k: v for k, v in d.items()}\n"
+            "    probe(d)\n"
+            "    probe(e)\n"
+        )
+        assert h.taints == [{"workers"}, {"workers"}]
+
+    def test_key_filter_comprehension_sanitizes(self):
+        h = probe(
+            "def f(kwargs):\n"
+            "    tainted = {'engine': kwargs['engine']}\n"
+            "    clean = {k: v for k, v in tainted.items()"
+            " if k not in ('engine', 'strict_engine')}\n"
+            "    probe(tainted)\n"
+            "    probe(clean)\n"
+        )
+        assert h.taints == [{"engine"}, set()]
+
+    def test_key_filter_with_dynamic_blocklist_does_not_sanitize(self):
+        h = probe(
+            "def f(kwargs, drop):\n"
+            "    tainted = {'engine': kwargs['engine']}\n"
+            "    kept = {k: v for k, v in tainted.items() if k not in drop}\n"
+            "    probe(kept)\n"
+        )
+        assert h.taints == [{"engine"}]
+
+    def test_tuple_unpacking(self):
+        h = probe(
+            "def f(workers):\n"
+            "    a, b = workers, 1\n"
+            "    probe(a)\n"
+            "    probe(b)\n"
+        )
+        # Conservative: each element gets the whole value's taint.
+        assert h.taints == [{"workers"}, {"workers"}]
+
+    def test_augassign_merges_instead_of_killing(self):
+        h = probe(
+            "def f(workers):\n"
+            "    total = 0\n"
+            "    total += workers\n"
+            "    probe(total)\n"
+        )
+        assert h.taints == [{"workers"}]
+
+    def test_loop_carried_taint_reaches_fixpoint(self):
+        h = probe(
+            "def f(workers, xs):\n"
+            "    y = 0\n"
+            "    for x in xs:\n"
+            "        probe(y)\n"
+            "        y = workers\n"
+            "    probe(y)\n"
+        )
+        # The in-loop probe sees the taint carried from the previous
+        # iteration (requires more than one pass).
+        assert h.taints == [{"workers"}, {"workers"}]
+
+    def test_class_prepass_sees_cross_method_attributes(self):
+        h = probe(
+            "class C:\n"
+            "    def __init__(self, workers):\n"
+            "        self.n = workers\n"
+            "        self.plain = 3\n"
+            "    def use(self):\n"
+            "        probe(self.n)\n"
+            "        probe(self.plain)\n"
+        )
+        assert h.taints == [{"workers"}, set()]
+
+
+class TestKinds:
+    def test_set_constructions_are_unordered(self):
+        h = probe(
+            "def f(xs):\n"
+            "    a = set(xs)\n"
+            "    b = {1, 2}\n"
+            "    c = {x for x in xs}\n"
+            "    probe(a)\n    probe(b)\n    probe(c)\n"
+        )
+        assert h.kinds == [{KIND_UNORDERED}] * 3
+
+    def test_sorted_strips_unordered(self):
+        h = probe(
+            "def f(xs):\n"
+            "    a = sorted(set(xs))\n"
+            "    probe(a)\n"
+        )
+        assert h.kinds == [set()]
+
+    def test_list_preserves_unordered(self):
+        h = probe(
+            "def f(xs):\n"
+            "    a = list(set(xs))\n"
+            "    probe(a)\n"
+        )
+        assert h.kinds == [{KIND_UNORDERED}]
+
+    def test_for_over_set_reports_unordered_iter(self):
+        h = probe(
+            "def f(xs):\n"
+            "    s = set(xs)\n"
+            "    for x in s:\n"
+            "        pass\n"
+            "    for x in sorted(s):\n"
+            "        pass\n"
+        )
+        assert h.iter_kinds == [{KIND_UNORDERED}, set()]
+
+    def test_cross_method_set_attribute(self):
+        h = probe(
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self.outstanding = set()\n"
+            "    def drain(self):\n"
+            "        for key in list(self.outstanding):\n"
+            "            pass\n"
+        )
+        assert {KIND_UNORDERED} in h.iter_kinds
+
+    def test_writer_kinds(self):
+        h = probe(
+            "def f(store):\n"
+            "    w = CheckpointWriter(store)\n"
+            "    probe(w)\n"
+            "    probe(store.writer)\n"
+        )
+        assert h.kinds == [{KIND_WRITER}, {KIND_WRITER}]
+
+
+class TestHelpers:
+    def test_call_name(self):
+        call = ast.parse("a.b.c()").body[0].value
+        assert call_name(call) == "c"
+        call = ast.parse("f()").body[0].value
+        assert call_name(call) == "f"
+
+    def test_dotted_call_name(self):
+        call = ast.parse("time.time()").body[0].value
+        assert dotted_call_name(call) == "time.time"
+        call = ast.parse("(x or y).z()").body[0].value
+        assert dotted_call_name(call) is None
+
+    def test_build_parent_map(self):
+        tree = ast.parse("sorted(p.iterdir())")
+        parents = build_parent_map(tree)
+        inner = tree.body[0].value.args[0]
+        assert parents[inner] is tree.body[0].value
+
+    def test_scope_fork_is_isolated(self):
+        scope = Scope(SPEC)
+        scope.env_taint["x"] = {"workers": 1}
+        child = scope.fork()
+        child.env_taint["x"]["engine"] = 2
+        assert "engine" not in scope.env_taint["x"]

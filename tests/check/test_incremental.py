@@ -26,7 +26,7 @@ class TestReportCache:
         cold = _sweep(cache)
         assert cache.stats() == (0, 1)
         assert [r.cached for r in cold] == [False]
-        assert list((tmp_path / "cache").glob("*.json")), "cell not persisted"
+        assert any((tmp_path / "cache").glob("*.json")), "cell not persisted"
 
         warm_cache = ReportCache(tmp_path / "cache")
         warm = _sweep(warm_cache)
@@ -68,7 +68,7 @@ class TestReportCache:
         root = tmp_path / "cache"
         cache = ReportCache(root)
         _sweep(cache)
-        for path in root.glob("*.json"):
+        for path in sorted(root.glob("*.json")):
             path.write_text("garbage {")
         again = ReportCache(root)
         reports = _sweep(again)
@@ -80,7 +80,7 @@ class TestReportCache:
         root = tmp_path / "cache"
         cache = ReportCache(root)
         _sweep(cache)
-        (path,) = root.glob("*.json")
+        (path,) = sorted(root.glob("*.json"))
         payload = json.loads(path.read_text())
         payload["cell"] = "0" * 64
         path.write_text(json.dumps(payload))

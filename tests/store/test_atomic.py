@@ -32,7 +32,7 @@ class TestAtomicWrite:
     def test_no_temp_file_left_behind(self, tmp_path):
         path = tmp_path / "out.txt"
         atomic_write_text(path, "x")
-        assert os.listdir(tmp_path) == ["out.txt"]
+        assert sorted(os.listdir(tmp_path)) == ["out.txt"]
 
     def test_failed_write_leaves_target_intact(self, tmp_path, monkeypatch):
         path = tmp_path / "out.txt"
@@ -46,7 +46,7 @@ class TestAtomicWrite:
             atomic_write_text(path, "replacement")
         # Target untouched, and the temp file was cleaned up.
         assert path.read_text() == "original"
-        assert os.listdir(tmp_path) == ["out.txt"]
+        assert sorted(os.listdir(tmp_path)) == ["out.txt"]
 
     def test_returns_path(self, tmp_path):
         path = tmp_path / "out.txt"

@@ -232,7 +232,10 @@ class TestCheck:
             ["check", "--algorithm", "shared-opt", "--machine", "q32", "--lint"]
         )
         assert code == 0
-        assert "lint over repro sources: 0 finding(s)" in capsys.readouterr().out
+        assert (
+            "source scan (lint/determinism/purity): 0 finding(s)"
+            in capsys.readouterr().out
+        )
 
     def test_json_output(self, capsys):
         code = main(
@@ -260,7 +263,7 @@ class TestCheck:
         assert code == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["schema"] == 3
-        assert payload["checker_version"] == 3
+        assert payload["checker_version"] == 4
         assert payload["cells"] == {"analyzed": 1, "skipped": 0, "cached": 0}
         assert payload["suppressed"] == 0
         assert payload["elapsed_s"] > 0
