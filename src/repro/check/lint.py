@@ -609,13 +609,15 @@ def _registered_names() -> Set[str]:
 
 #: Package files (relative, POSIX) on the determinism scope: the
 #: modules that produce fingerprints, checkpoints, manifests or
-#: serialized artifacts.  ``store/`` is covered wholesale by
-#: :func:`_profile_for`.
+#: serialized artifacts.  ``store/`` and ``fabric/`` are covered
+#: wholesale by :func:`_profile_for`.
 _DETERMINISM_FILES = frozenset(
     {
         "sim/parallel.py",
         "sim/telemetry.py",
         "sim/results.py",
+        "sim/retrypolicy.py",
+        "sim/faults.py",
         "check/incremental.py",
         "check/baseline.py",
         "check/findings.py",
@@ -641,7 +643,8 @@ def _profile_for(path: Path, package_root: Optional[Path]) -> FileProfile:
         # do not apply to fixtures.
         return FileProfile(lint=False, determinism=True, purity=False)
     determinism = relative is not None and (
-        relative.startswith("store/") or relative in _DETERMINISM_FILES
+        relative.startswith(("store/", "fabric/"))
+        or relative in _DETERMINISM_FILES
     )
     return FileProfile(
         algorithms_module=path.parent.name == "algorithms",

@@ -13,6 +13,10 @@ Subcommands
     the run durable (checkpointed, resumable with ``--resume``).
 ``runs``
     Inspect durable run directories: ``list``, ``show``, ``verify``.
+``fabric``
+    Lease-based distributed sweep fabric: ``serve`` runs the durable
+    cell-queue coordinator (``--local N`` also forks N workers);
+    ``worker`` joins a serving coordinator.
 ``figure``
     Regenerate a paper figure (``fig4`` … ``fig12``) as ASCII tables
     and optionally CSV files.
@@ -212,6 +216,126 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         signum = getattr(_signal, sweep.interrupted, None)
         return 128 + int(signum) if signum is not None else 1
     return 0 if sweep.complete else 1
+
+
+def _print_fabric_sweep(args: argparse.Namespace, sweep: Any) -> int:
+    """Render a finished fabric sweep (rows, failures, telemetry)."""
+    rows: List[Dict[str, Any]] = []
+    for label, results in sweep.series.items():
+        for result in results:
+            if result is not None:
+                rows.append(result.to_row())
+    print(render_rows(rows))
+    for record in sweep.failures:
+        print(
+            f"{record.status}: {record.label} @ {sweep.variable}={record.x} "
+            f"after {record.attempts} attempt(s): "
+            f"{record.error_type}: {record.error}",
+            file=sys.stderr,
+        )
+    manifest = sweep.manifest
+    if manifest is not None:
+        counts = manifest.counts()
+        summary = (
+            f"fabric: {counts['ok']} ok, {counts['failed']} failed, "
+            f"{counts['skipped']} skipped"
+        )
+        if manifest.resumed_cells:
+            summary += f" ({manifest.resumed_cells} resumed from checkpoint)"
+        stats = manifest.fabric
+        if stats is not None:
+            summary += (
+                f"; {stats.leases_granted} lease(s), "
+                f"{stats.expired_leases} expired, "
+                f"{stats.retried_failures} retried, "
+                f"{stats.duplicate_results} duplicate(s)"
+            )
+            summary += (
+                f"; {stats.workers_seen} worker(s) seen, "
+                f"{stats.workers_lost} lost"
+            )
+        summary += f"; {manifest.elapsed_s:.2f}s"
+        print(summary, file=sys.stderr)
+    print(f"run dir: {args.run_dir}", file=sys.stderr)
+    return 0 if sweep.complete else 1
+
+
+def _cmd_fabric_serve(args: argparse.Namespace) -> int:
+    from repro.fabric import fabric_order_sweep, run_local_fabric
+
+    machine = _machine_from_args(args)
+    entries = [(alg, args.setting) for alg in args.algorithms]
+    if args.local is not None:
+        if args.local < 1:
+            print("error: --local needs at least one worker", file=sys.stderr)
+            return 2
+        sweep = run_local_fabric(
+            entries,
+            machine,
+            args.orders,
+            run_dir=args.run_dir,
+            workers=args.local,
+            resume=args.resume,
+            policy=args.policy,
+            strict_engine=args.strict_engine,
+            lease_s=args.lease,
+            retries=args.retries,
+            backoff=args.backoff,
+            fault_plan_path=args.fault_plan,
+            max_respawns=args.max_respawns,
+            host=args.host,
+            port=args.port,
+        )
+        return _print_fabric_sweep(args, sweep)
+    coordinator = fabric_order_sweep(
+        entries,
+        machine,
+        args.orders,
+        run_dir=args.run_dir,
+        resume=args.resume,
+        policy=args.policy,
+        strict_engine=args.strict_engine,
+        lease_s=args.lease,
+        retries=args.retries,
+        backoff=args.backoff,
+        host=args.host,
+        port=args.port,
+    )
+    host, port = coordinator.start()
+    print(f"fabric coordinator serving on {host}:{port}", file=sys.stderr)
+    print(
+        f"join with: repro-mmm fabric worker --connect {host}:{port}",
+        file=sys.stderr,
+    )
+    try:
+        while not coordinator.wait(timeout=0.5):
+            pass
+    except KeyboardInterrupt:
+        coordinator.abort("coordinator interrupted (SIGINT)")
+    sweep = coordinator.finish()
+    return _print_fabric_sweep(args, sweep)
+
+
+def _cmd_fabric_worker(args: argparse.Namespace) -> int:
+    from repro.fabric import FabricWorker
+    from repro.sim.faults import load_fault_plan
+
+    host, _, port_text = args.connect.rpartition(":")
+    if not host or not port_text.isdigit():
+        print(
+            f"error: --connect wants HOST:PORT, got {args.connect!r}",
+            file=sys.stderr,
+        )
+        return 2
+    fault_plan = load_fault_plan(args.fault_plan) if args.fault_plan else None
+    worker = FabricWorker(
+        (host, int(port_text)),
+        worker_id=args.worker_id,
+        fault_plan=fault_plan,
+        scratch=args.scratch,
+        connect_grace_s=args.connect_grace,
+    )
+    return worker.run()
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
@@ -537,14 +661,28 @@ def _cmd_runs_verify(args: argparse.Namespace) -> int:
 
     from repro.store import RunStore
 
-    audit = RunStore(Path(args.run_dir)).audit()
+    store = RunStore(Path(args.run_dir))
+    audit = store.audit()
     for error in audit.errors:
         print(f"error: {error}")
     for warning in audit.warnings:
         print(f"warning: {warning}")
+    if audit.journal is not None and audit.journal.records:
+        from repro.fabric.journal import journal_status, load_journal
+
+        line = journal_status(load_journal(store.journal_path))
+        if line is not None:
+            print(line)
     counts = audit.counts()
     summary = ", ".join(f"{n} {s}" for s, n in sorted(counts.items()))
-    verdict = "ok" if audit.ok else "CORRUPT"
+    if not audit.ok:
+        verdict = "CORRUPT"
+    elif audit.in_progress:
+        # A live (or abandoned mid-write) run: a torn checkpoint tail
+        # here is the writer mid-append, not corruption.
+        verdict = "in progress"
+    else:
+        verdict = "ok"
     print(f"{args.run_dir}: {verdict} ({summary or 'no checkpoint records'})")
     return 0 if audit.ok else 1
 
@@ -833,6 +971,130 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_runs_verify.add_argument("run_dir")
     p_runs_verify.set_defaults(func=_cmd_runs_verify)
+
+    p_fabric = sub.add_parser(
+        "fabric", help="lease-based distributed sweep fabric"
+    )
+    fabric_sub = p_fabric.add_subparsers(dest="fabric_command", required=True)
+
+    p_serve = fabric_sub.add_parser(
+        "serve", help="run the coordinator (durable cell queue) for a sweep"
+    )
+    _add_machine_args(p_serve)
+    p_serve.add_argument(
+        "algorithms", nargs="+", choices=algorithm_names(include_extras=True)
+    )
+    p_serve.add_argument(
+        "--orders", type=int, nargs="+", default=[16, 32, 48, 64]
+    )
+    p_serve.add_argument("--setting", choices=sorted(SETTINGS), default="lru-50")
+    p_serve.add_argument("--policy", choices=("lru", "fifo"), default="lru")
+    p_serve.add_argument(
+        "--strict-engine",
+        action="store_true",
+        help="fail instead of silently degrading replay to the step engine",
+    )
+    p_serve.add_argument(
+        "--run-dir",
+        required=True,
+        metavar="DIR",
+        help="run directory holding the checkpoint log and coordinator "
+        "journal (the durable queue)",
+    )
+    p_serve.add_argument(
+        "--resume",
+        action="store_true",
+        help="restart against an existing run directory: terminal cells "
+        "are restored, in-flight leases from a dead coordinator are "
+        "expired and requeued",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port to serve on (default: OS-assigned)",
+    )
+    p_serve.add_argument(
+        "--lease",
+        type=float,
+        default=15.0,
+        metavar="SECONDS",
+        help="lease window; a worker silent this long loses its cell "
+        "(default: 15)",
+    )
+    p_serve.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="extra attempts per lost/failed cell (default: 2)",
+    )
+    p_serve.add_argument(
+        "--backoff",
+        type=float,
+        default=0.1,
+        metavar="SECONDS",
+        help="base retry backoff, doubled per attempt with deterministic "
+        "jitter (default: 0.1)",
+    )
+    p_serve.add_argument(
+        "--local",
+        type=int,
+        default=None,
+        metavar="N",
+        help="also fork N local workers and run the sweep to completion "
+        "(laptop mode)",
+    )
+    p_serve.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="PATH",
+        help="JSON fault plan injected into --local workers (testing)",
+    )
+    p_serve.add_argument(
+        "--max-respawns",
+        type=int,
+        default=None,
+        help="respawn budget for crashed --local workers (default: 3N)",
+    )
+    p_serve.set_defaults(func=_cmd_fabric_serve)
+
+    p_worker = fabric_sub.add_parser(
+        "worker", help="join a serving coordinator and execute leased cells"
+    )
+    p_worker.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="coordinator address printed by `fabric serve`",
+    )
+    p_worker.add_argument(
+        "--worker-id",
+        default=None,
+        help="stable worker identity (default: w<pid>)",
+    )
+    p_worker.add_argument(
+        "--scratch",
+        default=None,
+        metavar="DIR",
+        help="directory for salvage logs when the coordinator vanishes "
+        "mid-result",
+    )
+    p_worker.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="PATH",
+        help="JSON fault plan for injected failures (testing)",
+    )
+    p_worker.add_argument(
+        "--connect-grace",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="how long to absorb connection failures before the first "
+        "successful exchange (default: 10)",
+    )
+    p_worker.set_defaults(func=_cmd_fabric_worker)
 
     p_tables = sub.add_parser("tables", help="cache configuration tables")
     p_tables.set_defaults(func=_cmd_tables)

@@ -64,3 +64,21 @@ class ParameterError(ReproError, ValueError):
     Typical cause: a distributed cache too small to hold even the three
     blocks (one of each matrix) needed for a single multiply-add.
     """
+
+
+class FabricError(ReproError):
+    """A coordinator/worker fabric operation failed.
+
+    Base of the fabric failure family; deliberately *not* in the
+    permanent-error set — fabric failures are infrastructure weather
+    (a dropped connection, a dead peer) and retrying is the norm.
+    """
+
+
+class ProtocolError(FabricError):
+    """A fabric peer sent a malformed, corrupt or unexpected message.
+
+    Covers framing violations (oversized or unterminated lines), JSON
+    that does not parse, version/checksum mismatches, and replies whose
+    type the requester cannot interpret.
+    """

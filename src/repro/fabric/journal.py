@@ -1,0 +1,159 @@
+"""The coordinator's append-only, checksummed event journal.
+
+``journal.jsonl`` sits next to the checkpoint log in the run directory
+and records the *custody history* of every cell: each grant, lease
+expiry, retry, duplicate submission and terminal outcome is one sealed
+line written through :class:`repro.store.CheckpointWriter` — fsynced
+before the coordinator acts on the event, so a SIGKILL'd coordinator
+can be restarted against the same run directory and reconstruct
+exactly which cells were in flight.
+
+The journal is a *history*, so it is read with the order-preserving,
+non-deduplicating loader (:func:`repro.store.checkpoint.load_sealed_lines`)
+— the checkpoint loader's per-fingerprint dedup would collapse the
+very retry/re-lease story the journal exists to tell.
+
+Event grammar (``fp`` is the cell fingerprint; lifecycle events use
+``fp = "-"``):
+
+========== ==========================================================
+event      meaning
+========== ==========================================================
+start      coordinator began serving (``resumed`` flags a restart)
+grant      cell leased to ``worker`` for attempt ``attempt``
+expire     lease lapsed (worker dead/stalled/partitioned) — requeued
+retry      a failed attempt was accepted and requeued with backoff
+duplicate  a result arrived for an already-finalized cell (ignored)
+terminal   the cell's final outcome (``status``) — exactly once per
+           cell per journal, the exactly-once invariant chaos tests
+           assert
+stop       coordinator finished (``complete`` tells how)
+========== ==========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Set, Union
+
+from repro.store.checkpoint import CheckpointWriter, load_sealed_lines
+
+#: The non-cell fingerprint used by coordinator lifecycle events.
+LIFECYCLE_FP = "-"
+
+EVENT_START = "start"
+EVENT_GRANT = "grant"
+EVENT_EXPIRE = "expire"
+EVENT_RETRY = "retry"
+EVENT_DUPLICATE = "duplicate"
+EVENT_TERMINAL = "terminal"
+EVENT_STOP = "stop"
+
+
+class FabricJournal:
+    """Append-only journal writer (sealed, fsync-per-event)."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self._writer = CheckpointWriter(path)
+
+    def event(self, event: str, fp: str = LIFECYCLE_FP, **fields: Any) -> None:
+        """Durably record one event; the write is fsynced on return."""
+        self._writer.append({"fp": fp, "event": event, **fields})
+
+    def close(self) -> None:
+        self._writer.close()
+
+    def __enter__(self) -> "FabricJournal":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+@dataclass
+class JournalReplay:
+    """What a journal says happened, summarized for restart and audit."""
+
+    #: Every intact event, in append order.
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    #: Cell fingerprint → terminal status (``ok``/``failed``/``skipped``).
+    terminal: Dict[str, str] = field(default_factory=dict)
+    #: Cell fingerprint → number of ``terminal`` events seen (the
+    #: exactly-once invariant demands every value be 1).
+    terminal_events: Dict[str, int] = field(default_factory=dict)
+    #: Cell fingerprint → highest attempt number ever granted.
+    granted_attempts: Dict[str, int] = field(default_factory=dict)
+    #: Cells with a grant but no terminal event: in flight when the
+    #: journal stopped (their leases died with the coordinator).
+    open_grants: Set[str] = field(default_factory=set)
+    #: Event totals for telemetry reconstruction after a restart.
+    grants: int = 0
+    expired: int = 0
+    retries: int = 0
+    duplicates: int = 0
+    #: Whether the final line was a torn (crash-truncated) tail.
+    torn_tail: bool = False
+    #: Journal lines that failed checksum/parse.
+    quarantined_lines: int = 0
+
+    def exactly_once(self) -> bool:
+        """Whether no cell has more than one terminal event."""
+        return all(count == 1 for count in self.terminal_events.values())
+
+
+def load_journal(path: Union[str, Path]) -> JournalReplay:
+    """Replay a journal file into a :class:`JournalReplay` summary.
+
+    A missing file replays as empty (a fresh run).  Corrupt interior
+    lines are counted but skipped — the journal is advisory history;
+    the checkpoint log remains the source of truth for results.
+    """
+    log = load_sealed_lines(path)
+    replay = JournalReplay(
+        torn_tail=log.torn_tail,
+        quarantined_lines=len(log.quarantined),
+    )
+    for record in log.records:
+        event = record.get("event")
+        fp = record.get("fp")
+        if not isinstance(event, str) or not isinstance(fp, str):
+            replay.quarantined_lines += 1
+            continue
+        replay.events.append(record)
+        if fp == LIFECYCLE_FP:
+            continue
+        if event == EVENT_GRANT:
+            replay.grants += 1
+            attempt = record.get("attempt")
+            if isinstance(attempt, int):
+                replay.granted_attempts[fp] = max(
+                    replay.granted_attempts.get(fp, 0), attempt
+                )
+            if fp not in replay.terminal:
+                replay.open_grants.add(fp)
+        elif event == EVENT_EXPIRE:
+            replay.expired += 1
+        elif event == EVENT_RETRY:
+            replay.retries += 1
+        elif event == EVENT_DUPLICATE:
+            replay.duplicates += 1
+        elif event == EVENT_TERMINAL:
+            status = record.get("status")
+            if isinstance(status, str):
+                replay.terminal[fp] = status
+            replay.terminal_events[fp] = replay.terminal_events.get(fp, 0) + 1
+            replay.open_grants.discard(fp)
+    return replay
+
+
+def journal_status(replay: JournalReplay) -> Optional[str]:
+    """One-line human summary for ``repro-mmm runs verify``; ``None`` if empty."""
+    if not replay.events:
+        return None
+    return (
+        f"journal: {len(replay.events)} events, "
+        f"{len(replay.terminal)} terminal cells, "
+        f"{replay.expired} expiries, {replay.retries} retries, "
+        f"{replay.duplicates} duplicates"
+    )

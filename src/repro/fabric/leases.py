@@ -1,0 +1,119 @@
+"""Monotonic-deadline leases: who owns which cell, and for how long.
+
+A lease is the fabric's unit of custody: the coordinator grants a cell
+to exactly one worker for ``lease_s`` seconds, and every heartbeat
+renews the full window.  All lease arithmetic runs on an injected
+clock defaulting to :func:`time.monotonic` — never wall-clock time —
+so an NTP step, a DST change or a suspended laptop cannot expire (or
+immortalize) a lease; the determinism rules enforce this (the fabric
+modules are on the wall-clock-ban scope of ``repro-mmm check --lint``,
+and a test asserts zero findings).
+
+Boundary semantics: a lease is live while ``clock() <= deadline`` —
+renewal *exactly at* the deadline succeeds.  Expiry is detected by the
+coordinator's periodic sweep (:meth:`LeaseTable.pop_expired`), so a
+stalled worker's cell returns to the queue within one lease period.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass
+class Lease:
+    """One cell leased to one worker until a monotonic deadline."""
+
+    key: Tuple[str, int]
+    fp: str
+    worker: str
+    attempt: int
+    granted_at: float
+    deadline: float
+
+
+class LeaseTable:
+    """Active leases, keyed by cell fingerprint.
+
+    One cell has at most one live lease: the queue never serves a cell
+    that is already leased, and a lease must be released (result
+    accepted) or expired (worker presumed dead) before the cell can be
+    granted again.
+    """
+
+    def __init__(
+        self,
+        lease_s: float,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if lease_s <= 0:
+            raise ConfigurationError(f"lease_s must be positive, got {lease_s}")
+        self.lease_s = lease_s
+        self.clock = clock
+        self._leases: Dict[str, Lease] = {}
+
+    def __len__(self) -> int:
+        return len(self._leases)
+
+    def get(self, fp: str) -> Optional[Lease]:
+        return self._leases.get(fp)
+
+    def grant(self, key: Tuple[str, int], fp: str, worker: str, attempt: int) -> Lease:
+        """Lease cell ``fp`` to ``worker``; the cell must be unleased."""
+        if fp in self._leases:
+            raise ConfigurationError(
+                f"cell {fp[:12]}… is already leased to "
+                f"{self._leases[fp].worker!r}"
+            )
+        now = self.clock()
+        lease = Lease(
+            key=key,
+            fp=fp,
+            worker=worker,
+            attempt=attempt,
+            granted_at=now,
+            deadline=now + self.lease_s,
+        )
+        self._leases[fp] = lease
+        return lease
+
+    def renew(self, fp: str, worker: str) -> bool:
+        """Extend the lease by a full window; ``False`` when not renewable.
+
+        A renewal is honored only while the lease is live
+        (``clock() <= deadline``, deadline inclusive) *and* still held
+        by the same worker — a heartbeat from a worker whose lease
+        already expired (and whose cell may be re-leased) must not
+        resurrect it.
+        """
+        lease = self._leases.get(fp)
+        if lease is None or lease.worker != worker:
+            return False
+        now = self.clock()
+        if now > lease.deadline:
+            return False
+        lease.deadline = now + self.lease_s
+        return True
+
+    def release(self, fp: str) -> Optional[Lease]:
+        """Drop and return the lease on ``fp`` (result accepted), if any."""
+        return self._leases.pop(fp, None)
+
+    def pop_expired(self) -> List[Lease]:
+        """Remove and return every lease whose deadline has passed."""
+        now = self.clock()
+        expired = [
+            lease for lease in self._leases.values() if now > lease.deadline
+        ]
+        for lease in expired:
+            del self._leases[lease.fp]
+        return expired
+
+    def active(self) -> List[Lease]:
+        """Live leases, in grant order."""
+        return list(self._leases.values())

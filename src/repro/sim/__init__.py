@@ -11,8 +11,10 @@
   engine (timeouts, retries, crash recovery, run manifests).
 * :mod:`repro.sim.telemetry` — per-cell records, worker statistics and
   the JSON run manifest.
-* :mod:`repro.sim.faults` — injectable crash/hang/flaky cells for
-  exercising the engine.
+* :mod:`repro.sim.faults` — injectable crash/hang/flaky/stall/die
+  cells for exercising the engine and the fabric.
+* :mod:`repro.sim.retrypolicy` — the shared retry classification and
+  jittered exponential backoff used by the pool engine and the fabric.
 """
 
 from repro.sim.contexts import (
@@ -26,8 +28,15 @@ from repro.sim.results import ExperimentResult, SweepResult
 from repro.sim.runner import run_experiment
 from repro.sim.sweep import order_sweep, ratio_sweep, resolve_entries, series_label
 from repro.sim.parallel import parallel_order_sweep, parallel_ratio_sweep
-from repro.sim.faults import FaultInjectionError, FaultPlan, FaultSpec
-from repro.sim.telemetry import CellRecord, RunManifest, WorkerStats
+from repro.sim.faults import (
+    FaultInjectionError,
+    FaultPlan,
+    FaultSpec,
+    dump_fault_plan,
+    load_fault_plan,
+)
+from repro.sim.retrypolicy import BackoffPolicy, is_retryable
+from repro.sim.telemetry import CellRecord, FabricStats, RunManifest, WorkerStats
 from repro.sim.timing import TimingEstimate, TimingModel
 
 __all__ = [
@@ -50,7 +59,12 @@ __all__ = [
     "FaultInjectionError",
     "FaultPlan",
     "FaultSpec",
+    "dump_fault_plan",
+    "load_fault_plan",
+    "BackoffPolicy",
+    "is_retryable",
     "CellRecord",
+    "FabricStats",
     "RunManifest",
     "WorkerStats",
     "TimingEstimate",

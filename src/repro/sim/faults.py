@@ -1,12 +1,14 @@
-"""Injectable faults for exercising the sweep engine.
+"""Injectable faults for exercising the sweep engine and the fabric.
 
-The resilience claims of :mod:`repro.sim.parallel` — a crashed worker,
-a hung cell or a transiently flaky cell must not abort the sweep — are
-only worth anything if they are *tested*.  This module provides the
-test double: a :class:`FaultSpec` describes how one cell misbehaves,
-and a fault plan (``{(label, index): FaultSpec}``) is shipped to the
-worker processes through the pool initializer.  Before running a
-planned cell the worker calls :func:`fire`, which simulates the fault:
+The resilience claims of :mod:`repro.sim.parallel` and
+:mod:`repro.fabric` — a crashed worker, a hung cell or a transiently
+flaky cell must not abort the sweep — are only worth anything if they
+are *tested*.  This module provides the test double: a
+:class:`FaultSpec` describes how one cell misbehaves, and a fault plan
+(``{(label, index): FaultSpec}``) is shipped to the worker processes
+through the pool initializer (or, for fabric workers, as a JSON file —
+see :func:`load_fault_plan`).  Before running a planned cell the worker
+calls :func:`fire`, which simulates the fault:
 
 * ``"crash"`` — the worker process dies on the spot (``os._exit``),
   which surfaces in the parent as ``BrokenProcessPool``: the hardest
@@ -18,23 +20,50 @@ planned cell the worker calls :func:`fire`, which simulates the fault:
   cell succeeds if the engine retries enough.
 * ``"error"`` — every attempt raises: a deterministic per-cell failure
   that must end as an explicit failure record, never an abort.
+* ``"stall"`` — the cell *runs and eventually completes*, but only
+  after sleeping ``stall_s``; a fabric worker additionally suppresses
+  its heartbeats for the cell's duration.  This is the
+  live-but-silent worker: the lease must expire and the cell be
+  re-leased even though the original worker later submits a (by then
+  duplicate) result.  In the pool engine the kind degrades to a plain
+  slow cell.
+* ``"die"`` — the worker process SIGKILLs itself mid-cell (not merely
+  raising in the cell): the process vanishes without flushing
+  anything, so nothing short of lease expiry / ``BrokenProcessPool``
+  can notice.
 
 Faults are keyed by attempt number (supplied by the engine), so the
-plan is plain immutable data and survives pool rebuilds — a flaky cell
-stays flaky even when every worker that ever saw it is dead.
+plan is plain immutable data and survives pool rebuilds and worker
+respawns — a flaky cell stays flaky even when every worker that ever
+saw it is dead.  ``fail_attempts`` bounds ``stall``/``die`` too: those
+kinds fire only while ``attempt <= fail_attempts``, so a re-leased
+cell eventually runs clean and the sweep completes.
+
+The fault-plan JSON schema (``docs/SWEEPS.md`` documents it) is a list
+of objects, one per planned cell::
+
+    [{"label": "shared-opt ideal", "index": 0, "kind": "die",
+      "fail_attempts": 1, "hang_s": 3600.0, "stall_s": 5.0}, ...]
+
+``fail_attempts``/``hang_s``/``stall_s`` are optional and default as
+in :class:`FaultSpec`.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import signal
 import time
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from pathlib import Path
+from typing import Any, Dict, List, Tuple, Union
 
-from repro.exceptions import ReproError
+from repro.exceptions import ConfigurationError, ReproError
+from repro.store.atomic import atomic_write_text
 
 #: Recognized fault kinds.
-KINDS = ("crash", "hang", "flaky", "error")
+KINDS = ("crash", "hang", "flaky", "error", "stall", "die")
 
 
 class FaultInjectionError(ReproError):
@@ -51,15 +80,22 @@ class FaultSpec:
         One of :data:`KINDS`.
     fail_attempts:
         For ``flaky``: how many leading attempts fail before the cell
-        starts succeeding.  Ignored by the other kinds.
+        starts succeeding.  For ``stall``/``die``: how many leading
+        attempts misbehave before the cell runs clean.  Ignored by
+        ``crash``/``hang``/``error``.
     hang_s:
         For ``hang``: how long the worker sleeps.  Defaults to an hour —
         effectively forever next to any realistic cell timeout.
+    stall_s:
+        For ``stall``: how long the cell dawdles (heartbeats
+        suppressed) before computing.  Must exceed the fabric's lease
+        interval for the lease to expire.
     """
 
     kind: str
     fail_attempts: int = 2
     hang_s: float = 3600.0
+    stall_s: float = 5.0
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
@@ -71,7 +107,12 @@ FaultPlan = Dict[Tuple[str, int], FaultSpec]
 
 
 def fire(spec: FaultSpec, attempt: int) -> None:
-    """Simulate ``spec`` for the given 1-based attempt (worker side)."""
+    """Simulate ``spec`` for the given 1-based attempt (worker side).
+
+    ``stall`` only sleeps here — heartbeat suppression is the fabric
+    worker's job, decided *before* calling :func:`fire` (see
+    :func:`stalls`).
+    """
     if spec.kind == "crash":
         # Bypass every cleanup handler: this is a segfault stand-in.
         os._exit(13)
@@ -85,3 +126,111 @@ def fire(spec: FaultSpec, attempt: int) -> None:
             )
     elif spec.kind == "error":
         raise FaultInjectionError(f"injected permanent failure (attempt {attempt})")
+    elif spec.kind == "stall":
+        if attempt <= spec.fail_attempts:
+            time.sleep(spec.stall_s)
+    elif spec.kind == "die":
+        if attempt <= spec.fail_attempts:
+            # SIGKILL, not os._exit: nothing in this process — atexit
+            # handlers, finally blocks, socket shutdowns — gets to run,
+            # exactly like the OOM killer or a pulled power cord.
+            os.kill(os.getpid(), signal.SIGKILL)
+
+
+def stalls(spec: FaultSpec, attempt: int) -> bool:
+    """Whether ``spec`` suppresses heartbeats for this attempt."""
+    return spec.kind == "stall" and attempt <= spec.fail_attempts
+
+
+# ----------------------------------------------------------------------
+# JSON (de)serialization — fabric workers receive the plan as a file.
+# ----------------------------------------------------------------------
+def fault_plan_to_list(plan: FaultPlan) -> List[Dict[str, Any]]:
+    """Serialize a plan as the documented JSON list, sorted by cell."""
+    out: List[Dict[str, Any]] = []
+    for (label, index) in sorted(plan):
+        spec = plan[(label, index)]
+        out.append(
+            {
+                "label": label,
+                "index": index,
+                "kind": spec.kind,
+                "fail_attempts": spec.fail_attempts,
+                "hang_s": spec.hang_s,
+                "stall_s": spec.stall_s,
+            }
+        )
+    return out
+
+
+def fault_plan_from_list(payload: Any) -> FaultPlan:
+    """Parse the documented JSON list back into a plan.
+
+    Raises :class:`~repro.exceptions.ConfigurationError` on a malformed
+    document — a fault plan is test configuration, and a typo silently
+    ignored would void the test.
+    """
+    if not isinstance(payload, list):
+        raise ConfigurationError(
+            f"fault plan must be a JSON list, got {type(payload).__name__}"
+        )
+    plan: FaultPlan = {}
+    for position, item in enumerate(payload):
+        if not isinstance(item, dict):
+            raise ConfigurationError(
+                f"fault plan entry {position} is not an object"
+            )
+        try:
+            label = item["label"]
+            index = item["index"]
+            kind = item["kind"]
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"fault plan entry {position} is missing key {exc}"
+            ) from None
+        if not isinstance(label, str) or not isinstance(index, int):
+            raise ConfigurationError(
+                f"fault plan entry {position}: label must be a string and "
+                "index an integer"
+            )
+        try:
+            spec = FaultSpec(
+                kind=str(kind),
+                fail_attempts=int(item.get("fail_attempts", 2)),
+                hang_s=float(item.get("hang_s", 3600.0)),
+                stall_s=float(item.get("stall_s", 5.0)),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"fault plan entry {position}: {exc}"
+            ) from None
+        if (label, index) in plan:
+            raise ConfigurationError(
+                f"fault plan entry {position} duplicates cell "
+                f"({label!r}, {index})"
+            )
+        plan[(label, index)] = spec
+    return plan
+
+
+def dump_fault_plan(plan: FaultPlan, path: Union[str, Path]) -> Path:
+    """Atomically write ``plan`` as JSON; returns the path."""
+    text = json.dumps(fault_plan_to_list(plan), indent=2) + "\n"
+    return atomic_write_text(path, text)
+
+
+def load_fault_plan(path: Union[str, Path]) -> FaultPlan:
+    """Read a JSON fault plan from disk.
+
+    Raises :class:`~repro.exceptions.ConfigurationError` when the file
+    is unreadable or malformed.
+    """
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read fault plan {path}: {exc}") from None
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"fault plan {path} is not valid JSON: {exc}"
+        ) from None
+    return fault_plan_from_list(payload)

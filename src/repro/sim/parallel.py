@@ -24,8 +24,10 @@ infrastructure:
   seconds; an overdue chunk's worker is presumed hung, the pool is
   killed and rebuilt, and the chunk's cells are charged one attempt.
 * **Bounded retry with exponential backoff** — a failed cell is retried
-  (individually, never re-chunked) up to ``retries`` times, waiting
-  ``backoff · 2^(attempt-1)`` seconds between attempts.
+  (individually, never re-chunked) up to ``retries`` times, waiting up
+  to ``backoff · 2^(attempt-1)`` seconds between attempts with
+  deterministic per-cell jitter (:class:`~repro.sim.retrypolicy.BackoffPolicy`)
+  so many cells failing together do not retry in lockstep.
 * **Graceful degradation** — a worker crash (``BrokenProcessPool``)
   charges the cells that were in flight and rebuilds the pool; when a
   pool cannot be (re)built at all, remaining cells run serially
@@ -78,10 +80,11 @@ from typing import (
     Union,
 )
 
-from repro.exceptions import ConfigurationError, ParameterError, ScheduleError
+from repro.exceptions import ConfigurationError
 from repro.model.machine import MulticoreMachine
 from repro.sim.faults import FaultPlan, fire
 from repro.sim.results import ExperimentResult, SweepResult
+from repro.sim.retrypolicy import PERMANENT_ERRORS, BackoffPolicy
 from repro.sim.runner import reset_fallback_warnings, run_experiment
 from repro.sim.sweep import Entry, resolve_entries
 from repro.sim.telemetry import (
@@ -110,9 +113,9 @@ CellSpec = Tuple[str, int, int, int, int, int, int]
 #: ExperimentResult when ok, else (error_type, error_message, retryable).
 CellOutcome = Tuple[str, int, bool, Any, int, float]
 
-#: Errors that re-running cannot fix: bad configuration, infeasible
-#: parameters, or a deterministic schedule bug.
-_PERMANENT_ERRORS = (ConfigurationError, ParameterError, ScheduleError)
+#: Errors that re-running cannot fix (shared with the fabric engine;
+#: see :mod:`repro.sim.retrypolicy`).
+_PERMANENT_ERRORS = PERMANENT_ERRORS
 
 #: Failure types that mark a cell as a suspected worker-killer: the
 #: in-process fallback refuses to re-run these (a crash would take the
@@ -282,6 +285,7 @@ class _SweepEngine:
         self.cell_timeout = cell_timeout
         self.retries = retries
         self.backoff = backoff
+        self.backoff_policy = BackoffPolicy(base_s=backoff)
         self.fault_plan = fault_plan
         self.serial_fallback = serial_fallback
         self.pool_factory = pool_factory or ProcessPoolExecutor
@@ -487,7 +491,7 @@ class _SweepEngine:
         if pid is not None:
             record.worker = pid
         if retryable and attempt <= self.retries:
-            delay = self.backoff * (2 ** (attempt - 1))
+            delay = self.backoff_policy.delay(attempt, key=f"{label}:{index}")
             retry_spec = spec[:6] + (attempt + 1,)
             self.waiting_retry.append((time.monotonic() + delay, retry_spec))
         else:
@@ -608,7 +612,9 @@ class _SweepEngine:
                     error_type, error, retryable = payload
                     serial_spec = spec[:6] + (attempt,)
                     if retryable and attempt <= self.retries:
-                        time.sleep(self.backoff * (2 ** (attempt - 1)))
+                        time.sleep(
+                            self.backoff_policy.delay(attempt, key=f"{label}:{index}")
+                        )
                     self._charge_failure(
                         serial_spec, error_type, error, retryable, pid=pid, wall=0.0
                     )

@@ -1,0 +1,101 @@
+"""Shared retry/backoff policy for the pool engine and the fabric.
+
+Both execution engines — the in-process pool
+(:mod:`repro.sim.parallel`) and the coordinator/worker fabric
+(:mod:`repro.fabric`) — retry failed cells with exponential backoff.
+Before this module each grew its own inline formula; now one
+:class:`BackoffPolicy` owns the schedule, and both engines share the
+same classification of which errors are worth retrying at all
+(:data:`PERMANENT_ERRORS` / :func:`is_retryable`).
+
+Jitter is *deterministic*: a purely exponential schedule makes every
+worker that failed at the same attempt retry at the same instant
+(thundering herd on the coordinator), but the usual fix —
+``random.uniform`` — is banned on the determinism scope (the engine's
+retry timing would differ between two runs of the same sweep for no
+reproducible reason).  Instead the jitter fraction is derived from a
+SHA-256 hash of ``(key, attempt)``: distinct cells decorrelate, while
+the same cell retries on the same schedule in every run of the sweep.
+The jittered delay never *exceeds* the deterministic envelope — it is
+scaled into ``[(1 - jitter) · raw, raw]`` — so timeout budgets
+calibrated against ``base · factor^(attempt-1)`` stay valid.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.exceptions import (
+    ConfigurationError,
+    ParameterError,
+    ScheduleError,
+)
+
+#: Errors that re-running cannot fix: bad configuration, infeasible
+#: parameters, or a deterministic schedule bug.  A cell failing with one
+#: of these is finalized as ``failed`` on its first attempt.
+PERMANENT_ERRORS = (ConfigurationError, ParameterError, ScheduleError)
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """Whether another attempt at the failed cell could succeed."""
+    return not isinstance(exc, PERMANENT_ERRORS)
+
+
+def _unit_interval(token: str) -> float:
+    """Deterministic hash of ``token`` mapped into ``[0, 1)``."""
+    digest = hashlib.sha256(token.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Exponential backoff with a cap and deterministic decorrelation.
+
+    Parameters
+    ----------
+    base_s:
+        Delay before the second attempt (attempt 1's retry).
+    factor:
+        Exponential growth per attempt; 2.0 doubles each time.
+    cap_s:
+        Upper bound on the undecorated delay, so a deep retry budget
+        cannot produce hour-long sleeps.
+    jitter:
+        Fraction of the delay eligible for decorrelation: the final
+        delay lies in ``[(1 - jitter) · raw, raw]``, scaled by a hash
+        of ``(key, attempt)``.  0 disables jitter entirely.
+    """
+
+    base_s: float = 0.1
+    factor: float = 2.0
+    cap_s: float = 60.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.base_s < 0:
+            raise ConfigurationError(f"base_s must be >= 0, got {self.base_s}")
+        if self.factor < 1.0:
+            raise ConfigurationError(f"factor must be >= 1, got {self.factor}")
+        if self.cap_s <= 0:
+            raise ConfigurationError(f"cap_s must be positive, got {self.cap_s}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError(
+                f"jitter must be within [0, 1], got {self.jitter}"
+            )
+
+    def delay(self, attempt: int, *, key: str = "") -> float:
+        """Seconds to wait before re-dispatching after ``attempt`` failed.
+
+        ``attempt`` is 1-based (the attempt that just failed); ``key``
+        identifies the retrying unit (e.g. ``"label:index"``) so that
+        distinct cells spread out instead of retrying in lockstep.
+        """
+        if attempt < 1:
+            raise ConfigurationError(f"attempt must be >= 1, got {attempt}")
+        raw = min(self.cap_s, self.base_s * self.factor ** (attempt - 1))
+        if self.jitter == 0.0 or raw == 0.0:
+            return raw
+        scale = 1.0 - self.jitter * _unit_interval(f"{key}|{attempt}")
+        return raw * scale

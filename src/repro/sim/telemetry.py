@@ -38,7 +38,9 @@ STATUS_SKIPPED = "skipped"
 #: Manifest schema version; bump on incompatible layout changes.
 #: Schema 2 adds resume/interruption accounting (``resumed_cells``,
 #: ``quarantined_records``, ``interrupted``, per-cell ``resumed``).
-MANIFEST_SCHEMA = 2
+#: Schema 3 adds the optional ``fabric`` block (lease/requeue/worker-
+#: death accounting for coordinator/worker runs).
+MANIFEST_SCHEMA = 3
 
 
 @dataclass
@@ -100,6 +102,44 @@ class WorkerStats:
 
 
 @dataclass
+class FabricStats:
+    """Lease/requeue/worker-death accounting of one fabric run.
+
+    The counters tell the complete custody story of every cell: each
+    granted lease ends in exactly one of a result accepted
+    (``results_accepted``), an expiry requeue (``expired_leases``) or —
+    for a stalled worker whose cell was re-leased and completed by
+    someone else first — a duplicate-superseded release.  Retries
+    (``retried_failures``) count accepted *failure* results that were
+    requeued within the retry budget, and ``duplicate_results`` counts
+    late submissions for already-finalized cells (dedup made them
+    harmless).  ``workers_lost`` is the number of distinct workers
+    whose leases expired — crashed, stalled or partitioned.
+    """
+
+    leases_granted: int = 0
+    results_accepted: int = 0
+    expired_leases: int = 0
+    retried_failures: int = 0
+    duplicate_results: int = 0
+    heartbeats: int = 0
+    workers_seen: int = 0
+    workers_lost: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "leases_granted": self.leases_granted,
+            "results_accepted": self.results_accepted,
+            "expired_leases": self.expired_leases,
+            "retried_failures": self.retried_failures,
+            "duplicate_results": self.duplicate_results,
+            "heartbeats": self.heartbeats,
+            "workers_seen": self.workers_seen,
+            "workers_lost": self.workers_lost,
+        }
+
+
+@dataclass
 class RunManifest:
     """What one sweep engine run actually did, ready for JSON export."""
 
@@ -122,6 +162,8 @@ class RunManifest:
     interrupted: Optional[str] = None
     cells: List[CellRecord] = field(default_factory=list)
     worker_stats: List[WorkerStats] = field(default_factory=list)
+    #: Present only for coordinator/worker (fabric) runs.
+    fabric: Optional[FabricStats] = None
 
     def counts(self) -> Dict[str, int]:
         """Cell totals by status: ``{"ok": …, "failed": …, "skipped": …}``."""
@@ -156,7 +198,7 @@ class RunManifest:
         self.worker_stats.append(WorkerStats(pid=pid, cells=1, busy_s=wall_s))
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out: Dict[str, Any] = {
             "schema": MANIFEST_SCHEMA,
             "variable": self.variable,
             "xs": list(self.xs),
@@ -179,6 +221,9 @@ class RunManifest:
             "utilization": round(self.utilization(), 6),
             "elapsed_s": round(self.elapsed_s, 6),
         }
+        if self.fabric is not None:
+            out["fabric"] = self.fabric.to_dict()
+        return out
 
     def write(self, path: Union[str, Path]) -> Path:
         """Atomically write the manifest as indented JSON; returns the path."""

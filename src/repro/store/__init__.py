@@ -22,8 +22,10 @@ from repro.store.checkpoint import (
     CheckpointWriter,
     LoadedCheckpoint,
     QuarantinedRecord,
+    SealedLog,
     cell_fingerprint,
     load_checkpoint,
+    load_sealed_lines,
     record_intact,
     seal_record,
 )
@@ -53,11 +55,13 @@ __all__ = [
     "QuarantinedRecord",
     "RunAudit",
     "RunStore",
+    "SealedLog",
     "atomic_write_bytes",
     "atomic_write_text",
     "cell_fingerprint",
     "list_runs",
     "load_checkpoint",
+    "load_sealed_lines",
     "record_intact",
     "result_from_dict",
     "result_to_dict",

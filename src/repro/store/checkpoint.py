@@ -161,18 +161,41 @@ def _parse_line(text: str) -> Tuple[Optional[Dict[str, Any]], str]:
     return record, ""
 
 
-def load_checkpoint(path: Union[str, Path]) -> LoadedCheckpoint:
-    """Parse a checkpoint log, tolerating a torn tail.
+@dataclass
+class SealedLog:
+    """Every intact record of a sealed JSONL log, *in append order*.
 
-    A missing file is an empty checkpoint.  See the module docstring
-    for the exact corruption semantics.
+    This is the event-log view of a checkpoint-format file: unlike
+    :class:`LoadedCheckpoint` it performs **no deduplication** — the
+    fabric journal (:mod:`repro.fabric.journal`) is a history, and
+    collapsing events by fingerprint would erase exactly the
+    re-lease/retry story the journal exists to tell.
     """
-    loaded = LoadedCheckpoint()
-    source = Path(path)
+
+    #: Intact records in file order.
+    records: List[Dict[str, Any]] = field(default_factory=list)
+    #: Lines that failed checksum/parse (interior corruption).
+    quarantined: List[QuarantinedRecord] = field(default_factory=list)
+    #: Whether the final line was dropped as a torn (crash-truncated) tail.
+    torn_tail: bool = False
+    #: Total physical lines seen (including bad ones).
+    total_lines: int = 0
+
+
+def load_sealed_lines(path: Union[str, Path]) -> SealedLog:
+    """Parse a sealed JSONL log in order, tolerating a torn tail.
+
+    A missing file is an empty log.  Shares the line grammar of
+    :func:`load_checkpoint` (schema tag, fingerprint, content
+    checksum): a torn final line is dropped and flagged, an interior
+    bad line is quarantined, and everything intact is returned in
+    append order without dedup.
+    """
+    log = SealedLog()
     try:
-        raw = source.read_bytes()
+        raw = Path(path).read_bytes()
     except OSError:
-        return loaded
+        return log
     text = raw.decode("utf-8", errors="replace")
     lines = text.split("\n")
     # A well-formed log ends with a newline, so the final split element
@@ -180,33 +203,50 @@ def load_checkpoint(path: Union[str, Path]) -> LoadedCheckpoint:
     unterminated = lines and lines[-1] != ""
     if lines and lines[-1] == "":
         lines = lines[:-1]
-    loaded.total_lines = len(lines)
+    log.total_lines = len(lines)
     for number, line in enumerate(lines, start=1):
         record, reason = _parse_line(line)
         last = number == len(lines)
         if reason:
             if last and (unterminated or record is None):
-                # Crash mid-append: drop the tail record, warn, move on.
-                loaded.torn_tail = True
-                loaded.warnings.append(
-                    f"dropped torn checkpoint tail at line {number} ({reason}); "
-                    "the cell will be recomputed"
-                )
+                log.torn_tail = True
             else:
                 fp = record.get("fp") if isinstance(record, dict) else None
-                loaded.quarantined.append(
+                log.quarantined.append(
                     QuarantinedRecord(
                         line=number,
                         reason=reason,
                         fingerprint=fp if isinstance(fp, str) else None,
                     )
                 )
-                loaded.warnings.append(
-                    f"quarantined checkpoint record at line {number} ({reason}); "
-                    "the cell will be recomputed"
-                )
             continue
         assert record is not None
+        log.records.append(record)
+    return log
+
+
+def load_checkpoint(path: Union[str, Path]) -> LoadedCheckpoint:
+    """Parse a checkpoint log, tolerating a torn tail.
+
+    A missing file is an empty checkpoint.  See the module docstring
+    for the exact corruption semantics.
+    """
+    loaded = LoadedCheckpoint()
+    log = load_sealed_lines(path)
+    loaded.total_lines = log.total_lines
+    loaded.quarantined = list(log.quarantined)
+    loaded.torn_tail = log.torn_tail
+    if log.torn_tail:
+        loaded.warnings.append(
+            f"dropped torn checkpoint tail at line {log.total_lines} "
+            "(crash mid-append); the cell will be recomputed"
+        )
+    for bad in log.quarantined:
+        loaded.warnings.append(
+            f"quarantined checkpoint record at line {bad.line} "
+            f"({bad.reason}); the cell will be recomputed"
+        )
+    for record in log.records:
         fp = record["fp"]
         previous = loaded.records.get(fp)
         if previous is None or record.get("status") == "ok" or previous.get("status") != "ok":

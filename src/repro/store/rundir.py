@@ -27,7 +27,9 @@ from repro.store.atomic import atomic_write_text
 from repro.store.checkpoint import (
     CheckpointWriter,
     LoadedCheckpoint,
+    SealedLog,
     load_checkpoint,
+    load_sealed_lines,
 )
 
 #: ``run.json`` schema; bump on incompatible layout changes.
@@ -55,6 +57,12 @@ class RunAudit:
     errors: List[str] = field(default_factory=list)
     #: Recoverable oddities (torn tail, missing manifest, run left running).
     warnings: List[str] = field(default_factory=list)
+    #: The coordinator journal (fabric runs only); ``None`` when absent.
+    journal: Optional[SealedLog] = None
+    #: Whether the run appears to be live (``status == "running"``):
+    #: a torn checkpoint tail then means a writer is mid-append *right
+    #: now*, not that anything crashed.
+    in_progress: bool = False
 
     @property
     def ok(self) -> bool:
@@ -86,6 +94,11 @@ class RunStore:
     @property
     def manifest_path(self) -> Path:
         return self.root / "manifest.json"
+
+    @property
+    def journal_path(self) -> Path:
+        """The fabric coordinator's event journal (absent for pool runs)."""
+        return self.root / "journal.jsonl"
 
     def exists(self) -> bool:
         return self.run_path.exists()
@@ -155,6 +168,7 @@ class RunStore:
             else:
                 audit.errors.append("run.json is missing")
         elif meta.get("status") == STATUS_RUNNING:
+            audit.in_progress = True
             audit.warnings.append(
                 "run.json status is 'running': the run is live or died "
                 "without a graceful shutdown (resume to recover)"
@@ -172,10 +186,34 @@ class RunStore:
             else:
                 audit.errors.append(f"corrupt checkpoint record: {bad.describe()}")
         if checkpoint.torn_tail:
-            audit.warnings.append(
-                "checkpoint has a torn tail (crash mid-append); the final "
-                "record was dropped and its cell will be recomputed on resume"
-            )
+            if audit.in_progress:
+                # A live writer (fabric worker / coordinator) is mid-
+                # append: the partial line is the next record being
+                # written, not damage.
+                audit.warnings.append(
+                    "checkpoint tail is mid-append (run in progress); "
+                    "the final record is still being written"
+                )
+            else:
+                audit.warnings.append(
+                    "checkpoint has a torn tail (crash mid-append); the final "
+                    "record was dropped and its cell will be recomputed on resume"
+                )
+        if self.journal_path.exists():
+            journal = load_sealed_lines(self.journal_path)
+            audit.journal = journal
+            for bad in journal.quarantined:
+                audit.errors.append(f"corrupt journal record: {bad.describe()}")
+            if journal.torn_tail:
+                if audit.in_progress:
+                    audit.warnings.append(
+                        "journal tail is mid-append (run in progress)"
+                    )
+                else:
+                    audit.warnings.append(
+                        "journal has a torn tail (coordinator died "
+                        "mid-append); the final event was dropped"
+                    )
         if not audit.has_manifest:
             audit.warnings.append("manifest.json is missing (run never finished)")
         return audit

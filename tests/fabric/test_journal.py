@@ -1,0 +1,99 @@
+"""Journal write/replay: custody history and the exactly-once invariant."""
+
+from repro.fabric.journal import (
+    EVENT_DUPLICATE,
+    EVENT_EXPIRE,
+    EVENT_GRANT,
+    EVENT_RETRY,
+    EVENT_START,
+    EVENT_STOP,
+    EVENT_TERMINAL,
+    FabricJournal,
+    journal_status,
+    load_journal,
+)
+
+
+def write_events(path, events):
+    with FabricJournal(path) as journal:
+        for event, fp, fields in events:
+            journal.event(event, fp, **fields)
+
+
+class TestReplay:
+    def test_missing_journal_is_empty(self, tmp_path):
+        replay = load_journal(tmp_path / "journal.jsonl")
+        assert replay.events == []
+        assert replay.exactly_once()
+        assert journal_status(replay) is None
+
+    def test_full_cell_story(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        write_events(
+            path,
+            [
+                (EVENT_START, "-", {"resumed": False, "cells": 2}),
+                (EVENT_GRANT, "fp-a", {"worker": "w1", "attempt": 1}),
+                (EVENT_EXPIRE, "fp-a", {"worker": "w1", "attempt": 1,
+                                        "reason": "lease-expired"}),
+                (EVENT_GRANT, "fp-a", {"worker": "w2", "attempt": 2}),
+                (EVENT_TERMINAL, "fp-a", {"status": "ok", "attempts": 2}),
+                (EVENT_GRANT, "fp-b", {"worker": "w2", "attempt": 1}),
+                (EVENT_RETRY, "fp-b", {"attempt": 1, "error_type": "E"}),
+                (EVENT_GRANT, "fp-b", {"worker": "w1", "attempt": 2}),
+                (EVENT_TERMINAL, "fp-b", {"status": "failed", "attempts": 2}),
+                (EVENT_DUPLICATE, "fp-a", {"worker": "w1", "attempt": 1}),
+                (EVENT_STOP, "-", {"complete": False}),
+            ],
+        )
+        replay = load_journal(path)
+        assert replay.grants == 4
+        assert replay.expired == 1
+        assert replay.retries == 1
+        assert replay.duplicates == 1
+        assert replay.terminal == {"fp-a": "ok", "fp-b": "failed"}
+        assert replay.granted_attempts == {"fp-a": 2, "fp-b": 2}
+        assert replay.open_grants == set()
+        assert replay.exactly_once()
+        assert "2 terminal cells" in journal_status(replay)
+
+    def test_open_grant_detected(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        write_events(
+            path,
+            [
+                (EVENT_GRANT, "fp-a", {"worker": "w1", "attempt": 1}),
+                (EVENT_GRANT, "fp-b", {"worker": "w2", "attempt": 1}),
+                (EVENT_TERMINAL, "fp-b", {"status": "ok", "attempts": 1}),
+            ],
+        )
+        replay = load_journal(path)
+        # fp-a was in flight when the coordinator died.
+        assert replay.open_grants == {"fp-a"}
+
+    def test_double_terminal_breaks_exactly_once(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        write_events(
+            path,
+            [
+                (EVENT_TERMINAL, "fp-a", {"status": "ok", "attempts": 1}),
+                (EVENT_TERMINAL, "fp-a", {"status": "ok", "attempts": 1}),
+            ],
+        )
+        replay = load_journal(path)
+        assert not replay.exactly_once()
+        assert replay.terminal_events["fp-a"] == 2
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        write_events(path, [(EVENT_GRANT, "fp-a", {"worker": "w1", "attempt": 1})])
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"schema": 1, "fp": "fp-b", "even')  # SIGKILL mid-append
+        replay = load_journal(path)
+        assert replay.torn_tail
+        assert replay.grants == 1
+        # Reopening the journal (a coordinator restart) repairs the tail.
+        write_events(path, [(EVENT_STOP, "-", {"complete": True})])
+        replay = load_journal(path)
+        assert not replay.torn_tail
+        assert [e["event"] for e in replay.events] == ["grant", "stop"]

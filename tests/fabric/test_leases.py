@@ -1,0 +1,110 @@
+"""Lease-table boundary semantics, driven by an injected clock.
+
+Every assertion here is deterministic: the clock is a plain mutable
+counter, so "exactly at the deadline" means exactly, not "within
+scheduler jitter of".
+"""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.fabric.leases import LeaseTable
+
+
+class Clock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture
+def clock():
+    return Clock()
+
+
+@pytest.fixture
+def table(clock):
+    return LeaseTable(10.0, clock=clock)
+
+
+class TestGrant:
+    def test_grant_sets_monotonic_deadline(self, table, clock):
+        clock.now = 5.0
+        lease = table.grant(("a", 0), "fp-a", "w1", attempt=1)
+        assert lease.granted_at == 5.0
+        assert lease.deadline == 15.0
+        assert len(table) == 1
+        assert table.get("fp-a") is lease
+
+    def test_double_grant_rejected(self, table):
+        table.grant(("a", 0), "fp-a", "w1", attempt=1)
+        with pytest.raises(ConfigurationError, match="already leased"):
+            table.grant(("a", 0), "fp-a", "w2", attempt=2)
+
+    def test_nonpositive_lease_rejected(self, clock):
+        with pytest.raises(ConfigurationError, match="positive"):
+            LeaseTable(0.0, clock=clock)
+
+
+class TestRenewal:
+    def test_renewal_extends_full_window(self, table, clock):
+        table.grant(("a", 0), "fp-a", "w1", attempt=1)
+        clock.now = 7.0
+        assert table.renew("fp-a", "w1")
+        assert table.get("fp-a").deadline == 17.0
+
+    def test_renewal_exactly_at_deadline_succeeds(self, table, clock):
+        """The edge case: a heartbeat landing at the precise deadline
+        instant is a live worker, not a dead one."""
+        table.grant(("a", 0), "fp-a", "w1", attempt=1)
+        clock.now = 10.0  # == deadline
+        assert table.renew("fp-a", "w1")
+        assert table.get("fp-a").deadline == 20.0
+
+    def test_renewal_after_deadline_fails(self, table, clock):
+        table.grant(("a", 0), "fp-a", "w1", attempt=1)
+        clock.now = 10.000001
+        assert not table.renew("fp-a", "w1")
+
+    def test_renewal_by_other_worker_fails(self, table, clock):
+        table.grant(("a", 0), "fp-a", "w1", attempt=1)
+        assert not table.renew("fp-a", "w2")
+        assert table.get("fp-a").deadline == 10.0
+
+    def test_renewal_of_unknown_cell_fails(self, table):
+        assert not table.renew("fp-x", "w1")
+
+
+class TestExpiry:
+    def test_expiry_is_strictly_after_deadline(self, table, clock):
+        table.grant(("a", 0), "fp-a", "w1", attempt=1)
+        clock.now = 10.0  # at the deadline: still live
+        assert table.pop_expired() == []
+        clock.now = 10.000001
+        expired = table.pop_expired()
+        assert [lease.fp for lease in expired] == ["fp-a"]
+        assert len(table) == 0
+
+    def test_only_lapsed_leases_pop(self, table, clock):
+        table.grant(("a", 0), "fp-a", "w1", attempt=1)
+        clock.now = 6.0
+        table.grant(("b", 0), "fp-b", "w2", attempt=1)
+        clock.now = 11.0  # a lapsed (deadline 10), b live (deadline 16)
+        assert [lease.fp for lease in table.pop_expired()] == ["fp-a"]
+        assert table.get("fp-b") is not None
+
+    def test_release_returns_lease(self, table):
+        table.grant(("a", 0), "fp-a", "w1", attempt=3)
+        lease = table.release("fp-a")
+        assert lease.attempt == 3
+        assert table.release("fp-a") is None
+        assert len(table) == 0
+
+    def test_renewal_cannot_resurrect_expired_lease(self, table, clock):
+        table.grant(("a", 0), "fp-a", "w1", attempt=1)
+        clock.now = 11.0
+        table.pop_expired()
+        # The stalled worker's next heartbeat must not revive custody.
+        assert not table.renew("fp-a", "w1")

@@ -1,0 +1,113 @@
+"""Wire-protocol framing: sealed lines, tamper and truncation rejection."""
+
+import io
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.exceptions import ProtocolError
+from repro.fabric.protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    decode_line,
+    encode_line,
+    error_reply,
+    read_message,
+    request,
+)
+
+
+class TestRoundTrip:
+    def test_encode_decode(self):
+        message = decode_line(encode_line({"type": "lease", "worker": "w1"}))
+        assert message["type"] == "lease"
+        assert message["worker"] == "w1"
+        assert message["v"] == PROTOCOL_VERSION
+
+    def test_read_message_from_stream(self):
+        stream = io.BytesIO(encode_line({"type": "ack", "renewed": True}))
+        assert read_message(stream)["renewed"] is True
+
+
+class TestRejection:
+    def test_truncated_line(self):
+        data = encode_line({"type": "lease", "worker": "w1"})
+        with pytest.raises(ProtocolError, match="unterminated"):
+            decode_line(data[:-5])
+
+    def test_tampered_payload(self):
+        data = encode_line({"type": "lease", "worker": "w1"})
+        payload = json.loads(data)
+        payload["worker"] = "imposter"
+        tampered = json.dumps(payload).encode() + b"\n"
+        with pytest.raises(ProtocolError, match="checksum mismatch"):
+            decode_line(tampered)
+
+    def test_wrong_version(self):
+        payload = json.loads(encode_line({"type": "lease"}))
+        payload["v"] = PROTOCOL_VERSION + 1
+        with pytest.raises(ProtocolError, match="unsupported protocol version"):
+            decode_line(json.dumps(payload).encode() + b"\n")
+
+    def test_not_json(self):
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            decode_line(b"hello there\n")
+
+    def test_not_an_object(self):
+        with pytest.raises(ProtocolError, match="not a JSON object"):
+            decode_line(b"[1, 2, 3]\n")
+
+    def test_missing_type(self):
+        from repro.store.checkpoint import seal_record
+
+        sealed = seal_record({"v": PROTOCOL_VERSION, "worker": "w1"})
+        with pytest.raises(ProtocolError, match="has no type"):
+            decode_line(json.dumps(sealed).encode() + b"\n")
+
+    def test_oversize_message_refused_on_encode(self):
+        with pytest.raises(ProtocolError, match="frame limit"):
+            encode_line({"type": "result", "blob": "x" * (MAX_LINE_BYTES + 1)})
+
+    def test_closed_stream(self):
+        with pytest.raises(ProtocolError, match="connection closed"):
+            read_message(io.BytesIO(b""))
+
+
+class TestRequest:
+    def _serve_once(self, reply_payload):
+        """One-shot TCP server thread; returns (host, port)."""
+        server = socket.create_server(("127.0.0.1", 0))
+
+        def serve():
+            conn, _addr = server.accept()
+            with conn, conn.makefile("rb") as fh:
+                read_message(fh)
+                conn.sendall(encode_line(reply_payload))
+            server.close()
+
+        threading.Thread(target=serve, daemon=True).start()
+        return server.getsockname()
+
+    def test_round_trip_over_tcp(self):
+        address = self._serve_once({"type": "ack", "renewed": False})
+        reply = request(address, {"type": "heartbeat", "worker": "w1", "fp": "a"})
+        assert reply == {
+            "type": "ack",
+            "renewed": False,
+            "v": PROTOCOL_VERSION,
+            "sum": reply["sum"],
+        }
+
+    def test_error_reply_raises(self):
+        address = self._serve_once(error_reply("no such cell"))
+        with pytest.raises(ProtocolError, match="no such cell"):
+            request(address, {"type": "lease", "worker": "w1"})
+
+    def test_unreachable_peer_raises_oserror(self):
+        sock = socket.create_server(("127.0.0.1", 0))
+        address = sock.getsockname()
+        sock.close()
+        with pytest.raises(OSError):
+            request(address, {"type": "lease", "worker": "w1"}, timeout=0.5)

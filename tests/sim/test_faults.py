@@ -14,11 +14,22 @@ compensates with generous retry budgets.
 
 import json
 import os
+import time
 
 import pytest
 
+from repro.exceptions import ConfigurationError
 from repro.model.machine import MulticoreMachine
-from repro.sim.faults import FaultInjectionError, FaultSpec, fire
+from repro.sim.faults import (
+    FaultInjectionError,
+    FaultSpec,
+    dump_fault_plan,
+    fault_plan_from_list,
+    fault_plan_to_list,
+    fire,
+    load_fault_plan,
+    stalls,
+)
 from repro.sim.parallel import parallel_order_sweep
 from repro.sim.sweep import order_sweep
 
@@ -44,6 +55,83 @@ class TestFaultSpec:
         for attempt in (1, 5, 50):
             with pytest.raises(FaultInjectionError):
                 fire(spec, attempt=attempt)
+
+    def test_stall_sleeps_then_runs_clean(self):
+        spec = FaultSpec(kind="stall", fail_attempts=1, stall_s=0.05)
+        start = time.perf_counter()
+        fire(spec, attempt=1)  # dawdles, does not raise
+        assert time.perf_counter() - start >= 0.05
+        start = time.perf_counter()
+        fire(spec, attempt=2)  # past fail_attempts: no sleep
+        assert time.perf_counter() - start < 0.05
+
+    def test_stalls_predicate_tracks_fail_attempts(self):
+        spec = FaultSpec(kind="stall", fail_attempts=2)
+        assert stalls(spec, 1)
+        assert stalls(spec, 2)
+        assert not stalls(spec, 3)
+        # Only stall suppresses heartbeats.
+        assert not stalls(FaultSpec(kind="die", fail_attempts=2), 1)
+
+    def test_die_past_fail_attempts_is_harmless(self):
+        # attempt > fail_attempts must NOT kill this test process.
+        fire(FaultSpec(kind="die", fail_attempts=1), attempt=2)
+
+
+class TestFaultPlanSerde:
+    PLAN = {
+        ("shared-opt ideal", 0): FaultSpec(kind="die", fail_attempts=1),
+        ("outer-product lru", 1): FaultSpec(
+            kind="stall", fail_attempts=1, stall_s=2.5
+        ),
+    }
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "plan.json"
+        dump_fault_plan(self.PLAN, path)
+        assert load_fault_plan(path) == self.PLAN
+
+    def test_documented_schema_shape(self):
+        payload = fault_plan_to_list(self.PLAN)
+        assert payload == sorted(payload, key=lambda e: (e["label"], e["index"]))
+        for entry in payload:
+            assert set(entry) == {
+                "label", "index", "kind", "fail_attempts", "hang_s", "stall_s"
+            }
+
+    def test_defaults_applied_on_parse(self):
+        plan = fault_plan_from_list([{"label": "a", "index": 0, "kind": "flaky"}])
+        assert plan[("a", 0)] == FaultSpec(kind="flaky")
+
+    @pytest.mark.parametrize(
+        "payload, match",
+        [
+            ({"not": "a list"}, "must be a JSON list"),
+            (["not an object"], "not an object"),
+            ([{"label": "a", "index": 0}], "missing key"),
+            ([{"label": 3, "index": 0, "kind": "error"}], "label must be"),
+            ([{"label": "a", "index": "x", "kind": "error"}], "label must be"),
+            ([{"label": "a", "index": 0, "kind": "meltdown"}], "unknown fault kind"),
+            (
+                [
+                    {"label": "a", "index": 0, "kind": "error"},
+                    {"label": "a", "index": 0, "kind": "crash"},
+                ],
+                "duplicates cell",
+            ),
+        ],
+    )
+    def test_malformed_plans_rejected(self, payload, match):
+        with pytest.raises(ConfigurationError, match=match):
+            fault_plan_from_list(payload)
+
+    def test_unreadable_file_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            load_fault_plan(tmp_path / "missing.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            load_fault_plan(bad)
 
 
 class TestFlakyCells:
@@ -220,7 +308,7 @@ class TestCombined:
         assert counts["ok"] == 4 and counts["failed"] == 2
         # The JSON manifest on disk mirrors the in-memory accounting.
         on_disk = json.loads(open(manifest_path).read())
-        assert on_disk["schema"] == 2  # v2 added resume/durability fields
+        assert on_disk["schema"] == 3  # v3 added the optional fabric block
         assert on_disk["cell_counts"] == {"ok": 4, "failed": 2, "skipped": 0}
         assert on_disk["engine"]["pool_rebuilds"] >= 2
         assert len(on_disk["cells"]) == 6

@@ -1,0 +1,136 @@
+"""The order-preserving sealed-log loader and live-run auditing.
+
+``load_sealed_lines`` is the event-log view of the checkpoint line
+grammar: no dedup, append order preserved — the fabric journal depends
+on both.  The audit tests pin the ``runs verify`` semantics the fabric
+relies on: a torn tail on a *live* run is a writer mid-append, not
+corruption.
+"""
+
+import json
+
+from repro.store import RunStore, seal_record
+from repro.store.checkpoint import CHECKPOINT_SCHEMA, CheckpointWriter
+from repro.store.checkpoint import load_sealed_lines
+
+
+def _append_sealed(path, payload):
+    record = seal_record({"schema": CHECKPOINT_SCHEMA, **payload})
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(record) + "\n")
+
+
+class TestLoadSealedLines:
+    def test_missing_file_is_empty(self, tmp_path):
+        log = load_sealed_lines(tmp_path / "none.jsonl")
+        assert log.records == [] and not log.torn_tail and log.total_lines == 0
+
+    def test_order_preserved_no_dedup(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        with CheckpointWriter(path) as writer:
+            writer.append({"fp": "aaa", "event": "grant", "attempt": 1})
+            writer.append({"fp": "aaa", "event": "expire", "attempt": 1})
+            writer.append({"fp": "aaa", "event": "grant", "attempt": 2})
+        log = load_sealed_lines(path)
+        assert [r["event"] for r in log.records] == ["grant", "expire", "grant"]
+        assert [r["fp"] for r in log.records] == ["aaa"] * 3
+        assert log.total_lines == 3
+
+    def test_torn_tail_dropped_and_flagged(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        _append_sealed(path, {"fp": "aaa", "event": "grant"})
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"schema": 1, "fp": "bbb", "ev')  # crash mid-append
+        log = load_sealed_lines(path)
+        assert [r["fp"] for r in log.records] == ["aaa"]
+        assert log.torn_tail
+        assert not log.quarantined
+
+    def test_interior_corruption_quarantined(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        _append_sealed(path, {"fp": "aaa", "event": "grant"})
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write("not json at all\n")
+        _append_sealed(path, {"fp": "bbb", "event": "grant"})
+        log = load_sealed_lines(path)
+        assert [r["fp"] for r in log.records] == ["aaa", "bbb"]
+        assert not log.torn_tail
+        assert len(log.quarantined) == 1
+        assert log.quarantined[0].line == 2
+
+    def test_tampered_record_quarantined(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        record = seal_record(
+            {"schema": CHECKPOINT_SCHEMA, "fp": "aaa", "event": "grant"}
+        )
+        record["event"] = "terminal"  # bit-flip after sealing
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(record) + "\n")
+        _append_sealed(path, {"fp": "bbb", "event": "grant"})
+        log = load_sealed_lines(path)
+        assert [r["fp"] for r in log.records] == ["bbb"]
+        assert log.quarantined[0].reason == "content checksum mismatch"
+
+
+class TestLiveRunAudit:
+    def _seed(self, tmp_path, status):
+        store = RunStore(tmp_path / "run")
+        store.initialize({"variable": "order"})
+        with store.checkpoint_writer() as writer:
+            writer.append({"fp": "aaa", "status": "ok", "attempts": 1})
+        store.update_meta(status=status)
+        return store
+
+    def test_running_status_marks_in_progress(self, tmp_path):
+        store = self._seed(tmp_path, "running")
+        audit = store.audit()
+        assert audit.in_progress and audit.ok
+
+    def test_torn_tail_on_live_run_is_mid_append(self, tmp_path):
+        store = self._seed(tmp_path, "running")
+        with open(store.checkpoint_path, "a", encoding="utf-8") as fh:
+            fh.write('{"schema": 1, "fp": "bbb"')  # writer mid-append
+        audit = store.audit()
+        assert audit.ok  # not corruption
+        assert any("mid-append" in w for w in audit.warnings)
+        assert not any("crash" in w for w in audit.warnings)
+
+    def test_torn_tail_on_finished_run_is_a_crash(self, tmp_path):
+        store = self._seed(tmp_path, "complete")
+        with open(store.checkpoint_path, "a", encoding="utf-8") as fh:
+            fh.write('{"schema": 1, "fp": "bbb"')
+        audit = store.audit()
+        assert audit.ok
+        assert not audit.in_progress
+        assert any("crash mid-append" in w for w in audit.warnings)
+
+    def test_journal_is_audited(self, tmp_path):
+        store = self._seed(tmp_path, "complete")
+        with CheckpointWriter(store.journal_path) as writer:
+            writer.append({"fp": "-", "event": "start"})
+            writer.append({"fp": "aaa", "event": "terminal", "status": "ok"})
+        audit = store.audit()
+        assert audit.journal is not None
+        assert len(audit.journal.records) == 2
+        assert audit.ok
+
+    def test_corrupt_journal_interior_is_an_error(self, tmp_path):
+        store = self._seed(tmp_path, "complete")
+        with CheckpointWriter(store.journal_path) as writer:
+            writer.append({"fp": "-", "event": "start"})
+        with open(store.journal_path, "a", encoding="utf-8") as fh:
+            fh.write("garbage\n")
+        with CheckpointWriter(store.journal_path) as writer:
+            writer.append({"fp": "-", "event": "stop"})
+        audit = store.audit()
+        assert not audit.ok
+        assert any("corrupt journal record" in e for e in audit.errors)
+
+    def test_cli_verify_reports_in_progress(self, tmp_path, capsys):
+        from repro.cli import main
+
+        store = self._seed(tmp_path, "running")
+        assert main(["runs", "verify", str(store.root)]) == 0
+        out = capsys.readouterr().out
+        assert "in progress" in out
+        assert "CORRUPT" not in out
