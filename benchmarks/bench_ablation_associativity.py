@@ -25,7 +25,14 @@ def bench_associativity(benchmark, out_dir):
         rows = []
         for policy in POLICIES:
             r = run_experiment(
-                "shared-opt", MACHINE, ORDER, ORDER, ORDER, "lru-50", policy=policy
+                "shared-opt",
+                MACHINE,
+                ORDER,
+                ORDER,
+                ORDER,
+                "lru-50",
+                policy=policy,
+                engine="replay",
             )
             rows.append({"policy": policy, "MS": r.ms, "MD": r.md})
         return rows
@@ -44,10 +51,24 @@ def bench_associativity(benchmark, out_dir):
 def bench_plru_vs_lru(benchmark):
     def run():
         lru = run_experiment(
-            "shared-opt", MACHINE, ORDER, ORDER, ORDER, "lru-50", policy="assoc8"
+            "shared-opt",
+            MACHINE,
+            ORDER,
+            ORDER,
+            ORDER,
+            "lru-50",
+            policy="assoc8",
+            engine="replay",
         )
         plru = run_experiment(
-            "shared-opt", MACHINE, ORDER, ORDER, ORDER, "lru-50", policy="assoc8-plru"
+            "shared-opt",
+            MACHINE,
+            ORDER,
+            ORDER,
+            ORDER,
+            "lru-50",
+            policy="assoc8-plru",
+            engine="replay",
         )
         return lru.ms, plru.ms
 

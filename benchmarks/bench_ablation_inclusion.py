@@ -48,6 +48,7 @@ def bench_inclusion_miss_count_effect(benchmark, out_dir):
                 ORDER,
                 "lru-50",
                 inclusive=inclusive,
+                engine="replay",
             )
             rows.append((inclusive, r.ms, r.md))
         return rows

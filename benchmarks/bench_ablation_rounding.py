@@ -45,7 +45,9 @@ def bench_tradeoff_with_vs_without_rounding(benchmark, out_dir):
     machine = preset("q80")
 
     def run():
-        rounded = run_experiment("tradeoff", machine, ORDER, ORDER, ORDER, "ideal")
+        rounded = run_experiment(
+            "tradeoff", machine, ORDER, ORDER, ORDER, "ideal", engine="replay"
+        )
         # free α: the integer closest to alpha_num (still capacity-legal)
         free_alpha = int(alpha_num(machine))
         free = run_experiment(
@@ -57,6 +59,7 @@ def bench_tradeoff_with_vs_without_rounding(benchmark, out_dir):
             "ideal",
             alpha=free_alpha - free_alpha % 2,  # still multiple of sqrt(p)=2 (µ=1)
             mu=1,
+            engine="replay",
         )
         return rounded, free
 

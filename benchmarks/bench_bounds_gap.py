@@ -26,7 +26,9 @@ def bench_bounds_gap(benchmark, out_dir):
         md_bound = distributed_misses_lower_bound(machine, ORDER, ORDER, ORDER)
         rows = []
         for name in ALGORITHMS:
-            r = run_experiment(name, machine, ORDER, ORDER, ORDER, "ideal")
+            r = run_experiment(
+                name, machine, ORDER, ORDER, ORDER, "ideal", engine="replay"
+            )
             rows.append(
                 {
                     "algorithm": name,

@@ -33,8 +33,12 @@ def bench_rectangular_shapes(benchmark, out_dir):
     def run():
         rows = []
         for m, n, z in SHAPES:
-            so = run_experiment("shared-opt", machine, m, n, z, "ideal")
-            do = run_experiment("distributed-opt", machine, m, n, z, "ideal")
+            so = run_experiment(
+                "shared-opt", machine, m, n, z, "ideal", engine="replay"
+            )
+            do = run_experiment(
+                "distributed-opt", machine, m, n, z, "ideal", engine="replay"
+            )
             rows.append(
                 {
                     "m": m,

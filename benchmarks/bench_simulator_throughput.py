@@ -169,12 +169,13 @@ def bench_fifo_step(benchmark):
 def bench_fifo_replay(benchmark, cell_trace):
     """Same FIFO cell as a sliding-window replay of the compiled trace.
 
-    Calls the single-configuration pass directly so every round measures
-    the pass itself, not the result memo.
+    Calls the single-``CD`` kernel directly so every round measures the
+    pass itself, not the result memo on the trace.
     """
 
     def run():
-        return replay._replay_fifo_one(cell_trace, MACHINE.cs, MACHINE.cd).ms
+        out = replay._bulk_fifo_cd(cell_trace, MACHINE.cd, [MACHINE.cs])
+        return out[(MACHINE.cs, MACHINE.cd)].ms
 
     assert benchmark(run) > 0
 
@@ -205,7 +206,13 @@ def bench_ideal_cell_replay(benchmark):
     probe plus result packaging.
     """
     run_experiment(
-        "shared-opt", MACHINE, CELL_ORDER, CELL_ORDER, CELL_ORDER, "ideal"
+        "shared-opt",
+        MACHINE,
+        CELL_ORDER,
+        CELL_ORDER,
+        CELL_ORDER,
+        "ideal",
+        engine="replay",
     )  # warm the trace + result memo
 
     def run():
@@ -216,6 +223,7 @@ def bench_ideal_cell_replay(benchmark):
             CELL_ORDER,
             CELL_ORDER,
             "ideal",
+            engine="replay",
         ).stats.ms
 
     assert benchmark(run) > 0

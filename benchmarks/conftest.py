@@ -11,7 +11,10 @@ Scale is controlled by ``REPRO_BENCH_SCALE``:
 * ``quick`` (default) — orders up to 32, a couple of minutes for the
   whole suite;
 * ``full``  — orders up to 96 (and order 96 for the ratio sweep),
-  closer to the paper's sweep shape; expect tens of minutes.
+  closer to the paper's sweep shape; expect tens of minutes;
+* ``paper`` — a sparse geometric axis reaching the paper's true
+  x-axis bound, matrix order 1100 (in blocks) — only feasible on the
+  bulk replay kernels; used by the nightly full-figures CI pipeline.
 """
 
 from __future__ import annotations
@@ -25,9 +28,13 @@ import pytest
 #: Square matrix orders (blocks) swept by the figure benches.
 QUICK_ORDERS: Sequence[int] = (8, 16, 24, 32)
 FULL_ORDERS: Sequence[int] = (16, 32, 48, 64, 80, 96)
+#: The paper's Figs. 7-11 x-axis tops out at matrix order 1100; the
+#: nightly sweep samples it geometrically and lands on the true bound.
+PAPER_ORDERS: Sequence[int] = (64, 128, 256, 512, 1100)
 
 QUICK_RATIO_ORDER = 24
 FULL_RATIO_ORDER = 48
+PAPER_RATIO_ORDER = 96
 
 OUT_DIR = Path(__file__).parent / "out"
 
@@ -39,13 +46,19 @@ def bench_scale() -> str:
 @pytest.fixture(scope="session")
 def orders() -> Sequence[int]:
     """Matrix orders for the order sweeps, per REPRO_BENCH_SCALE."""
-    return FULL_ORDERS if bench_scale() == "full" else QUICK_ORDERS
+    scale = bench_scale()
+    if scale == "paper":
+        return PAPER_ORDERS
+    return FULL_ORDERS if scale == "full" else QUICK_ORDERS
 
 
 @pytest.fixture(scope="session")
 def ratio_order() -> int:
     """Matrix order for the Fig. 12 bandwidth sweep."""
-    return FULL_RATIO_ORDER if bench_scale() == "full" else QUICK_RATIO_ORDER
+    scale = bench_scale()
+    if scale == "paper":
+        return PAPER_RATIO_ORDER
+    return FULL_RATIO_ORDER if scale == "full" else QUICK_RATIO_ORDER
 
 
 @pytest.fixture(scope="session")

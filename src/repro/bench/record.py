@@ -41,7 +41,9 @@ from repro.store.atomic import atomic_write_text
 BENCH_SCHEMA = 1
 
 #: Benchmark scales understood by the suite (see benchmarks/conftest.py).
-SCALES = ("quick", "full")
+#: ``paper`` sweeps a sparse geometric axis up to the paper's true
+#: order-1100 bound — nightly-CI material, not a PR-gate tier.
+SCALES = ("quick", "full", "paper")
 
 
 # ----------------------------------------------------------------------
@@ -203,9 +205,26 @@ def compare_records(
     present only in ``current``, and names present only in
     ``baseline``.  Additions and removals are informational — the suite
     evolves — and only regressions should fail a build.
+
+    Records taken at different scales are not comparable — the scale
+    changes the swept axes, so every median legitimately moves — and
+    comparing them raises :class:`~repro.exceptions.ConfigurationError`
+    instead of reporting garbage regressions.
     """
     if threshold < 0:
         raise ConfigurationError(f"threshold must be >= 0, got {threshold}")
+    current_scale = current.get("scale")
+    baseline_scale = baseline.get("scale")
+    if (
+        current_scale is not None
+        and baseline_scale is not None
+        and current_scale != baseline_scale
+    ):
+        raise ConfigurationError(
+            f"cannot compare a {current_scale!r}-scale record against a "
+            f"{baseline_scale!r}-scale baseline: scales change the swept "
+            "axes, so medians are incommensurable"
+        )
     cur = current["benchmarks"]
     base = baseline["benchmarks"]
     regressions: List[Regression] = []
@@ -258,6 +277,11 @@ def run_quick_suite(
         "pytest",
         str(bench_dir),
         "-q",
+        # The suite memoizes traces/results across benches, so the old
+        # heap grows as it runs; without this, later benches pay for
+        # full GC collections scanning that unrelated heap and medians
+        # drift with suite position instead of kernel cost.
+        "--benchmark-disable-gc",
         f"--benchmark-json={report_path}",
         *pytest_args,
     ]

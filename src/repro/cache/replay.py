@@ -22,9 +22,19 @@ Where the speed comes from (measured, see ``docs/BENCHMARKS.md``):
 
 * the schedule runs **once** per (algorithm, declared machine, shape) —
   every additional setting/capacity/policy replays the memoized trace
-  (:func:`compiled_trace_for` keeps a bounded LRU of compiled traces);
-* **FIFO** replay replaces the generic per-touch policy path with an
-  insertion-ring pass (hits never mutate FIFO state), ~6× faster;
+  (:func:`compiled_trace_for` keeps a bounded LRU of compiled traces,
+  optionally backed by an on-disk content-addressed memmap tier shared
+  across processes, see :func:`configure_trace_tier`);
+* :func:`replay_bulk` evaluates **many** ``(policy, CS, CD)`` cells
+  over one shared trace: LRU cells share a single bounded Mattson
+  stack-distance pass (the inclusion property gives every distributed
+  capacity's misses *and* eviction victims from one pass), per-cell
+  counters are aggregated with numpy over chunked depth arrays, and
+  the shared level replays only the distributed-miss stream — orders
+  of magnitude shorter than the touch stream;
+* **FIFO** replay keeps the insertion-ring formulation (hits never
+  mutate FIFO state; no inclusion property, so one distributed pass
+  per ``CD``) with the same short shared-stream treatment;
 * **IDEAL** replay is vectorized: the directive stream is lowered to
   numpy arrays once per trace and each replay is a handful of
   sorts/scans instead of four million Python method calls;
@@ -32,15 +42,19 @@ Where the speed comes from (measured, see ``docs/BENCHMARKS.md``):
   per-core streams (:func:`distributed_miss_curves`) instead of one
   full simulation per capacity point.
 
-Exact-LRU replay of a *single* capacity point is inherently sequential
-(every reference permutes the recency order), so :func:`replay_lru` is
-the same ``OrderedDict`` loop as the step fast path minus the schedule
-and context dispatch — parity-to-modest gains, documented rather than
-oversold.
+The write-back path is preserved exactly without per-touch dirty sets:
+in this workload C blocks are touched *last* in their triple and dirtied
+when the triple retires, so **every resident C block is dirty at any
+eviction point and A/B blocks never are** — distributed write-backs are
+exactly the C-tagged evictions, and each one emits a timestamped "mark"
+event that the shared-level pass interleaves (mark before the miss that
+caused it) to reproduce the dirty-victim → shared-copy propagation.
 """
 
 from __future__ import annotations
 
+import os
+from array import array
 from collections import OrderedDict
 from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
 
@@ -48,7 +62,7 @@ import numpy as np
 from numpy.typing import NDArray
 
 from repro.algorithms.base import ExecutionContext, MatmulAlgorithm
-from repro.cache.block import MAT_SHIFT
+from repro.cache.block import MAT_C, MAT_SHIFT
 from repro.cache.stats import CacheStats, HierarchyStats
 from repro.exceptions import ConfigurationError
 
@@ -68,22 +82,38 @@ REPLAY_POLICIES = frozenset({"lru", "fifo"})
 #: state (a plain ``-1`` collides with the cold-start window).
 _NEVER = -(1 << 62)
 
+#: Saturated stack depth for keys absent from a bounded recency stack
+#: (cold or deeper than the bound) — compares ``>=`` every capacity the
+#: pass distinguishes.
+_ABSENT = 1 << 30
+
+#: FMAs per kernel chunk: the Python transition loop hands counters to
+#: numpy in chunks this size, bounding intermediate-array memory even
+#: on memmapped paper-scale traces.
+_CHUNK_FMAS = 1 << 16
+
+#: Keys at or above this value are C blocks (tags are A=0 < B=1 < C=2,
+#: so one compare replaces shift-and-equal in the hot eviction check).
+_C_BASE = MAT_C << MAT_SHIFT
+
 
 class _Recorder(ExecutionContext):
     """Execution context that records the schedule instead of simulating.
 
-    The compute stream is kept as ``(core, akey, bkey, ckey)`` tuples —
-    the exact touch order of the step simulator (A, B, then the written
-    C).  With ``explicit=True`` the schedule's IDEAL directives are
-    recorded too, as four parallel int lists timestamped with the number
-    of computes already emitted (directive ``t`` sorts before compute
-    ``t``).
+    The compute stream is appended to a flat ``array('q')`` buffer as
+    ``(core, akey, bkey, ckey)`` quadruples — the exact touch order of
+    the step simulator (A, B, then the written C) — and lowered to one
+    ``(n, 4)`` int64 array at compile time.  With ``explicit=True`` the
+    schedule's IDEAL directives are recorded too, as four parallel int
+    lists timestamped with the number of computes already emitted
+    (directive ``t`` sorts before compute ``t``).
     """
 
     def __init__(self, p: int, explicit: bool) -> None:
         super().__init__(p)
         self.explicit = explicit
-        self.fmas: List[Tuple[int, int, int, int]] = []
+        self._buf: "array[int]" = array("q")
+        self._n_fmas = 0
         self.dir_op: List[int] = []
         self.dir_t: List[int] = []
         self.dir_core: List[int] = []
@@ -91,7 +121,7 @@ class _Recorder(ExecutionContext):
 
     def _record(self, op: int, core: int, key: int) -> None:
         self.dir_op.append(op)
-        self.dir_t.append(len(self.fmas))
+        self.dir_t.append(self._n_fmas)
         self.dir_core.append(core)
         self.dir_key.append(key)
 
@@ -108,18 +138,44 @@ class _Recorder(ExecutionContext):
         self._record(OP_EVICT_DIST, core, key)
 
     def compute(self, core: int, ckey: int, akey: int, bkey: int) -> None:
-        self.fmas.append((core, akey, bkey, ckey))
+        self._buf.extend((core, akey, bkey, ckey))
+        self._n_fmas += 1
         self.comp[core] += 1
+
+    def fma_array(self) -> NDArray[np.int64]:
+        if self._n_fmas == 0:
+            return np.empty((0, 4), dtype=np.int64)
+        return np.frombuffer(self._buf, dtype=np.int64).reshape(-1, 4).copy()
+
+
+def _as_fma_array(fmas: Any) -> NDArray[np.int64]:
+    """Coerce a compute stream (array or tuple list) to ``(n, 4)`` int64."""
+    if isinstance(fmas, np.ndarray):
+        if fmas.ndim != 2 or fmas.shape[1] != 4:
+            raise ConfigurationError(
+                f"fma array must have shape (n, 4), got {fmas.shape}"
+            )
+        return fmas
+    return np.asarray(list(fmas), dtype=np.int64).reshape(-1, 4)
 
 
 class CompiledTrace:
-    """One schedule's recorded access trace, ready for bulk replay."""
+    """One schedule's recorded access trace, ready for bulk replay.
+
+    The compute stream lives in :attr:`fma_array` — an ``(n, 4)`` int64
+    array of ``(core, akey, bkey, ckey)`` rows, either owned in memory
+    or memmapped read-only from the on-disk trace tier (the kernels only
+    ever slice it in chunks, so a memmap streams from the page cache and
+    is shared across processes).  ``origin`` is telemetry: where this
+    process got the trace (``"compiled"``, ``"memory"``, ``"disk"``).
+    """
 
     __slots__ = (
         "p",
-        "fmas",
+        "fma_array",
         "comp",
         "has_directives",
+        "origin",
         "_dir_lists",
         "_ideal_arrays",
         "_replays",
@@ -128,14 +184,15 @@ class CompiledTrace:
     def __init__(
         self,
         p: int,
-        fmas: List[Tuple[int, int, int, int]],
+        fmas: Any,
         comp: List[int],
-        directives: Optional[Tuple[List[int], List[int], List[int], List[int]]],
+        directives: Optional[Tuple[Any, Any, Any, Any]],
     ) -> None:
         self.p = p
-        self.fmas = fmas
+        self.fma_array = _as_fma_array(fmas)
         self.comp = comp
         self.has_directives = directives is not None
+        self.origin = "compiled"
         self._dir_lists = directives
         self._ideal_arrays: Optional[Tuple[NDArray[np.int64], ...]] = None
         # Replay results are pure functions of (trace, policy, cs, cd) —
@@ -145,7 +202,19 @@ class CompiledTrace:
         self._replays: Dict[Tuple[str, int, int], HierarchyStats] = {}
 
     def __len__(self) -> int:
-        return len(self.fmas)
+        return int(self.fma_array.shape[0])
+
+    @property
+    def fmas(self) -> List[Tuple[int, int, int, int]]:
+        """The compute stream as ``(core, akey, bkey, ckey)`` tuples.
+
+        Compatibility view (tests, external consumers); the kernels use
+        :attr:`fma_array` directly.
+        """
+        return [
+            (int(r[0]), int(r[1]), int(r[2]), int(r[3]))
+            for r in self.fma_array.tolist()
+        ]
 
     @property
     def comp_total(self) -> int:
@@ -166,19 +235,13 @@ class CompiledTrace:
                     "recompile with directives=True"
                 )
             op, t, core, key = self._dir_lists
-            fma_core = np.fromiter(
-                (f[0] for f in self.fmas), np.int64, count=len(self.fmas)
-            )
-            fma_ckey = np.fromiter(
-                (f[3] for f in self.fmas), np.int64, count=len(self.fmas)
-            )
             self._ideal_arrays = (
                 np.asarray(op, dtype=np.int64),
                 np.asarray(t, dtype=np.int64),
                 np.asarray(core, dtype=np.int64),
                 np.asarray(key, dtype=np.int64),
-                fma_core,
-                fma_ckey,
+                np.ascontiguousarray(self.fma_array[:, 0]),
+                np.ascontiguousarray(self.fma_array[:, 3]),
             )
         return self._ideal_arrays
 
@@ -199,7 +262,9 @@ def compile_trace(
         if directives
         else None
     )
-    return CompiledTrace(recorder.p, recorder.fmas, list(recorder.comp), dirs)
+    return CompiledTrace(
+        recorder.p, recorder.fma_array(), list(recorder.comp), dirs
+    )
 
 
 def supports(mode: str, policy: str, inclusive: bool, check: bool) -> bool:
@@ -246,84 +311,553 @@ def _memoize(
 
 
 # ----------------------------------------------------------------------
-# LRU-mode replay
+# Batched LRU/FIFO replay
 # ----------------------------------------------------------------------
+class _SharedLRU:
+    """One shared LRU cache replayed over the distributed-miss stream.
+
+    The shared level only ever sees distributed misses — a stream one
+    to two orders of magnitude shorter than the touch stream — so each
+    requested ``CS`` keeps its own ``OrderedDict`` recency state with
+    O(1) membership/promotion/eviction (C-speed dict operations beat a
+    Mattson stack scan at shared capacities of several hundred blocks).
+    The interleaved dirty-victim marks reproduce the write-back path:
+    a mark lands on the block's shared copy iff it is resident, exactly
+    the step simulator's victim-then-propagate order.
+    """
+
+    __slots__ = ("cs", "data", "dirty", "hits", "miss", "wb", "mbm")
+
+    def __init__(self, cs: int) -> None:
+        self.cs = cs
+        self.data: "OrderedDict[int, None]" = OrderedDict()
+        self.dirty: set[int] = set()
+        self.hits = 0
+        self.miss = 0
+        self.wb = 0
+        self.mbm = [0, 0, 0]
+
+    def feed(
+        self,
+        ref_times: List[int],
+        ref_keys: List[int],
+        mark_times: List[int],
+        mark_keys: List[int],
+    ) -> None:
+        """Advance over one chunk's references and dirty-victim marks.
+
+        Both streams are time-sorted; a mark at time ``t`` (the dirty
+        distributed victim of the miss at touch ``t``) is applied
+        *before* the same touch's shared reference.
+        """
+        data = self.data
+        move = data.move_to_end
+        dirty = self.dirty
+        cs = self.cs
+        mbm = self.mbm
+        i = j = 0
+        n_r = len(ref_times)
+        n_m = len(mark_times)
+        while i < n_r or j < n_m:
+            if j < n_m and (i >= n_r or mark_times[j] <= ref_times[i]):
+                v = mark_keys[j]
+                j += 1
+                if v in data:
+                    dirty.add(v)
+                continue
+            key = ref_keys[i]
+            i += 1
+            if key in data:
+                move(key)
+                self.hits += 1
+                continue
+            self.miss += 1
+            mbm[key >> MAT_SHIFT] += 1
+            if len(data) >= cs:
+                victim, _ = data.popitem(last=False)
+                if victim in dirty:
+                    dirty.discard(victim)
+                    self.wb += 1
+            data[key] = None
+
+    def stats(self) -> CacheStats:
+        return CacheStats(self.hits, self.miss, self.wb, list(self.mbm))
+
+
+class _LRUPass:
+    """Streaming state of the batched LRU kernel.
+
+    One bounded recency-stack pass over the global touch stream (bound =
+    the largest ``CD``) serves every distributed capacity at once —
+    Mattson's inclusion property makes the depth array and the stack
+    positions ``cd - 1`` exact misses and victims for *all* ``cd`` —
+    and each ``CD``'s shared level replays only its distributed-miss
+    stream through one :class:`_SharedLRU` state per requested ``CS``.
+
+    The state is chunk-incremental on purpose: :meth:`process` consumes
+    one ``(k, 4)`` slice of the compute stream at a time, so the same
+    kernel serves materialized traces (:func:`_bulk_lru`) and the
+    streaming path (:func:`replay_bulk_streaming`), where the schedule
+    feeds chunks directly and the full trace never exists in memory.
+    """
+
+    __slots__ = (
+        "p",
+        "pairs",
+        "cds",
+        "css_by_cd",
+        "bound",
+        "cd_list",
+        "stacks",
+        "dmiss",
+        "dmbm",
+        "dwb",
+        "touches",
+        "shared",
+        "_fmas_seen",
+        "_single",
+    )
+
+    def __init__(self, p: int, pairs: Sequence[Tuple[int, int]]) -> None:
+        self.p = p
+        self.pairs = list(pairs)
+        cds = sorted({cd for _, cd in pairs})
+        self.cds = cds
+        self.css_by_cd = {
+            cd: sorted({cs for cs, cd2 in pairs if cd2 == cd}) for cd in cds
+        }
+        self.bound = cds[-1]
+        self.cd_list = list(enumerate(cds))
+        self.stacks: List[List[int]] = [[] for _ in range(p)]
+        n_cd = len(cds)
+        self.dmiss = np.zeros((n_cd, p), dtype=np.int64)
+        self.dmbm = np.zeros((n_cd, p, 3), dtype=np.int64)
+        self.dwb = [[0] * p for _ in range(n_cd)]
+        self.touches = np.zeros(p, dtype=np.int64)
+        self.shared = {
+            (cd, cs): _SharedLRU(cs)
+            for cd in cds
+            for cs in self.css_by_cd[cd]
+        }
+        self._fmas_seen = 0
+        self._single: Optional[List["OrderedDict[int, None]"]] = (
+            [OrderedDict() for _ in range(p)] if len(cds) == 1 else None
+        )
+
+    def process(self, chunk: NDArray[np.int64]) -> None:
+        """Advance every cell's counters over one compute-stream slice."""
+        if self._single is not None:
+            self._process_single(chunk)
+            return
+        p = self.p
+        cds = self.cds
+        cd_list = self.cd_list
+        bound = self.bound
+        stacks = self.stacks
+        dwb = self.dwb
+        rows = chunk.tolist()
+        t0 = 3 * self._fmas_seen
+        self._fmas_seen += len(rows)
+        t = t0
+        depths: List[int] = []
+        dappend = depths.append
+        marks: Dict[int, Tuple[List[int], List[int]]] = {
+            cd: ([], []) for cd in cds
+        }
+        for core, akey, bkey, ckey in rows:
+            stack = stacks[core]
+            for key in (akey, bkey, ckey):
+                # membership scan instead of try/except around .index():
+                # deep/cold touches dominate at paper scale and a raised
+                # ValueError per miss would double the pass cost
+                if key in stack:
+                    d = stack.index(key)
+                    dappend(d)
+                    if d:
+                        length = len(stack)
+                        for i, cd in cd_list:
+                            if cd <= d and cd <= length:
+                                victim = stack[cd - 1]
+                                if victim >= _C_BASE:
+                                    # resident C blocks are always
+                                    # dirty: eviction == write-back ==
+                                    # shared mark
+                                    dwb[i][core] += 1
+                                    mt, mk = marks[cd]
+                                    mt.append(t)
+                                    mk.append(victim)
+                        del stack[d]
+                        stack.insert(0, key)
+                else:
+                    dappend(_ABSENT)
+                    length = len(stack)
+                    for i, cd in cd_list:
+                        if cd <= length:
+                            victim = stack[cd - 1]
+                            if victim >= _C_BASE:
+                                dwb[i][core] += 1
+                                mt, mk = marks[cd]
+                                mt.append(t)
+                                mk.append(victim)
+                    stack.insert(0, key)
+                    if length >= bound:
+                        stack.pop()
+                t += 1
+        dep = np.asarray(depths, dtype=np.int64)
+        keys = np.ascontiguousarray(chunk[:, 1:4]).reshape(-1)
+        cores3 = np.repeat(np.ascontiguousarray(chunk[:, 0]), 3)
+        tags = keys >> MAT_SHIFT
+        self.touches += np.bincount(cores3, minlength=p)
+        for i, cd in cd_list:
+            miss = dep >= cd
+            self.dmiss[i] += np.bincount(cores3[miss], minlength=p)
+            self.dmbm[i] += np.bincount(
+                cores3[miss] * 3 + tags[miss], minlength=3 * p
+            ).reshape(p, 3)
+            ref_t = (np.nonzero(miss)[0] + t0).tolist()
+            ref_k = keys[miss].tolist()
+            mt, mk = marks[cd]
+            for cs in self.css_by_cd[cd]:
+                self.shared[(cd, cs)].feed(ref_t, ref_k, mt, mk)
+
+    def _process_single(self, chunk: NDArray[np.int64]) -> None:
+        """Single-``CD`` fast path over one compute-stream slice.
+
+        With one distributed capacity there is nothing for the Mattson
+        stack to amortize, so each core's cache is simulated directly as
+        a capacity-``cd`` ``OrderedDict`` — O(1) hit/promotion/eviction
+        instead of two O(cd) list scans per touch.  Inclusion puts a
+        miss's LRU victim exactly at stack position ``cd - 1``, so the
+        marks and the distributed-miss stream fed to the shared level
+        are identical to the general pass.
+        """
+        cd = self.cds[0]
+        caches = self._single
+        assert caches is not None
+        dwb_row = self.dwb[0]
+        p = self.p
+        rows = chunk.tolist()
+        t = 3 * self._fmas_seen
+        self._fmas_seen += len(rows)
+        touch_add = [0] * p
+        miss_add = [0] * p
+        mbm_add = [[0, 0, 0] for _ in range(p)]
+        ref_t: List[int] = []
+        ref_k: List[int] = []
+        mt: List[int] = []
+        mk: List[int] = []
+        for core, akey, bkey, ckey in rows:
+            cache = caches[core]
+            move = cache.move_to_end
+            for key in (akey, bkey, ckey):
+                if key in cache:
+                    move(key)
+                else:
+                    miss_add[core] += 1
+                    mbm_add[core][key >> MAT_SHIFT] += 1
+                    if len(cache) >= cd:
+                        victim, _ = cache.popitem(last=False)
+                        if victim >= _C_BASE:
+                            dwb_row[core] += 1
+                            mt.append(t)
+                            mk.append(victim)
+                    cache[key] = None
+                    ref_t.append(t)
+                    ref_k.append(key)
+                t += 1
+            touch_add[core] += 3
+        self.touches += np.asarray(touch_add, dtype=np.int64)
+        self.dmiss[0] += np.asarray(miss_add, dtype=np.int64)
+        self.dmbm[0] += np.asarray(mbm_add, dtype=np.int64)
+        for cs in self.css_by_cd[cd]:
+            self.shared[(cd, cs)].feed(ref_t, ref_k, mt, mk)
+
+    def finalize(self) -> Dict[Tuple[int, int], HierarchyStats]:
+        """Assemble every requested cell's final hierarchy counters."""
+        out: Dict[Tuple[int, int], HierarchyStats] = {}
+        for cs, cd in self.pairs:
+            i = self.cds.index(cd)
+            out[(cs, cd)] = HierarchyStats(
+                shared=self.shared[(cd, cs)].stats(),
+                distributed=[
+                    CacheStats(
+                        int(self.touches[c] - self.dmiss[i, c]),
+                        int(self.dmiss[i, c]),
+                        self.dwb[i][c],
+                        [int(x) for x in self.dmbm[i, c]],
+                    )
+                    for c in range(self.p)
+                ],
+            )
+        return out
+
+
+def _bulk_lru(
+    trace: CompiledTrace, pairs: Sequence[Tuple[int, int]]
+) -> Dict[Tuple[int, int], HierarchyStats]:
+    """Exact LRU counters for every ``(cs, cd)`` from one shared pass."""
+    kernel = _LRUPass(trace.p, pairs)
+    arr = trace.fma_array
+    for start in range(0, int(arr.shape[0]), _CHUNK_FMAS):
+        kernel.process(arr[start : start + _CHUNK_FMAS])
+    return kernel.finalize()
+
+
+class _SharedFIFO:
+    """One shared FIFO cache replayed over the distributed-miss stream.
+
+    FIFO has no inclusion property, so each ``(cd, cs)`` keeps its own
+    insertion-window state; the stream it consumes is the short
+    distributed-miss stream, not the touch stream.
+    """
+
+    __slots__ = ("cs", "ins", "ring", "m", "hits", "miss", "wb", "mbm", "dirty")
+
+    def __init__(self, cs: int) -> None:
+        self.cs = cs
+        self.ins: Dict[int, int] = {}
+        self.ring: List[int] = []
+        self.m = 0
+        self.hits = 0
+        self.miss = 0
+        self.wb = 0
+        self.mbm = [0, 0, 0]
+        self.dirty: set[int] = set()
+
+    def feed(
+        self,
+        ref_times: List[int],
+        ref_keys: List[int],
+        mark_times: List[int],
+        mark_keys: List[int],
+    ) -> None:
+        ins = self.ins
+        ring = self.ring
+        cs = self.cs
+        dirty = self.dirty
+        mbm = self.mbm
+        m = self.m
+        i = j = 0
+        n_r = len(ref_times)
+        n_m = len(mark_times)
+        while i < n_r or j < n_m:
+            if j < n_m and (i >= n_r or mark_times[j] <= ref_times[i]):
+                v = mark_keys[j]
+                j += 1
+                # dirty victim lands in its shared copy, if resident
+                if ins.get(v, _NEVER) >= m - cs:
+                    dirty.add(v)
+                continue
+            key = ref_keys[i]
+            i += 1
+            if ins.get(key, _NEVER) >= m - cs:
+                self.hits += 1
+                continue
+            self.miss += 1
+            mbm[key >> MAT_SHIFT] += 1
+            if m >= cs:
+                victim = ring[m - cs]
+                if victim in dirty:
+                    dirty.discard(victim)
+                    self.wb += 1
+            ins[key] = m
+            ring.append(key)
+            m += 1
+        self.m = m
+
+    def stats(self) -> CacheStats:
+        return CacheStats(self.hits, self.miss, self.wb, list(self.mbm))
+
+
+class _FIFOPass:
+    """Streaming state of the batched FIFO kernel for one ``CD``.
+
+    One insertion-window pass over the touch stream (hits never mutate
+    FIFO state: a key is resident iff its latest insertion is among the
+    last ``cd`` misses, and miss ``M``'s victim is the key inserted at
+    ``M - cd``); the dirty-victim marks and the distributed-miss stream
+    feed one :class:`_SharedFIFO` per shared capacity.  Like
+    :class:`_LRUPass` the state is chunk-incremental, serving both the
+    materialized and the streaming replay paths.
+    """
+
+    __slots__ = (
+        "p",
+        "cd",
+        "ins",
+        "rings",
+        "miss_m",
+        "dmbm",
+        "dwb",
+        "touches",
+        "shared_states",
+        "_t",
+    )
+
+    def __init__(self, p: int, cd: int, css: Sequence[int]) -> None:
+        self.p = p
+        self.cd = cd
+        self.ins: List[Dict[int, int]] = [dict() for _ in range(p)]
+        self.rings: List[List[int]] = [[] for _ in range(p)]
+        self.miss_m = [0] * p
+        self.dmbm = [[0, 0, 0] for _ in range(p)]
+        self.dwb = [0] * p
+        self.touches = np.zeros(p, dtype=np.int64)
+        self.shared_states = [_SharedFIFO(cs) for cs in css]
+        self._t = 0
+
+    def process(self, chunk: NDArray[np.int64]) -> None:
+        """Advance every shared capacity over one compute-stream slice."""
+        cd = self.cd
+        ins = self.ins
+        rings = self.rings
+        miss_m = self.miss_m
+        dmbm = self.dmbm
+        dwb = self.dwb
+        rows = chunk.tolist()
+        t = self._t
+        ref_t: List[int] = []
+        ref_k: List[int] = []
+        mark_t: List[int] = []
+        mark_k: List[int] = []
+        for core, akey, bkey, ckey in rows:
+            d_ins = ins[core]
+            ring = rings[core]
+            mbm = dmbm[core]
+            m = miss_m[core]
+            for key in (akey, bkey, ckey):
+                if d_ins.get(key, _NEVER) >= m - cd:
+                    t += 1
+                    continue
+                mbm[key >> MAT_SHIFT] += 1
+                if m >= cd:
+                    victim = ring[m - cd]
+                    if victim >= _C_BASE:
+                        # resident C blocks are always dirty under FIFO
+                        # too (dirtied on insertion and on every hit)
+                        dwb[core] += 1
+                        mark_t.append(t)
+                        mark_k.append(victim)
+                d_ins[key] = m
+                ring.append(key)
+                m += 1
+                ref_t.append(t)
+                ref_k.append(key)
+                t += 1
+            miss_m[core] = m
+        self._t = t
+        self.touches += 3 * np.bincount(
+            np.ascontiguousarray(chunk[:, 0]), minlength=self.p
+        )
+        for state in self.shared_states:
+            state.feed(ref_t, ref_k, mark_t, mark_k)
+
+    def finalize(self) -> Dict[Tuple[int, int], HierarchyStats]:
+        """Assemble every requested ``(cs, cd)`` cell's final counters."""
+        out: Dict[Tuple[int, int], HierarchyStats] = {}
+        for state in self.shared_states:
+            out[(state.cs, self.cd)] = HierarchyStats(
+                shared=state.stats(),
+                distributed=[
+                    CacheStats(
+                        int(self.touches[c]) - self.miss_m[c],
+                        self.miss_m[c],
+                        self.dwb[c],
+                        list(self.dmbm[c]),
+                    )
+                    for c in range(self.p)
+                ],
+            )
+        return out
+
+
+def _bulk_fifo_cd(
+    trace: CompiledTrace, cd: int, css: Sequence[int]
+) -> Dict[Tuple[int, int], HierarchyStats]:
+    """Exact FIFO counters for one ``CD`` and every requested ``CS``."""
+    kernel = _FIFOPass(trace.p, cd, css)
+    arr = trace.fma_array
+    for start in range(0, int(arr.shape[0]), _CHUNK_FMAS):
+        kernel.process(arr[start : start + _CHUNK_FMAS])
+    return kernel.finalize()
+
+
+def _bulk_fifo(
+    trace: CompiledTrace, pairs: Sequence[Tuple[int, int]]
+) -> Dict[Tuple[int, int], HierarchyStats]:
+    by_cd: Dict[int, List[int]] = {}
+    for cs, cd in pairs:
+        by_cd.setdefault(cd, []).append(cs)
+    out: Dict[Tuple[int, int], HierarchyStats] = {}
+    for cd in sorted(by_cd):
+        out.update(_bulk_fifo_cd(trace, cd, sorted(set(by_cd[cd]))))
+    return out
+
+
+def replay_bulk(
+    trace: CompiledTrace, cells: Sequence[Tuple[str, int, int]]
+) -> List[HierarchyStats]:
+    """Exact hierarchy counters for many ``(policy, cs, cd)`` cells.
+
+    The batched entry point: all LRU cells share one bounded
+    stack-distance pass over the touch stream (:func:`_bulk_lru`), FIFO
+    cells share one insertion-ring pass per distinct ``CD``
+    (:func:`_bulk_fifo`), and every cell's shared level replays only
+    the distributed-miss stream.  Counters are bit-identical to
+    ``engine="step"`` (property-tested), write-backs and per-matrix
+    splits included.  Results are memoized on the trace, so
+    re-evaluating a cell costs a dict probe; each returned object is an
+    independent copy (callers may mutate).
+    """
+    memo_hits: Dict[int, HierarchyStats] = {}
+    todo_lru: set[Tuple[int, int]] = set()
+    todo_fifo: set[Tuple[int, int]] = set()
+    for idx, (policy, cs, cd) in enumerate(cells):
+        if policy not in REPLAY_POLICIES:
+            raise ConfigurationError(
+                f"replay_bulk cannot replay policy {policy!r}; "
+                f"supported: {sorted(REPLAY_POLICIES)}"
+            )
+        if cs < 1 or cd < 1:
+            raise ConfigurationError(
+                f"capacities must be positive, got cs={cs} cd={cd}"
+            )
+        cached = _memoized(trace, policy, cs, cd)
+        if cached is not None:
+            memo_hits[idx] = cached
+        elif policy == "fifo":
+            todo_fifo.add((cs, cd))
+        else:
+            todo_lru.add((cs, cd))
+
+    computed: Dict[Tuple[str, int, int], HierarchyStats] = {}
+    if todo_lru:
+        for (cs, cd), stats in _bulk_lru(trace, sorted(todo_lru)).items():
+            computed[("lru", cs, cd)] = stats
+    if todo_fifo:
+        for (cs, cd), stats in _bulk_fifo(trace, sorted(todo_fifo)).items():
+            computed[("fifo", cs, cd)] = stats
+    for (policy, cs, cd), stats in computed.items():
+        _memoize(trace, policy, cs, cd, stats)
+
+    out: List[HierarchyStats] = []
+    for idx, (policy, cs, cd) in enumerate(cells):
+        hit = memo_hits.get(idx)
+        if hit is not None:
+            out.append(hit)
+        else:
+            out.append(_copy_stats(computed[(policy, cs, cd)]))
+    return out
+
+
 def replay_lru(
     trace: CompiledTrace, configs: Sequence[Tuple[int, int]]
 ) -> List[HierarchyStats]:
     """Exact LRU hierarchy counters for each ``(cs, cd)`` configuration.
 
-    One pass per configuration, with the step fast path's logic
-    (:meth:`~repro.cache.hierarchy.LRUHierarchy.compute_touches`) run
-    over the pre-compiled compute stream: same ``OrderedDict``
-    recency/eviction/dirty transitions, so the counters are identical
-    by construction — without re-running the schedule or the context
-    dispatch.  Results are memoized on the trace (they are a pure
-    function of ``(trace, cs, cd)``), so re-evaluating a configuration
-    costs a dict probe.
+    Thin wrapper over :func:`replay_bulk`.
     """
-    out: List[HierarchyStats] = []
-    for cs, cd in configs:
-        cached = _memoized(trace, "lru", cs, cd)
-        if cached is None:
-            cached = _memoize(trace, "lru", cs, cd, _replay_lru_one(trace, cs, cd))
-        out.append(cached)
-    return out
-
-
-def _replay_lru_one(trace: CompiledTrace, cs: int, cd: int) -> HierarchyStats:
-    p = trace.p
-    ddata: List[OrderedDict[int, None]] = [OrderedDict() for _ in range(p)]
-    ddirty: List[set[int]] = [set() for _ in range(p)]
-    dhits = [0] * p
-    dmiss = [0] * p
-    dwb = [0] * p
-    dmbm = [[0, 0, 0] for _ in range(p)]
-    sdata: OrderedDict[int, None] = OrderedDict()
-    sdirty: set[int] = set()
-    shits = smiss = swb = 0
-    smbm = [0, 0, 0]
-
-    for core, akey, bkey, ckey in trace.fmas:
-        dd = ddata[core]
-        ddirt = ddirty[core]
-        mbm = dmbm[core]
-        for key in (akey, bkey, ckey):
-            if key in dd:
-                dd.move_to_end(key)
-                dhits[core] += 1
-            else:
-                dmiss[core] += 1
-                mbm[key >> MAT_SHIFT] += 1
-                if len(dd) >= cd:
-                    victim = dd.popitem(last=False)[0]
-                    if victim in ddirt:
-                        ddirt.discard(victim)
-                        dwb[core] += 1
-                        if victim in sdata:
-                            sdirty.add(victim)
-                dd[key] = None
-                # propagate to shared
-                if key in sdata:
-                    sdata.move_to_end(key)
-                    shits += 1
-                else:
-                    smiss += 1
-                    smbm[key >> MAT_SHIFT] += 1
-                    if len(sdata) >= cs:
-                        s_victim = sdata.popitem(last=False)[0]
-                        if s_victim in sdirty:
-                            sdirty.discard(s_victim)
-                            swb += 1
-                    sdata[key] = None
-        ddirt.add(ckey)
-
-    return HierarchyStats(
-        shared=CacheStats(shits, smiss, swb, smbm),
-        distributed=[
-            CacheStats(dhits[c], dmiss[c], dwb[c], dmbm[c]) for c in range(p)
-        ],
-    )
+    return replay_bulk(trace, [("lru", cs, cd) for cs, cd in configs])
 
 
 def replay_fifo(
@@ -331,89 +865,139 @@ def replay_fifo(
 ) -> List[HierarchyStats]:
     """Exact FIFO hierarchy counters for each ``(cs, cd)`` configuration.
 
-    FIFO hits never mutate replacement state, so residency reduces to a
-    sliding window over insertion indices: a key is resident iff its
-    latest insertion is among the last ``capacity`` misses, and the
-    victim of miss ``M`` is the key inserted at miss ``M - capacity``.
-    One dict probe per reference replaces the step engine's generic
-    policy path (~2× as measured on real schedule traces, more on
-    hit-heavy ones), with identical counters.  Results are memoized on
-    the trace, so re-evaluating a configuration costs a dict probe.
+    Thin wrapper over :func:`replay_bulk`.
     """
-    out: List[HierarchyStats] = []
-    for cs, cd in configs:
-        cached = _memoized(trace, "fifo", cs, cd)
-        if cached is None:
-            cached = _memoize(
-                trace, "fifo", cs, cd, _replay_fifo_one(trace, cs, cd)
+    return replay_bulk(trace, [("fifo", cs, cd) for cs, cd in configs])
+
+
+# ----------------------------------------------------------------------
+# Streaming replay (paper-scale traces that must never materialize)
+# ----------------------------------------------------------------------
+#: Above this many FMAs a compiled trace stops being materialized and
+#: the LRU/FIFO kernels stream directly off the running schedule
+#: (an order-1100 trace is 1.33e9 rows = ~40 GiB — far beyond CI
+#: runners).  Override with ``REPRO_STREAM_FMAS`` (positive int).
+STREAM_FMAS_DEFAULT = 64_000_000
+
+_STREAM_ENV = "REPRO_STREAM_FMAS"
+
+
+def stream_threshold() -> int:
+    """The FMA count above which replay streams instead of compiling."""
+    raw = os.environ.get(_STREAM_ENV)
+    if raw:
+        try:
+            value = int(raw)
+        except ValueError:
+            raise ConfigurationError(
+                f"{_STREAM_ENV} must be a positive integer, got {raw!r}"
             )
-        out.append(cached)
-    return out
+        if value <= 0:
+            raise ConfigurationError(
+                f"{_STREAM_ENV} must be a positive integer, got {raw!r}"
+            )
+        return value
+    return STREAM_FMAS_DEFAULT
 
 
-def _replay_fifo_one(trace: CompiledTrace, cs: int, cd: int) -> HierarchyStats:
-    p = trace.p
-    dins: List[Dict[int, int]] = [dict() for _ in range(p)]
-    drings: List[List[int]] = [[] for _ in range(p)]
-    dmisses = [0] * p
-    dhits = [0] * p
-    dwb = [0] * p
-    dmbm = [[0, 0, 0] for _ in range(p)]
-    ddirty: List[set[int]] = [set() for _ in range(p)]
-    sins: Dict[int, int] = {}
-    sring: List[int] = []
-    s_m = 0
-    shits = smiss = swb = 0
-    smbm = [0, 0, 0]
-    sdirty: set[int] = set()
+def should_stream(n_fmas: int) -> bool:
+    """Whether a schedule of ``n_fmas`` multiply-adds must stream."""
+    return n_fmas > stream_threshold()
 
-    for core, akey, bkey, ckey in trace.fmas:
-        ins = dins[core]
-        ring = drings[core]
-        ddirt = ddirty[core]
-        m = dmisses[core]
-        for key in (akey, bkey, ckey):
-            if ins.get(key, _NEVER) >= m - cd:
-                dhits[core] += 1
-                if key is ckey:
-                    ddirt.add(key)
-                continue
-            dmbm[core][key >> MAT_SHIFT] += 1
-            if m >= cd:
-                victim = ring[m - cd]
-                if victim in ddirt:
-                    ddirt.discard(victim)
-                    dwb[core] += 1
-                    # dirty victim lands in its shared copy, if resident
-                    if sins.get(victim, _NEVER) >= s_m - cs:
-                        sdirty.add(victim)
-            ins[key] = m
-            ring.append(key)
-            m += 1
-            if key is ckey:
-                ddirt.add(key)
-            # propagate the distributed miss to the shared cache
-            if sins.get(key, _NEVER) >= s_m - cs:
-                shits += 1
-            else:
-                smiss += 1
-                smbm[key >> MAT_SHIFT] += 1
-                if s_m >= cs:
-                    s_victim = sring[s_m - cs]
-                    if s_victim in sdirty:
-                        sdirty.discard(s_victim)
-                        swb += 1
-                sins[key] = s_m
-                sring.append(key)
-                s_m += 1
-        dmisses[core] = m
 
-    return HierarchyStats(
-        shared=CacheStats(shits, smiss, swb, smbm),
-        distributed=[
-            CacheStats(dhits[c], dmisses[c], dwb[c], dmbm[c]) for c in range(p)
-        ],
-    )
+class _StreamRecorder(ExecutionContext):
+    """Compute-only context that feeds kernel passes chunk by chunk.
+
+    The schedule's compute stream is buffered into the same flat
+    ``array('q')`` layout as :class:`_Recorder`, but every
+    ``_CHUNK_FMAS`` rows the buffer is lowered to one ``(k, 4)`` array,
+    pushed through every attached pass and dropped — peak memory is one
+    chunk plus the passes' bounded state, independent of trace length.
+    IDEAL directives are ignored: streaming serves only the LRU/FIFO
+    kernels (IDEAL replay needs the whole timeline at once).
+    """
+
+    def __init__(self, p: int, passes: Sequence[Any]) -> None:
+        super().__init__(p)
+        self._passes = list(passes)
+        self._buf: "array[int]" = array("q")
+        self._rows = 0
+        self.n_fmas = 0
+
+    def compute(self, core: int, ckey: int, akey: int, bkey: int) -> None:
+        self._buf.extend((core, akey, bkey, ckey))
+        self.comp[core] += 1
+        self.n_fmas += 1
+        self._rows += 1
+        if self._rows >= _CHUNK_FMAS:
+            self.flush()
+
+    def flush(self) -> None:
+        """Push the buffered rows through every pass and reset the buffer."""
+        if not self._rows:
+            return
+        chunk = np.frombuffer(self._buf, dtype=np.int64).reshape(-1, 4)
+        for kernel in self._passes:
+            kernel.process(chunk)
+        self._buf = array("q")
+        self._rows = 0
+
+
+def replay_bulk_streaming(
+    algorithm: MatmulAlgorithm, cells: Sequence[Tuple[str, int, int]]
+) -> Tuple[List[HierarchyStats], List[int]]:
+    """Exact counters for many cells without materializing the trace.
+
+    Runs ``algorithm`` once against a chunk-flushing recorder that feeds
+    the same :class:`_LRUPass`/:class:`_FIFOPass` kernels as
+    :func:`replay_bulk`, so the counters are bit-identical to both the
+    materialized path and the step oracle — but peak memory is one
+    64Ki-row chunk plus the kernels' bounded state, which is what makes
+    the paper's order-1100 sweeps feasible on CI runners.  The price is
+    that nothing is retained: no trace, no memoization, every call
+    re-runs the schedule.  Returns ``(stats, comp)`` with ``stats`` in
+    input-cell order and ``comp`` the per-core multiply-add counts.
+    """
+    todo_lru: set[Tuple[int, int]] = set()
+    todo_fifo: set[Tuple[int, int]] = set()
+    for policy, cs, cd in cells:
+        if policy not in REPLAY_POLICIES:
+            raise ConfigurationError(
+                f"replay_bulk_streaming cannot replay policy {policy!r}; "
+                f"supported: {sorted(REPLAY_POLICIES)}"
+            )
+        if cs < 1 or cd < 1:
+            raise ConfigurationError(
+                f"capacities must be positive, got cs={cs} cd={cd}"
+            )
+        if policy == "fifo":
+            todo_fifo.add((cs, cd))
+        else:
+            todo_lru.add((cs, cd))
+
+    p = algorithm.machine.p
+    passes: List[Any] = []
+    if todo_lru:
+        passes.append(_LRUPass(p, sorted(todo_lru)))
+    fifo_by_cd: Dict[int, List[int]] = {}
+    for cs, cd in todo_fifo:
+        fifo_by_cd.setdefault(cd, []).append(cs)
+    for cd in sorted(fifo_by_cd):
+        passes.append(_FIFOPass(p, cd, sorted(set(fifo_by_cd[cd]))))
+
+    recorder = _StreamRecorder(p, passes)
+    algorithm.run(recorder)
+    recorder.flush()
+
+    computed: Dict[Tuple[str, int, int], HierarchyStats] = {}
+    for kernel in passes:
+        policy = "lru" if isinstance(kernel, _LRUPass) else "fifo"
+        for (cs, cd), stats in kernel.finalize().items():
+            computed[(policy, cs, cd)] = stats
+    out = [
+        _copy_stats(computed[(policy, cs, cd)]) for policy, cs, cd in cells
+    ]
+    return out, list(recorder.comp)
 
 
 # ----------------------------------------------------------------------
@@ -640,28 +1224,48 @@ def distributed_miss_curves(
     if not capacities:
         return {}
     p = trace.p
-    streams: List[List[int]] = [[] for _ in range(p)]
-    for c_core, akey, bkey, ckey in trace.fmas:
-        stream = streams[c_core]
-        stream.append(akey)
-        stream.append(bkey)
-        stream.append(ckey)
+    arr = trace.fma_array
+    cores = np.ascontiguousarray(arr[:, 0])
     curves: Dict[int, List[int]] = {cap: [0] * p for cap in capacities}
     for c in range(p):
-        counts = miss_counts_multi(streams[c], capacities)
+        # per-core touch stream in (A, B, C) order
+        stream = np.ascontiguousarray(arr[cores == c, 1:4]).reshape(-1)
+        counts = miss_counts_multi(stream.tolist(), capacities)
         for cap in capacities:
             curves[cap][c] = counts[cap]
     return curves
 
 
 # ----------------------------------------------------------------------
-# Trace memoization
+# Trace memoization (in-memory LRU + optional on-disk memmap tier)
 # ----------------------------------------------------------------------
 #: Bounded LRU of compiled traces, keyed by schedule fingerprint.  The
 #: budget is in recorded multiply-adds (the dominant memory term) so a
 #: few small traces or one big one stay resident.
 _TRACE_CACHE: "OrderedDict[Hashable, CompiledTrace]" = OrderedDict()
 _TRACE_CACHE_BUDGET = 4_000_000
+
+#: Root of the on-disk content-addressed trace tier, or ``None`` when
+#: disabled (see :func:`configure_trace_tier`).
+_TRACE_TIER: Optional[str] = None
+
+
+def configure_trace_tier(root: Optional[str]) -> None:
+    """Enable (or disable, with ``None``) the on-disk trace tier.
+
+    When set, :func:`compiled_trace_for` consults
+    :mod:`repro.cache.tracestore` under ``root`` before compiling and
+    stores freshly compiled traces there — parallel-sweep and fabric
+    workers then memmap one shared on-disk trace instead of recompiling
+    per process.
+    """
+    global _TRACE_TIER
+    _TRACE_TIER = root
+
+
+def trace_tier_root() -> Optional[str]:
+    """The configured on-disk trace tier root (``None`` when disabled)."""
+    return _TRACE_TIER
 
 
 def trace_fingerprint(algorithm: MatmulAlgorithm) -> Hashable:
@@ -689,16 +1293,33 @@ def compiled_trace_for(
 ) -> CompiledTrace:
     """Compile ``algorithm``'s trace, memoized on its fingerprint.
 
+    Lookup order: in-memory LRU, then the on-disk memmap tier (when
+    configured), then compile — freshly compiled traces are stored to
+    the tier so sibling processes memmap them instead of recompiling.
     A cached compute-only trace is upgraded (recompiled with
     directives) when an IDEAL replay needs it; a directive-bearing
-    trace serves compute-only replays as-is.
+    trace serves compute-only replays as-is.  ``trace.origin`` records
+    where this call got the trace (telemetry).
     """
+    from repro.cache import tracestore
+
     fp = trace_fingerprint(algorithm)
     cached = _TRACE_CACHE.get(fp)
     if cached is not None and (cached.has_directives or not directives):
         _TRACE_CACHE.move_to_end(fp)
+        cached.origin = "memory"
         return cached
-    trace = compile_trace(algorithm, directives=directives)
+    trace: Optional[CompiledTrace] = None
+    if _TRACE_TIER is not None:
+        loaded = tracestore.load(_TRACE_TIER, fp)
+        if loaded is not None and (loaded.has_directives or not directives):
+            loaded.origin = "disk"
+            trace = loaded
+    if trace is None:
+        trace = compile_trace(algorithm, directives=directives)
+        trace.origin = "compiled"
+        if _TRACE_TIER is not None:
+            tracestore.store(_TRACE_TIER, fp, trace)
     _TRACE_CACHE[fp] = trace
     _TRACE_CACHE.move_to_end(fp)
     total = sum(len(tr) for tr in _TRACE_CACHE.values())

@@ -19,6 +19,8 @@ from __future__ import annotations
 from collections import Counter
 from typing import Dict, Iterable, List, Sequence
 
+import numpy as np
+
 #: Histogram key for first references (infinite distance / cold misses).
 COLD = -1
 
@@ -175,6 +177,33 @@ def bounded_stack_distances(keys: Iterable[int], bound: int) -> List[int]:
     return out
 
 
+def misses_from_depths(
+    depths: "np.ndarray", capacities: Sequence[int]
+) -> Dict[int, int]:
+    """Vectorized miss counts from a per-reference stack-depth array.
+
+    ``depths`` holds one stack distance per reference; negative entries
+    (``COLD``/``DEEP`` sentinels) miss at *every* capacity, non-negative
+    entries miss at capacity ``z`` iff ``depth >= z``.  One sort plus a
+    binary search per capacity replaces the per-capacity histogram scan
+    — this is the aggregation kernel behind :func:`miss_counts_multi`
+    and the bulk replay's depth arrays.
+    """
+    if not capacities:
+        return {}
+    if min(capacities) < 1:
+        raise ValueError(f"capacities must be positive, got {sorted(capacities)}")
+    dep = np.asarray(depths, dtype=np.int64)
+    n = int(dep.size)
+    neg = int((dep < 0).sum())
+    srt = np.sort(dep)
+    out: Dict[int, int] = {}
+    for z in capacities:
+        # misses = all-negative + depths >= z
+        out[z] = neg + n - int(np.searchsorted(srt, z, side="left"))
+    return out
+
+
 def miss_counts_multi(
     keys: Sequence[int], capacities: Sequence[int]
 ) -> Dict[int, int]:
@@ -182,17 +211,13 @@ def miss_counts_multi(
 
     Equivalent to running one :class:`~repro.cache.lru.LRUCache`
     simulation per capacity, at the cost of a single pass bounded by
-    ``max(capacities)``.
+    ``max(capacities)`` plus one vectorized aggregation
+    (:func:`misses_from_depths`).
     """
     if not capacities:
         return {}
     if min(capacities) < 1:
         raise ValueError(f"capacities must be positive, got {sorted(capacities)}")
     bound = max(capacities)
-    histogram = Counter(bounded_stack_distances(keys, bound))
-    deep = histogram.pop(DEEP, 0)
-    return {
-        z: deep
-        + sum(count for dist, count in histogram.items() if dist >= z)
-        for z in capacities
-    }
+    depths = np.asarray(bounded_stack_distances(keys, bound), dtype=np.int64)
+    return misses_from_depths(depths, capacities)

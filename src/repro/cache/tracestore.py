@@ -1,0 +1,209 @@
+"""On-disk content-addressed tier for compiled traces (memmap-shared).
+
+The in-memory trace LRU in :mod:`repro.cache.replay` is per-process:
+every parallel-sweep or fabric worker recompiles the same schedule.
+This module gives :func:`repro.cache.replay.compiled_trace_for` a
+second, cross-process tier — a content-addressed directory of
+``np.save`` artifacts under the run dir:
+
+.. code-block:: text
+
+    <root>/<key[:2]>/<key>/fmas.npy   # (n, 4) int64 compute stream
+    <root>/<key[:2]>/<key>/dirs.npy   # (4, d) int64 directives (optional)
+    <root>/<key[:2]>/<key>/meta.json  # format version, p, comp, counts
+
+``key`` is the SHA-256 of the schedule fingerprint (the same key the
+in-memory LRU uses), so identical schedules hash to identical entries
+no matter which process compiled them.  Readers memmap ``fmas.npy``
+read-only — the replay kernels only ever slice it in chunks, so N
+workers share one page-cache copy of a trace instead of N private
+recompilations.
+
+Crash consistency without locks: every file is written through
+:func:`repro.store.atomic_write_bytes` (tmp + fsync + rename), and
+``meta.json`` is written *last* — a reader that finds no valid
+``meta.json`` treats the entry as absent, so a torn store (crash
+between files) is a cache miss, never a corrupt trace.  Concurrent
+stores of the same entry are idempotent races: both writers produce
+byte-identical content, and the atomic renames make either winner
+valid.  Overwrites (the directive-upgrade path) atomically replace the
+files; existing memmaps keep their old inodes alive until unmapped.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+from pathlib import Path
+from typing import Any, Dict, Hashable, Optional, Union
+
+import numpy as np
+
+from repro.store import atomic_write_bytes, atomic_write_text
+
+#: Bump when the on-disk layout changes; readers reject other versions
+#: (a stale cache directory degrades to misses, never to bad data).
+FORMAT_VERSION = 1
+
+_META_NAME = "meta.json"
+_FMAS_NAME = "fmas.npy"
+_DIRS_NAME = "dirs.npy"
+
+#: Per-process tier telemetry, surfaced in CI's cache-efficacy step and
+#: the `repro-mmm traces stats` subcommand.
+_COUNTERS = {"hits": 0, "misses": 0, "stores": 0, "errors": 0}
+
+
+def content_key(fingerprint: Hashable) -> str:
+    """Stable content address of a schedule fingerprint.
+
+    The fingerprint tuple (algorithm name, declared machine, shape,
+    resolved parameters) has a deterministic ``repr`` — dataclasses and
+    sorted parameter tuples — so hashing it gives the same key in every
+    process and across runs, which is what lets CI cache the tier
+    across workflow runs keyed on content.
+    """
+    digest = hashlib.sha256(
+        f"v{FORMAT_VERSION}:{fingerprint!r}".encode("utf-8")
+    )
+    return digest.hexdigest()
+
+
+def entry_dir(root: Union[str, Path], fingerprint: Hashable) -> Path:
+    """Directory holding ``fingerprint``'s trace (may not exist)."""
+    key = content_key(fingerprint)
+    return Path(root) / key[:2] / key
+
+
+def _save_array(path: Path, arr: "np.ndarray") -> None:
+    buf = io.BytesIO()
+    np.save(buf, np.ascontiguousarray(arr))
+    atomic_write_bytes(path, buf.getvalue())
+
+
+def store(root: Union[str, Path], fingerprint: Hashable, trace: Any) -> bool:
+    """Persist a compiled trace under its content address.
+
+    ``trace`` is a :class:`repro.cache.replay.CompiledTrace` (typed as
+    ``Any`` to keep this module import-light).  Write order is arrays
+    first, ``meta.json`` last — the entry only becomes visible to
+    readers once every byte of it is durably in place.  Best-effort:
+    returns ``False`` (and counts an error) instead of raising, so a
+    full disk degrades the tier to a no-op rather than failing sweeps.
+    """
+    entry = entry_dir(root, fingerprint)
+    try:
+        entry.mkdir(parents=True, exist_ok=True)
+        _save_array(entry / _FMAS_NAME, trace.fma_array)
+        dir_lists = trace._dir_lists
+        has_dirs = dir_lists is not None
+        if has_dirs:
+            dirs = np.asarray(dir_lists, dtype=np.int64).reshape(4, -1)
+            _save_array(entry / _DIRS_NAME, dirs)
+        meta = {
+            "format": FORMAT_VERSION,
+            "p": trace.p,
+            "comp": list(trace.comp),
+            "n_fmas": int(trace.fma_array.shape[0]),
+            "has_directives": has_dirs,
+        }
+        atomic_write_text(
+            entry / _META_NAME, json.dumps(meta, sort_keys=True)
+        )
+    except OSError:
+        _COUNTERS["errors"] += 1
+        return False
+    _COUNTERS["stores"] += 1
+    return True
+
+
+def load(root: Union[str, Path], fingerprint: Hashable) -> Optional[Any]:
+    """Load ``fingerprint``'s trace from the tier, or ``None`` on miss.
+
+    The compute stream comes back as a read-only memmap — the kernels
+    stream it in chunks, so page cache (shared across processes) backs
+    the replay instead of private heap copies.  Any inconsistency
+    (missing/invalid ``meta.json``, wrong format version, shape
+    mismatch from a torn write) is a miss, never an exception.
+    """
+    from repro.cache.replay import CompiledTrace
+
+    entry = entry_dir(root, fingerprint)
+    meta_path = entry / _META_NAME
+    try:
+        meta = json.loads(meta_path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        _COUNTERS["misses"] += 1
+        return None
+    try:
+        if meta.get("format") != FORMAT_VERSION:
+            raise ValueError(f"unsupported trace format {meta.get('format')!r}")
+        fmas = np.load(entry / _FMAS_NAME, mmap_mode="r")
+        if fmas.ndim != 2 or fmas.shape[1] != 4 or fmas.dtype != np.int64:
+            raise ValueError(f"bad fma array {fmas.dtype} {fmas.shape}")
+        if int(fmas.shape[0]) != int(meta["n_fmas"]):
+            raise ValueError(
+                f"fma count mismatch: meta says {meta['n_fmas']}, "
+                f"array has {fmas.shape[0]}"
+            )
+        directives = None
+        if meta.get("has_directives"):
+            dirs = np.load(entry / _DIRS_NAME, mmap_mode="r")
+            if dirs.ndim != 2 or dirs.shape[0] != 4 or dirs.dtype != np.int64:
+                raise ValueError(f"bad directive array {dirs.dtype} {dirs.shape}")
+            directives = (dirs[0], dirs[1], dirs[2], dirs[3])
+        comp = [int(x) for x in meta["comp"]]
+        trace = CompiledTrace(int(meta["p"]), fmas, comp, directives)
+    except (OSError, ValueError, KeyError, TypeError):
+        _COUNTERS["errors"] += 1
+        _COUNTERS["misses"] += 1
+        return None
+    _COUNTERS["hits"] += 1
+    return trace
+
+
+def tier_counters() -> Dict[str, int]:
+    """This process's tier telemetry: hits/misses/stores/errors."""
+    return dict(_COUNTERS)
+
+
+def reset_tier_counters() -> None:
+    for k in _COUNTERS:
+        _COUNTERS[k] = 0
+
+
+def tier_info(root: Union[str, Path]) -> Dict[str, int]:
+    """Scan a tier directory: entries, recorded fmas, bytes on disk.
+
+    Powers ``repro-mmm traces stats`` and the CI cache-efficacy step.
+    """
+    entries = 0
+    fmas = 0
+    n_bytes = 0
+    directive_entries = 0
+    root_path = Path(root)
+    if not root_path.is_dir():
+        return {"entries": 0, "fmas": 0, "bytes": 0, "directive_entries": 0}
+    for meta_path in sorted(root_path.glob(f"*/*/{_META_NAME}")):
+        try:
+            meta = json.loads(meta_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            continue
+        if meta.get("format") != FORMAT_VERSION:
+            continue
+        entries += 1
+        fmas += int(meta.get("n_fmas", 0))
+        if meta.get("has_directives"):
+            directive_entries += 1
+        for sibling in sorted(meta_path.parent.iterdir()):
+            try:
+                n_bytes += sibling.stat().st_size
+            except OSError:
+                continue
+    return {
+        "entries": entries,
+        "fmas": fmas,
+        "bytes": n_bytes,
+        "directive_entries": directive_entries,
+    }

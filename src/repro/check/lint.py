@@ -37,6 +37,13 @@ Seven rules, each born from a real failure mode of this codebase:
   from replay to step but records no telemetry reintroduces exactly
   the silent-fallback hazard :mod:`repro.check.enginemodel` exists to
   surface.
+* ``unpinned-bench-engine`` — in ``benchmarks/``, every direct
+  ``run_experiment(...)`` call must pass ``engine=`` explicitly.  The
+  default engine memoizes compiled traces and replay results, so an
+  unpinned benchmark that *believes* it measures the step engine (or a
+  cold replay) can silently measure a dict probe instead — the numbers
+  look spectacular and mean nothing.  Pinning makes the measured
+  configuration part of the benchmark's source.
 * ``nonatomic-artifact-write`` — outside :mod:`repro.store`, no direct
   ``write_text``/``write_bytes`` calls and no write-mode ``open``:
   every artifact writer must go through the atomic tmp-file + fsync +
@@ -415,6 +422,34 @@ def _check_nonatomic_write(
             )
 
 
+def _check_bench_engine_pin(
+    nodes: Sequence[ast.AST], filename: str, findings: List[Finding]
+) -> None:
+    """Rule ``unpinned-bench-engine``: benchmarks pin ``engine=``."""
+    for node in nodes:
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        if name != "run_experiment":
+            continue
+        if any(kw.arg == "engine" for kw in node.keywords):
+            continue
+        findings.append(
+            _finding(
+                "unpinned-bench-engine",
+                "run_experiment(...) without engine=: the default engine "
+                "memoizes traces and replay results, so this benchmark may "
+                "measure a dict probe instead of the engine it claims to; "
+                "pin engine='replay' or engine='step' explicitly",
+                filename,
+                node.lineno,
+            )
+        )
+
+
 #: The syntactic lint checks, in dispatch order.  Each entry is
 #: ``(rule id, gate, check)`` where ``gate`` names the
 #: :class:`FileProfile` condition under which the rule applies
@@ -427,6 +462,7 @@ _SIMPLE_CHECKS: "Sequence[Tuple[str, str, _Check]]" = (
     ("lint/init-self-call", "always", _check_init_self_call),
     ("lint/nonatomic-artifact-write", "not-store", _check_nonatomic_write),
     ("lint/fallback-telemetry", "not-check", _check_fallback_telemetry),
+    ("lint/unpinned-bench-engine", "benchmark-only", _check_bench_engine_pin),
 )
 
 _Check = Callable[[Sequence[ast.AST], str, List[Finding]], None]
@@ -448,6 +484,7 @@ class FileProfile:
     algorithms_module: bool = False
     store_module: bool = False
     check_module: bool = False
+    benchmark_module: bool = False
     lint: bool = True
     determinism: bool = False
     purity: bool = False
@@ -471,6 +508,7 @@ def lint_source(
     algorithms_module: bool = False,
     store_module: bool = False,
     check_module: bool = False,
+    benchmark_module: bool = False,
     registered: Optional[Set[str]] = None,
     config: Optional[RuleConfig] = None,
 ) -> List[Finding]:
@@ -499,6 +537,7 @@ def lint_source(
             algorithms_module=algorithms_module,
             store_module=store_module,
             check_module=check_module,
+            benchmark_module=benchmark_module,
         ),
         registered=registered or set(),
         config=cfg,
@@ -534,6 +573,8 @@ def _lint_tree(
         if gate == "not-store" and profile.store_module:
             continue
         if gate == "not-check" and profile.check_module:
+            continue
+        if gate == "benchmark-only" and not profile.benchmark_module:
             continue
         if config.allows(rule_id):
             check(nodes, filename, findings)
@@ -650,6 +691,7 @@ def _profile_for(path: Path, package_root: Optional[Path]) -> FileProfile:
         algorithms_module=path.parent.name == "algorithms",
         store_module=path.parent.name == "store",
         check_module=path.parent.name == "check",
+        benchmark_module="benchmarks" in path.parts and relative is None,
         lint=True,
         determinism=determinism,
         purity=relative is not None,

@@ -387,6 +387,8 @@ _r("lint/nonatomic-artifact-write", ERROR,
    "Artifact written without the atomic store helper", "lint")
 _r("lint/fallback-telemetry", ERROR,
    "Engine-fallback site does not record telemetry", "lint")
+_r("lint/unpinned-bench-engine", ERROR,
+   "Benchmark runs an experiment without pinning engine=", "lint")
 _r("lint/syntax", ERROR,
    "Source file does not parse", "lint")
 

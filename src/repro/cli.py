@@ -338,13 +338,44 @@ def _cmd_fabric_worker(args: argparse.Namespace) -> int:
     return worker.run()
 
 
+#: Order-sweep figures whose cells can fan out over a process pool.
+_PARALLEL_FIGS = frozenset(
+    {"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11"}
+)
+#: Multi-panel figures the nightly pipeline shards by panel key.
+_PANEL_FIGS = frozenset({"fig7", "fig8", "fig9", "fig10", "fig11"})
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
+    import os
+
+    tier = args.trace_tier or os.environ.get("REPRO_TRACE_TIER")
+    if tier:
+        from repro.cache.replay import configure_trace_tier
+
+        configure_trace_tier(tier)
     kwargs: Dict[str, Any] = {}
     if args.fig_id == "fig12":
         if args.orders:
             kwargs["order"] = args.orders[0]
     elif args.orders:
         kwargs["orders"] = args.orders
+    if args.workers > 1:
+        if args.fig_id not in _PARALLEL_FIGS:
+            print(
+                f"error: --workers applies to {', '.join(sorted(_PARALLEL_FIGS))}",
+                file=sys.stderr,
+            )
+            return 2
+        kwargs["workers"] = args.workers
+    if args.panels:
+        if args.fig_id not in _PANEL_FIGS:
+            print(
+                f"error: --panels applies to {', '.join(sorted(_PANEL_FIGS))}",
+                file=sys.stderr,
+            )
+            return 2
+        kwargs["panels_filter"] = args.panels
     figure = get_figure(args.fig_id, **kwargs)
     print(render_figure(figure))
     if args.csv:
@@ -687,6 +718,35 @@ def _cmd_runs_verify(args: argparse.Namespace) -> int:
     return 0 if audit.ok else 1
 
 
+def _cmd_traces_stats(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.cache.tracestore import tier_counters, tier_info
+
+    root = Path(args.root)
+    info = tier_info(root)
+    counters = tier_counters()
+    if args.json:
+        print(
+            json.dumps(
+                {"schema": 1, "root": str(root), **info, "counters": counters}
+            )
+        )
+        return 0
+    if not root.is_dir():
+        print(f"no trace tier at {root}")
+        return 0
+    mib = info["bytes"] / (1024 * 1024)
+    print(f"trace tier: {root}")
+    print(f"  entries: {info['entries']} ({info['directive_entries']} with directives)")
+    print(f"  fmas:    {info['fmas']}")
+    print(f"  size:    {mib:.1f} MiB")
+    session = ", ".join(f"{n} {name}" for name, n in sorted(counters.items()))
+    print(f"  session: {session}")
+    return 0
+
+
 def _cmd_tables(args: argparse.Namespace) -> int:
     print("Cache configurations (paper 4.1):")
     print(render_rows(cache_configuration_table()))
@@ -840,6 +900,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("fig_id", choices=list(FIGURES))
     p_fig.add_argument("--orders", type=int, nargs="+", default=None)
     p_fig.add_argument("--csv", default=None, help="directory for CSV output")
+    p_fig.add_argument(
+        "--trace-tier",
+        metavar="DIR",
+        default=None,
+        help="on-disk compiled-trace tier (default: $REPRO_TRACE_TIER)",
+    )
+    p_fig.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="fan sweep cells over N processes (order-sweep figures)",
+    )
+    p_fig.add_argument(
+        "--panels",
+        nargs="+",
+        choices=list("abcd"),
+        default=None,
+        help="regenerate only these panel keys (figs 7-11 shards)",
+    )
     p_fig.set_defaults(func=_cmd_figure)
 
     p_verify = sub.add_parser("verify", help="numeric schedule verification")
@@ -971,6 +1050,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_runs_verify.add_argument("run_dir")
     p_runs_verify.set_defaults(func=_cmd_runs_verify)
+
+    p_traces = sub.add_parser(
+        "traces", help="inspect the on-disk compiled-trace tier"
+    )
+    traces_sub = p_traces.add_subparsers(dest="traces_command", required=True)
+    p_traces_stats = traces_sub.add_parser(
+        "stats", help="tier size and this session's hit/miss counters"
+    )
+    p_traces_stats.add_argument("root", help="trace tier directory")
+    p_traces_stats.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    p_traces_stats.set_defaults(func=_cmd_traces_stats)
 
     p_fabric = sub.add_parser(
         "fabric", help="lease-based distributed sweep fabric"

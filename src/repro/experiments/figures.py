@@ -8,13 +8,15 @@ the paper plots.
 
 Scale note
 ----------
-The paper sweeps matrix orders up to 1100 blocks; cycle-accurate LRU
-simulation in pure Python at that order is prohibitive, so the default
-sweep stops at order 96 (every function takes an ``orders=`` /
-``order=`` override — the harness is faithful at any scale, see
-DESIGN.md §4).  All qualitative features of the figures — who wins, the
-LRU-vs-formula factor-≤2 envelope, the crossovers in the bandwidth
-sweep — are scale-free.
+The paper sweeps matrix orders up to 1100 blocks.  The default sweep
+stops at order 96 to stay interactive, but every function takes an
+``orders=`` / ``order=`` override, and the streaming bulk-replay
+kernels (:mod:`repro.cache.replay`) make the full axis reachable: the
+nightly ``full-figures`` CI pipeline regenerates Figs. 7–11 at order
+1100, sharding figures by panel (``panels_filter``) and fanning sweep
+cells over processes (``workers``).  All qualitative features of the
+figures — who wins, the LRU-vs-formula factor-≤2 envelope, the
+crossovers in the bandwidth sweep — are scale-free.
 """
 
 from __future__ import annotations
@@ -83,10 +85,14 @@ def _lru_vs_formula(
     machine: MulticoreMachine,
     orders: Sequence[int],
     ylabel: str,
+    workers: int = 0,
 ) -> Figure:
     """Common shape of Figs. 4–6: LRU(C), LRU(2C), formula, 2×formula."""
     sweep = order_sweep(
-        [(algorithm, "lru"), (algorithm, "lru-2x")], machine, orders
+        [(algorithm, "lru"), (algorithm, "lru-2x")],
+        machine,
+        orders,
+        workers=workers,
     )
     panel = Panel(
         key="a",
@@ -116,7 +122,7 @@ def _lru_vs_formula(
     )
 
 
-def figure4(orders: Sequence[int] = DEFAULT_ORDERS) -> Figure:
+def figure4(orders: Sequence[int] = DEFAULT_ORDERS, workers: int = 0) -> Figure:
     """Fig. 4: shared misses of Shared Opt. under LRU, CS = 977."""
     return _lru_vs_formula(
         "fig4",
@@ -126,10 +132,11 @@ def figure4(orders: Sequence[int] = DEFAULT_ORDERS) -> Figure:
         preset("q32"),
         orders,
         "Shared cache misses MS",
+        workers=workers,
     )
 
 
-def figure5(orders: Sequence[int] = DEFAULT_ORDERS) -> Figure:
+def figure5(orders: Sequence[int] = DEFAULT_ORDERS, workers: int = 0) -> Figure:
     """Fig. 5: distributed misses of Distributed Opt. under LRU, CD = 21."""
     return _lru_vs_formula(
         "fig5",
@@ -139,10 +146,11 @@ def figure5(orders: Sequence[int] = DEFAULT_ORDERS) -> Figure:
         preset("q32"),
         orders,
         "Distributed cache misses MD",
+        workers=workers,
     )
 
 
-def figure6(orders: Sequence[int] = DEFAULT_ORDERS) -> Figure:
+def figure6(orders: Sequence[int] = DEFAULT_ORDERS, workers: int = 0) -> Figure:
     """Fig. 6: Tdata of Tradeoff under LRU, CS = 977, CD = 21."""
     return _lru_vs_formula(
         "fig6",
@@ -152,16 +160,29 @@ def figure6(orders: Sequence[int] = DEFAULT_ORDERS) -> Figure:
         preset("q32"),
         orders,
         "Tdata",
+        workers=workers,
     )
 
 
 # ----------------------------------------------------------------------
 # Figure 7: shared misses across algorithms, three cache configurations
 # ----------------------------------------------------------------------
-def figure7(orders: Sequence[int] = DEFAULT_ORDERS) -> Figure:
-    """Fig. 7: MS of Shared Opt. vs Outer Product, Shared Equal, bound."""
+def figure7(
+    orders: Sequence[int] = DEFAULT_ORDERS,
+    workers: int = 0,
+    panels_filter: Optional[Sequence[str]] = None,
+) -> Figure:
+    """Fig. 7: MS of Shared Opt. vs Outer Product, Shared Equal, bound.
+
+    ``panels_filter`` restricts regeneration to the named panel keys
+    (``a``/``b``/``c``) — the nightly full-figure pipeline shards one
+    figure across jobs this way, skipping the sweeps of the panels it
+    does not own.
+    """
     panels: List[FigurePanel] = []
     for key, preset_key in (("a", "q32"), ("b", "q64"), ("c", "q80")):
+        if panels_filter is not None and key not in panels_filter:
+            continue
         machine = preset(preset_key)
         sweep = order_sweep(
             [
@@ -172,6 +193,7 @@ def figure7(orders: Sequence[int] = DEFAULT_ORDERS) -> Figure:
             ],
             machine,
             orders,
+            workers=workers,
         )
         panel = Panel(
             key=key,
@@ -201,7 +223,11 @@ def figure7(orders: Sequence[int] = DEFAULT_ORDERS) -> Figure:
 # ----------------------------------------------------------------------
 # Figure 8: distributed misses across algorithms
 # ----------------------------------------------------------------------
-def figure8(orders: Sequence[int] = DEFAULT_ORDERS) -> Figure:
+def figure8(
+    orders: Sequence[int] = DEFAULT_ORDERS,
+    workers: int = 0,
+    panels_filter: Optional[Sequence[str]] = None,
+) -> Figure:
     """Fig. 8: MD of Distributed Opt. vs Distributed Equal, Outer Product."""
     panels: List[FigurePanel] = []
     for key, preset_key, note in (
@@ -209,6 +235,8 @@ def figure8(orders: Sequence[int] = DEFAULT_ORDERS) -> Figure:
         ("b", "q32-pessimistic", "data = 1/2 of distributed cache"),
         ("c", "q64", "q=64: µ collapses to 1"),
     ):
+        if panels_filter is not None and key not in panels_filter:
+            continue
         machine = preset(preset_key)
         sweep = order_sweep(
             [
@@ -219,6 +247,7 @@ def figure8(orders: Sequence[int] = DEFAULT_ORDERS) -> Figure:
             ],
             machine,
             orders,
+            workers=workers,
         )
         panel = Panel(
             key=key,
@@ -270,31 +299,48 @@ def _tdata_figure(
     fig_id: str,
     shared_preset_keys: Sequence[str],
     orders: Sequence[int],
+    workers: int = 0,
+    panels_filter: Optional[Sequence[str]] = None,
 ) -> Figure:
-    """Common shape of Figs. 9–11: four panels (LRU-50/IDEAL × two CD)."""
+    """Common shape of Figs. 9–11: four panels (LRU-50/IDEAL × two CD).
+
+    ``panels_filter`` restricts regeneration to the named panel keys
+    (``a``–``d``), skipping the sweeps behind the others — the nightly
+    pipeline shards each figure across two jobs (``a b`` / ``c d``) so
+    the paper-scale LRU panels fit a runner's wall-clock budget.
+    """
     panels: List[FigurePanel] = []
-    panel_keys = iter("abcd")
-    for preset_key in shared_preset_keys:
+    combos = [
+        (key, preset_key, setting_label, entries)
+        for preset_key, key_pair in zip(
+            shared_preset_keys, (("a", "b"), ("c", "d"))
+        )
+        for key, (setting_label, entries) in zip(
+            key_pair, (("LRU-50", _SIX_LRU50), ("IDEAL", _SIX_IDEAL))
+        )
+    ]
+    for key, preset_key, setting_label, entries in combos:
+        if panels_filter is not None and key not in panels_filter:
+            continue
         machine = preset(preset_key)
-        for setting_label, entries in (("LRU-50", _SIX_LRU50), ("IDEAL", _SIX_IDEAL)):
-            sweep = order_sweep(entries, machine, orders)
-            panel = Panel(
-                key=next(panel_keys),
-                title=f"{setting_label}, CS={machine.cs}, CD={machine.cd}",
-                xlabel="Matrix order (blocks)",
-                ylabel="Tdata",
-                xs=list(orders),
-            )
-            for alg, setting in entries:
-                label = f"{alg} {setting_label}"
-                panel.add(label, sweep.values(f"{alg} {setting}", "tdata"))
-            panel.add(
-                "Lower Bound",
-                [tdata_lower_bound(machine, d, d, d) for d in orders],
-            )
-            # Tradeoff IDEAL is also plotted on the paper's LRU panels
-            # as the reference; keep panels self-contained instead.
-            panels.append(panel)
+        sweep = order_sweep(entries, machine, orders, workers=workers)
+        panel = Panel(
+            key=key,
+            title=f"{setting_label}, CS={machine.cs}, CD={machine.cd}",
+            xlabel="Matrix order (blocks)",
+            ylabel="Tdata",
+            xs=list(orders),
+        )
+        for alg, setting in entries:
+            label = f"{alg} {setting_label}"
+            panel.add(label, sweep.values(f"{alg} {setting}", "tdata"))
+        panel.add(
+            "Lower Bound",
+            [tdata_lower_bound(machine, d, d, d) for d in orders],
+        )
+        # Tradeoff IDEAL is also plotted on the paper's LRU panels
+        # as the reference; keep panels self-contained instead.
+        panels.append(panel)
     return Figure(
         id=fig_id,
         title=f"Overall data access time Tdata (CS={preset(shared_preset_keys[0]).cs})",
@@ -305,19 +351,37 @@ def _tdata_figure(
     )
 
 
-def figure9(orders: Sequence[int] = DEFAULT_ORDERS) -> Figure:
+def figure9(
+    orders: Sequence[int] = DEFAULT_ORDERS,
+    workers: int = 0,
+    panels_filter: Optional[Sequence[str]] = None,
+) -> Figure:
     """Fig. 9: Tdata, CS = 977 (q=32), CD ∈ {21, 16}."""
-    return _tdata_figure("fig9", ("q32", "q32-pessimistic"), orders)
+    return _tdata_figure(
+        "fig9", ("q32", "q32-pessimistic"), orders, workers, panels_filter
+    )
 
 
-def figure10(orders: Sequence[int] = DEFAULT_ORDERS) -> Figure:
+def figure10(
+    orders: Sequence[int] = DEFAULT_ORDERS,
+    workers: int = 0,
+    panels_filter: Optional[Sequence[str]] = None,
+) -> Figure:
     """Fig. 10: Tdata, CS = 245 (q=64), CD ∈ {6, 4}."""
-    return _tdata_figure("fig10", ("q64", "q64-pessimistic"), orders)
+    return _tdata_figure(
+        "fig10", ("q64", "q64-pessimistic"), orders, workers, panels_filter
+    )
 
 
-def figure11(orders: Sequence[int] = DEFAULT_ORDERS) -> Figure:
+def figure11(
+    orders: Sequence[int] = DEFAULT_ORDERS,
+    workers: int = 0,
+    panels_filter: Optional[Sequence[str]] = None,
+) -> Figure:
     """Fig. 11: Tdata, CS = 157 (q=80), CD ∈ {4, 3}."""
-    return _tdata_figure("fig11", ("q80", "q80-pessimistic"), orders)
+    return _tdata_figure(
+        "fig11", ("q80", "q80-pessimistic"), orders, workers, panels_filter
+    )
 
 
 # ----------------------------------------------------------------------

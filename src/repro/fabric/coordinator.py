@@ -588,6 +588,11 @@ class Coordinator:
             "fp": fp,
             "attempt": attempt,
             "lease_s": self.lease_s,
+            # Workers sharing the coordinator's filesystem memmap
+            # compiled traces from the run dir instead of recompiling
+            # per process; remote workers see a nonexistent run dir and
+            # ignore the hint.
+            "trace_tier": str(self.store.root / "traces"),
             "cell": {
                 "label": key[0],
                 "index": key[1],

@@ -80,6 +80,7 @@ from typing import (
     Union,
 )
 
+from repro.cache import replay as replay_engine
 from repro.exceptions import ConfigurationError
 from repro.model.machine import MulticoreMachine
 from repro.sim.faults import FaultPlan, fire
@@ -140,12 +141,17 @@ def _init_worker(
     machines: Sequence[MulticoreMachine],
     entries: Dict[str, Tuple[str, str, Dict[str, Any]]],
     fault_plan: Optional[FaultPlan],
+    trace_tier: Optional[str] = None,
 ) -> None:
     """Pool initializer: receive the shared per-sweep state exactly once."""
     global _WORKER_MACHINES, _WORKER_ENTRIES, _WORKER_FAULTS
     _WORKER_MACHINES = machines
     _WORKER_ENTRIES = entries
     _WORKER_FAULTS = fault_plan
+    # Workers of a store-backed sweep share compiled traces through the
+    # run dir's on-disk tier: the first worker to need a trace compiles
+    # and stores it, siblings memmap it instead of recompiling.
+    replay_engine.configure_trace_tier(trace_tier)
     # A store-backed engine traps SIGINT/SIGTERM in the host process —
     # and forked workers inherit those handlers.  A worker that treats
     # SIGTERM as "set the drain flag" can never be torn down by
@@ -292,6 +298,11 @@ class _SweepEngine:
         self.store = store
         self.resume = resume
         self.drain_grace_s = drain_grace_s
+        #: On-disk compiled-trace tier shared by host + workers (under
+        #: the run dir, so it lives and dies with the run artifacts).
+        self.trace_tier: Optional[str] = (
+            str(store.root / "traces") if store is not None else None
+        )
         self.writer: Optional[CheckpointWriter] = None
         #: Signal number once SIGINT/SIGTERM asked the run to drain.
         self.interrupt: Optional[int] = None
@@ -383,6 +394,8 @@ class _SweepEngine:
             cell.worker = result.worker
             cell.resumed = True
             cell.engine_fallback = result.engine_fallback
+            cell.kernel = result.kernel
+            cell.trace_source = result.trace_source
             self.results[key] = result
             self.outstanding.discard(key)
             self.manifest.resumed_cells += 1
@@ -463,6 +476,8 @@ class _SweepEngine:
         record.error_type = None
         record.error = None
         record.engine_fallback = result.engine_fallback
+        record.kernel = result.kernel
+        record.trace_source = result.trace_source
         self.results[(label, index)] = result
         self.outstanding.discard((label, index))
         self._checkpoint((label, index), STATUS_OK, result=result)
@@ -522,7 +537,12 @@ class _SweepEngine:
             return self.pool_factory(
                 max_workers=self.workers,
                 initializer=_init_worker,
-                initargs=(self.machines, self.entries, self.fault_plan),
+                initargs=(
+                    self.machines,
+                    self.entries,
+                    self.fault_plan,
+                    self.trace_tier,
+                ),
             )
         except Exception:  # noqa: BLE001 — degrade, never abort the sweep
             return None
@@ -625,6 +645,13 @@ class _SweepEngine:
         started = time.perf_counter()
         self._prepare_store()
         self._install_signal_handlers()
+        # The host shares the run dir's trace tier with its workers
+        # (serial fallback and in-process cells hit the same entries);
+        # restored afterwards so one sweep doesn't leak its tier into
+        # the next caller's process-global replay configuration.
+        previous_tier = replay_engine.trace_tier_root()
+        if self.trace_tier is not None:
+            replay_engine.configure_trace_tier(self.trace_tier)
         try:
             if self.outstanding:
                 pool = self._make_pool()
@@ -651,6 +678,8 @@ class _SweepEngine:
                         error_type="Interrupted",
                     )
         finally:
+            if self.trace_tier is not None:
+                replay_engine.configure_trace_tier(previous_tier)
             self._restore_signal_handlers()
             if self.writer is not None:
                 self.writer.close()

@@ -45,6 +45,15 @@ class ExperimentResult:
     #: replay was silently degraded to the step engine.
     engine: str = ""
     engine_fallback: bool = False
+    #: Replay-engine telemetry: which kernel evaluated the cell
+    #: (``"bulk-lru"``/``"bulk-fifo"``/``"ideal"``/``"step"``) and where
+    #: its compiled trace came from (``"compiled"``/``"memory"``/
+    #: ``"disk"``, or ``"streamed"`` when the kernels ran off the live
+    #: schedule with no materialized trace).  Empty on step-engine
+    #: results predating the fields;
+    #: like ``engine``, never part of resume identity.
+    kernel: str = ""
+    trace_source: str = ""
 
     @property
     def ms(self) -> int:

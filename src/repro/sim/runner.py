@@ -115,7 +115,12 @@ def run_experiment(
         the replay engine does not cover (``check=True``, inclusive
         hierarchies, associative/PLRU policies) use the step engine
         instead — warned once per configuration and recorded on the
-        result (``engine_fallback``).
+        result (``engine_fallback``).  Past the streaming threshold
+        (``REPRO_STREAM_FMAS``) LRU/FIFO replays stream off the running
+        schedule instead of materializing the trace
+        (``trace_source="streamed"``), and IDEAL — whose vectorized
+        replay needs the whole timeline — falls back to the
+        memory-bounded step engine.
     strict_engine:
         Raise :class:`~repro.exceptions.ConfigurationError` instead of
         falling back when ``engine="replay"`` cannot reproduce the
@@ -143,8 +148,26 @@ def run_experiment(
         )
 
     replay_ok = replay_engine.supports(setting.mode, policy, inclusive, check)
+    # IDEAL replay is vectorized over the whole timeline and must
+    # materialize the trace; past the streaming threshold that is tens
+    # of gigabytes, so the (memory-bounded) step engine takes over.
+    stream = replay_engine.should_stream(m * n * z)
+    ideal_too_big = setting.is_ideal and stream
+    if engine == "replay" and replay_ok and ideal_too_big:
+        replay_ok = False
+        logger.warning(
+            "IDEAL replay of %s at m=%d n=%d z=%d would materialize a "
+            "%d-FMA trace (streaming threshold %d); using the "
+            "memory-bounded step engine",
+            alg.name,
+            m,
+            n,
+            z,
+            m * n * z,
+            replay_engine.stream_threshold(),
+        )
     fallback = engine == "replay" and not replay_ok
-    if fallback:
+    if fallback and not ideal_too_big:
         if strict_engine:
             raise ConfigurationError(
                 f"engine='replay' cannot reproduce setting={setting.key!r} "
@@ -157,23 +180,33 @@ def run_experiment(
     if engine == "replay" and replay_ok:
         simulated = setting.simulated(machine)
         start = time.perf_counter()
-        trace = replay_engine.compiled_trace_for(
-            alg, directives=setting.is_ideal
-        )
-        if setting.is_ideal:
-            stats = replay_engine.replay_ideal(trace)
-        elif policy == "fifo":
-            stats = replay_engine.replay_fifo(
-                trace, [(simulated.cs, simulated.cd)]
-            )[0]
+        if stream and not setting.is_ideal:
+            stats_list, comp = replay_engine.replay_bulk_streaming(
+                alg, [(policy, simulated.cs, simulated.cd)]
+            )
+            stats = stats_list[0]
+            kernel = f"bulk-{policy}"
+            trace_source = "streamed"
+            comp_total = sum(comp)
         else:
-            stats = replay_engine.replay_lru(
-                trace, [(simulated.cs, simulated.cd)]
-            )[0]
+            trace = replay_engine.compiled_trace_for(
+                alg, directives=setting.is_ideal
+            )
+            if setting.is_ideal:
+                stats = replay_engine.replay_ideal(trace)
+                kernel = "ideal"
+            else:
+                stats = replay_engine.replay_bulk(
+                    trace, [(policy, simulated.cs, simulated.cd)]
+                )[0]
+                kernel = f"bulk-{policy}"
+            trace_source = trace.origin
+            comp = list(trace.comp)
+            comp_total = trace.comp_total
         elapsed = time.perf_counter() - start
-        if verify_comp and trace.comp_total != m * n * z:
+        if verify_comp and comp_total != m * n * z:
             raise ScheduleError(
-                f"{alg.name} emitted {trace.comp_total} multiply-adds, "
+                f"{alg.name} emitted {comp_total} multiply-adds, "
                 f"expected m*n*z = {m * n * z}"
             )
         predicted = predict(alg) if alg.name in FORMULAS else None
@@ -186,11 +219,13 @@ def run_experiment(
             z=z,
             parameters=alg.parameters(),
             stats=stats,
-            comp=list(trace.comp),
+            comp=comp,
             predicted=predicted,
             elapsed_s=elapsed,
             worker=os.getpid(),
             engine="replay",
+            kernel=kernel,
+            trace_source=trace_source,
         )
 
     if setting.is_ideal:
@@ -232,4 +267,5 @@ def run_experiment(
         worker=os.getpid(),
         engine="step",
         engine_fallback=fallback,
+        kernel="step",
     )

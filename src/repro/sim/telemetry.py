@@ -62,6 +62,14 @@ class CellRecord:
     #: Whether the cell's requested replay engine silently degraded to
     #: the step engine (see :func:`repro.sim.runner.note_engine_fallback`).
     engine_fallback: bool = False
+    #: Replay-engine telemetry mirrored off the result: which kernel
+    #: evaluated the cell (``"bulk-lru"``/``"bulk-fifo"``/``"ideal"``/
+    #: ``"step"``) and where its compiled trace came from
+    #: (``"compiled"``/``"memory"``/``"disk"``/``"streamed"``).  Empty
+    #: when unknown
+    #: (failed cells, manifests predating the fields).
+    kernel: str = ""
+    trace_source: str = ""
 
     def to_dict(self) -> Dict[str, Any]:
         d: Dict[str, Any] = {
@@ -82,6 +90,10 @@ class CellRecord:
             d["resumed"] = True
         if self.engine_fallback:
             d["engine_fallback"] = True
+        if self.kernel:
+            d["kernel"] = self.kernel
+        if self.trace_source:
+            d["trace_source"] = self.trace_source
         return d
 
 

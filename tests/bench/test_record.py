@@ -141,6 +141,18 @@ class TestComparison:
         cur = _record(**{"a.py::one": 1.0})
         assert compare_records(cur, base)[0] == []
 
+    def test_cross_scale_comparison_rejected(self):
+        base = _record(**{"a.py::one": 0.1})
+        cur = dict(_record(**{"a.py::one": 0.1}), scale="paper")
+        with pytest.raises(ConfigurationError, match="scale"):
+            compare_records(cur, base)
+
+    def test_scaleless_legacy_records_still_compare(self):
+        base = _record(**{"a.py::one": 0.1})
+        base.pop("scale", None)
+        cur = _record(**{"a.py::one": 0.1})
+        assert compare_records(cur, base)[0] == []
+
 
 class TestRunner:
     def test_rejects_unknown_scale(self):

@@ -19,12 +19,11 @@ from repro.cache.block import MAT_A, MAT_B, MAT_C, block_key
 from repro.cache.hierarchy import LRUHierarchy
 from repro.cache.replay import (
     CompiledTrace,
-    _replay_fifo_one,
-    _replay_lru_one,
     clear_trace_cache,
     compile_trace,
     compiled_trace_for,
     distributed_miss_curves,
+    replay_bulk,
     replay_fifo,
     replay_ideal,
     replay_lru,
@@ -96,7 +95,7 @@ class TestBitIdentity:
         fmas = [(0, block_key(MAT_A, 0, 0), block_key(MAT_B, 0, 0),
                  block_key(MAT_C, 0, 0))]
         trace = CompiledTrace(1, fmas, [1], None)
-        stats = _replay_fifo_one(trace, 16, 4)
+        stats = replay_fifo(trace, [(16, 4)])[0]
         assert stats.distributed[0].misses == 3
         assert stats.distributed[0].hits == 0
 
@@ -151,10 +150,7 @@ class TestRandomTraces:
         for core, *_ in fmas:
             comp[core] += 1
         trace = CompiledTrace(p, fmas, comp, None)
-        if policy == "fifo":
-            got = _replay_fifo_one(trace, cs, cd)
-        else:
-            got = _replay_lru_one(trace, cs, cd)
+        got = replay_bulk(trace, [(policy, cs, cd)])[0]
         assert got == _step_reference(p, cs, cd, policy, fmas)
 
     @given(

@@ -1,0 +1,189 @@
+"""On-disk trace tier: round-trips, crash consistency, telemetry.
+
+The tier's contract is "a valid entry or a miss, never an exception":
+torn writes, stale formats and corrupt files must all degrade to cache
+misses, and a loaded trace must replay bit-identically to the
+in-memory one it was stored from (the kernels run off the read-only
+memmap).  These tests also pin the integration surface —
+:func:`repro.cache.replay.compiled_trace_for` promoting compiled
+traces to disk and reporting ``origin`` telemetry — and the scan/
+counter helpers behind ``repro-mmm traces stats``.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.algorithms.registry import get_algorithm
+from repro.cache import replay, tracestore
+from repro.cache.replay import (
+    clear_trace_cache,
+    compile_trace,
+    compiled_trace_for,
+    configure_trace_tier,
+    replay_bulk,
+    replay_ideal,
+    trace_fingerprint,
+)
+from repro.model.machine import PRESETS
+
+MACHINE = PRESETS["q32"]
+
+
+@pytest.fixture(autouse=True)
+def _fresh_state():
+    clear_trace_cache()
+    configure_trace_tier(None)
+    tracestore.reset_tier_counters()
+    yield
+    clear_trace_cache()
+    configure_trace_tier(None)
+    tracestore.reset_tier_counters()
+
+
+def _alg(m=6, n=6, z=6, name="shared-opt"):
+    return get_algorithm(name)(MACHINE, m, n, z)
+
+
+class TestRoundTrip:
+    def test_store_load_preserves_trace(self, tmp_path):
+        alg = _alg()
+        trace = compile_trace(alg, directives=True)
+        fp = trace_fingerprint(alg)
+        assert tracestore.store(tmp_path, fp, trace)
+        loaded = tracestore.load(tmp_path, fp)
+        assert loaded is not None
+        assert loaded.p == trace.p
+        assert list(loaded.comp) == list(trace.comp)
+        assert loaded.has_directives
+        assert np.array_equal(loaded.fma_array, trace.fma_array)
+
+    def test_loaded_trace_replays_bit_identically(self, tmp_path):
+        alg = _alg(7, 5, 9)
+        trace = compile_trace(alg, directives=True)
+        fp = trace_fingerprint(alg)
+        tracestore.store(tmp_path, fp, trace)
+        loaded = tracestore.load(tmp_path, fp)
+        cells = [("lru", 16, 3), ("fifo", 16, 3)]
+        assert replay_bulk(loaded, cells) == replay_bulk(trace, cells)
+        assert replay_ideal(loaded) == replay_ideal(trace)
+
+    def test_loaded_fma_array_is_readonly_memmap(self, tmp_path):
+        alg = _alg()
+        trace = compile_trace(alg, directives=False)
+        fp = trace_fingerprint(alg)
+        tracestore.store(tmp_path, fp, trace)
+        loaded = tracestore.load(tmp_path, fp)
+        assert isinstance(loaded.fma_array, np.memmap)
+        assert not loaded.fma_array.flags.writeable
+
+    def test_compute_only_store_has_no_directives(self, tmp_path):
+        alg = _alg()
+        trace = compile_trace(alg, directives=False)
+        fp = trace_fingerprint(alg)
+        tracestore.store(tmp_path, fp, trace)
+        loaded = tracestore.load(tmp_path, fp)
+        assert loaded is not None
+        assert not loaded.has_directives
+
+
+class TestCrashConsistency:
+    def test_absent_entry_is_a_miss(self, tmp_path):
+        assert tracestore.load(tmp_path, ("nope",)) is None
+        assert tracestore.tier_counters()["misses"] == 1
+
+    def test_torn_write_without_meta_is_a_miss(self, tmp_path):
+        """Arrays on disk but no meta.json — the pre-crash window."""
+        alg = _alg()
+        trace = compile_trace(alg, directives=False)
+        fp = trace_fingerprint(alg)
+        tracestore.store(tmp_path, fp, trace)
+        (tracestore.entry_dir(tmp_path, fp) / "meta.json").unlink()
+        assert tracestore.load(tmp_path, fp) is None
+
+    def test_corrupt_meta_is_a_miss(self, tmp_path):
+        alg = _alg()
+        trace = compile_trace(alg, directives=False)
+        fp = trace_fingerprint(alg)
+        tracestore.store(tmp_path, fp, trace)
+        (tracestore.entry_dir(tmp_path, fp) / "meta.json").write_text("{oops")
+        assert tracestore.load(tmp_path, fp) is None
+
+    def test_truncated_array_is_a_miss_not_an_exception(self, tmp_path):
+        alg = _alg()
+        trace = compile_trace(alg, directives=False)
+        fp = trace_fingerprint(alg)
+        tracestore.store(tmp_path, fp, trace)
+        entry = tracestore.entry_dir(tmp_path, fp)
+        # shrink the array under an unchanged meta.json
+        arr = np.load(entry / "fmas.npy")
+        np.save(entry / "fmas.npy", arr[:1])
+        assert tracestore.load(tmp_path, fp) is None
+        assert tracestore.tier_counters()["errors"] >= 1
+
+    def test_foreign_format_version_is_a_miss(self, tmp_path):
+        alg = _alg()
+        trace = compile_trace(alg, directives=False)
+        fp = trace_fingerprint(alg)
+        tracestore.store(tmp_path, fp, trace)
+        meta_path = tracestore.entry_dir(tmp_path, fp) / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        meta["format"] = tracestore.FORMAT_VERSION + 1
+        meta_path.write_text(json.dumps(meta))
+        assert tracestore.load(tmp_path, fp) is None
+
+
+class TestTierIntegration:
+    def test_compiled_trace_promoted_to_disk_then_shared(self, tmp_path):
+        configure_trace_tier(str(tmp_path))
+        first = compiled_trace_for(_alg(), directives=False)
+        assert first.origin == "compiled"
+        # a second *process* would miss the memory LRU; simulate it
+        clear_trace_cache()
+        second = compiled_trace_for(_alg(), directives=False)
+        assert second.origin == "disk"
+        assert np.array_equal(second.fma_array, first.fma_array)
+        # within the process the memory LRU answers first
+        third = compiled_trace_for(_alg(), directives=False)
+        assert third.origin in ("memory", "disk")
+
+    def test_directive_upgrade_recompiles_and_restores(self, tmp_path):
+        configure_trace_tier(str(tmp_path))
+        compiled_trace_for(_alg(), directives=False)
+        clear_trace_cache()
+        upgraded = compiled_trace_for(_alg(), directives=True)
+        assert upgraded.origin == "compiled"
+        assert upgraded.has_directives
+        clear_trace_cache()
+        assert compiled_trace_for(_alg(), directives=True).origin == "disk"
+
+    def test_counters_and_tier_info(self, tmp_path):
+        configure_trace_tier(str(tmp_path))
+        tracestore.reset_tier_counters()
+        compiled_trace_for(_alg(), directives=False)
+        clear_trace_cache()
+        compiled_trace_for(_alg(), directives=False)
+        counters = tracestore.tier_counters()
+        assert counters["stores"] >= 1
+        assert counters["hits"] >= 1
+        info = tracestore.tier_info(tmp_path)
+        assert info["entries"] == 1
+        assert info["fmas"] == len(compile_trace(_alg(), directives=False))
+        assert info["bytes"] > 0
+        assert info["directive_entries"] == 0
+
+    def test_tier_info_on_missing_dir(self, tmp_path):
+        info = tracestore.tier_info(tmp_path / "nothing")
+        assert info == {
+            "entries": 0,
+            "fmas": 0,
+            "bytes": 0,
+            "directive_entries": 0,
+        }
+
+    def test_content_key_is_stable_and_distinct(self):
+        fp_a = trace_fingerprint(_alg())
+        fp_b = trace_fingerprint(_alg(7, 5, 9))
+        assert tracestore.content_key(fp_a) == tracestore.content_key(fp_a)
+        assert tracestore.content_key(fp_a) != tracestore.content_key(fp_b)

@@ -12,6 +12,7 @@ from repro.experiments.figures import (
     FIGURES,
     figure4,
     figure7,
+    figure9,
     figure12,
     get_figure,
 )
@@ -75,6 +76,31 @@ class TestStructure:
         fig = figure4(orders=TINY)
         with pytest.raises(ConfigurationError):
             fig.panels[0].add("bad", [1.0])
+
+    def test_figure7_panels_filter_builds_subset(self):
+        # The nightly pipeline shards figures by panel key; a filtered
+        # build must reproduce exactly the full build's panels.
+        full = figure7(orders=TINY)
+        shard = figure7(orders=TINY, panels_filter=("a", "c"))
+        assert [p.key for p in shard.panels] == ["a", "c"]
+        by_key = {p.key: p for p in full.panels}
+        for panel in shard.panels:
+            assert panel.series == by_key[panel.key].series
+
+    def test_figure9_shards_cover_full_build(self):
+        full = figure9(orders=(8,))
+        merged = {}
+        for keys in (("a", "b"), ("c", "d")):
+            for panel in figure9(orders=(8,), panels_filter=keys).panels:
+                merged[panel.key] = panel.series
+        assert merged == {p.key: p.series for p in full.panels}
+
+    def test_figure_workers_match_serial(self):
+        serial = figure7(orders=TINY)
+        par = figure7(orders=TINY, workers=2)
+        assert {p.key: p.series for p in par.panels} == {
+            p.key: p.series for p in serial.panels
+        }
 
 
 class TestContent:

@@ -64,6 +64,41 @@ class TestOrderSweep:
         assert (r.m, r.n, r.z) == (6, 6, 6)
 
 
+class TestParallelOrderSweep:
+    ENTRIES = [
+        ("shared-opt", "lru-50"),
+        ("shared-opt", "ideal"),
+        ("outer-product", "lru-50"),
+    ]
+
+    def test_workers_match_serial(self, quad):
+        serial = order_sweep(self.ENTRIES, quad, [4, 6, 8])
+        par = order_sweep(self.ENTRIES, quad, [4, 6, 8], workers=2)
+        assert par.xs == serial.xs
+        for label in serial.labels():
+            for metric in ("ms", "md", "tdata"):
+                assert par.values(label, metric) == serial.values(label, metric)
+
+    def test_workers_forward_policy_and_params(self, quad):
+        par = order_sweep(
+            [("shared-opt", "lru-50", {"lam": 4})],
+            quad,
+            [8],
+            policy="fifo",
+            workers=2,
+        )
+        serial = order_sweep(
+            [("shared-opt", "lru-50", {"lam": 4})], quad, [8], policy="fifo"
+        )
+        r = par.series["shared-opt lru-50 lam=4"][0]
+        assert r.parameters["lambda"] == 4
+        assert r.stats == serial.series["shared-opt lru-50 lam=4"][0].stats
+
+    def test_worker_errors_propagate(self, quad):
+        with pytest.raises(ConfigurationError):
+            order_sweep([("shared-opt", "nope")], quad, [4], workers=2)
+
+
 class TestRatioSweep:
     def test_tradeoff_adapts_along_ratio(self, paper_q32):
         sweep = ratio_sweep(
